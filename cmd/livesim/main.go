@@ -1,0 +1,340 @@
+// Command livesim is an interactive shell speaking the command vocabulary
+// of the paper's Table I against a live session: load a design, instantiate
+// pipes, run testbenches, take and reload checkpoints, and hot-reload code
+// edits without restarting the simulation.
+//
+// Usage:
+//
+//	livesim -dir ./mydesign -top top        # load *.v from a directory
+//	livesim -pgas 4                         # built-in 2x2 PGAS demo
+//
+// Then type `help` at the prompt.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"livesim"
+	"livesim/internal/pgas"
+)
+
+var (
+	flagDir  = flag.String("dir", "", "directory of .v source files")
+	flagTop  = flag.String("top", "top", "top-level module")
+	flagPGAS = flag.Int("pgas", 0, "load the built-in n-node PGAS demo instead of -dir")
+	flagCkpt = flag.Uint64("ckpt-every", 10_000, "checkpoint interval in cycles")
+	flagObjs = flag.String("objdir", "", "directory for persistent compiled objects (.lso)")
+)
+
+type shell struct {
+	session *livesim.Session
+	dir     string
+	pgasN   int
+}
+
+func main() {
+	flag.Parse()
+	sh := &shell{}
+	switch {
+	case *flagPGAS > 0:
+		sh.pgasN = *flagPGAS
+		sh.session = livesim.NewSession(pgas.TopName(*flagPGAS), livesim.Config{
+			CheckpointEvery: *flagCkpt, Output: os.Stdout,
+		})
+		if _, err := sh.session.LoadDesign(pgas.Source(*flagPGAS)); err != nil {
+			fail(err)
+		}
+		images, err := pgas.ComputeImages(*flagPGAS, 1<<30)
+		if err != nil {
+			fail(err)
+		}
+		sh.session.RegisterTestbench("tb0", pgas.NewTestbench(*flagPGAS, images))
+		fmt.Printf("loaded built-in PGAS %d-node mesh (testbench tb0 registered)\n", *flagPGAS)
+	case *flagDir != "":
+		sh.dir = *flagDir
+		sh.session = livesim.NewSession(*flagTop, livesim.Config{
+			CheckpointEvery: *flagCkpt, Output: os.Stdout, ObjectDir: *flagObjs,
+		})
+		src, err := readDir(*flagDir)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := sh.session.LoadDesign(src); err != nil {
+			fail(err)
+		}
+		// A do-nothing clock testbench is always available.
+		sh.session.RegisterTestbench("clock", livesim.NewStatelessTB(nil))
+		fmt.Printf("loaded %s (top %s); testbench \"clock\" registered\n", *flagDir, *flagTop)
+	default:
+		fmt.Fprintln(os.Stderr, "need -dir or -pgas; see -help")
+		os.Exit(2)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("livesim> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if line != "" {
+			if err := sh.exec(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("livesim> ")
+	}
+}
+
+func readDir(dir string) (livesim.Source, error) {
+	files := map[string]string{}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.v"))
+	if err != nil {
+		return livesim.Source{}, err
+	}
+	sort.Strings(entries)
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return livesim.Source{}, err
+		}
+		files[filepath.Base(path)] = string(data)
+	}
+	if len(files) == 0 {
+		return livesim.Source{}, fmt.Errorf("no .v files in %s", dir)
+	}
+	return livesim.Source{Files: files}, nil
+}
+
+func (sh *shell) exec(line string) error {
+	args := strings.Fields(line)
+	cmd := strings.ToLower(args[0])
+	rest := args[1:]
+	switch cmd {
+	case "help":
+		fmt.Print(`commands (paper Table I plus inspection):
+  ldlib                         list the Object Library Table
+  instpipe <name>               instantiate a pipeline
+  copypipe <new> <old>          copy a pipeline including state
+  pipes                         list the Pipeline Table
+  stages <pipe>                 list the Stage Table
+  run <tb> <pipe> <cycles>      run a testbench
+  chkp <pipe> <path>            save a checkpoint file
+  ldch <pipe> <path>            load a checkpoint file
+  apply                         re-read sources and hot reload (ERD loop)
+  history                       show the register transform history
+  peek <pipe> <hier.signal>     read a signal
+  poke <pipe> <hier.signal> <v> write a signal
+  trace <tb> <pipe> <cycles> <file.vcd> [scope]
+                                run while dumping a VCD waveform
+  checkpoints <pipe>            list the pipe's checkpoints
+  cycle <pipe>                  show the pipe's cycle
+  exit
+`)
+		return nil
+
+	case "ldlib":
+		for _, e := range sh.session.Library() {
+			fmt.Printf("  %-10s %-10s %-30s %s\n", e.Handle, e.Type, e.CodePath, e.ObjectPath)
+		}
+		return nil
+
+	case "instpipe":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: instpipe <name>")
+		}
+		_, err := sh.session.InstPipe(rest[0])
+		return err
+
+	case "copypipe":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: copypipe <new> <old>")
+		}
+		_, err := sh.session.CopyPipe(rest[0], rest[1])
+		return err
+
+	case "pipes":
+		for _, r := range sh.session.Pipes() {
+			fmt.Printf("  %-10s %-12s %s\n", r.Name, r.Handle, r.Pointer)
+		}
+		return nil
+
+	case "stages":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: stages <pipe>")
+		}
+		rows, err := sh.session.Stages(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("  %-28s %-14s %s\n", r.StageName, r.Handle, r.Pointer)
+		}
+		return nil
+
+	case "run":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: run <tb> <pipe> <cycles>")
+		}
+		cycles, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return err
+		}
+		if err := sh.session.Run(rest[0], rest[1], cycles); err != nil {
+			return err
+		}
+		p, _ := sh.session.Pipe(rest[1])
+		fmt.Printf("  pipe %s at cycle %d\n", rest[1], p.Sim.Cycle())
+		return nil
+
+	case "chkp":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: chkp <pipe> <path>")
+		}
+		return sh.session.SaveCheckpoint(rest[0], rest[1])
+
+	case "ldch":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: ldch <pipe> <path>")
+		}
+		return sh.session.LoadCheckpoint(rest[0], rest[1])
+
+	case "apply":
+		var src livesim.Source
+		var err error
+		if sh.pgasN > 0 {
+			return fmt.Errorf("apply requires -dir mode (edit the .v files, then apply)")
+		}
+		src, err = readDir(sh.dir)
+		if err != nil {
+			return err
+		}
+		rep, err := sh.session.ApplyChange(src)
+		if err != nil {
+			return err
+		}
+		if rep.NoChange {
+			fmt.Println("  no behavioural change")
+			return nil
+		}
+		fmt.Printf("  swapped %v in %v (compile %v, swap %v, reload %v, re-exec %v)\n",
+			rep.Swapped, rep.Total,
+			rep.CompileStats.CompileTime, rep.SwapTime, rep.ReloadTime, rep.ReExecTime)
+		rep.WaitVerification()
+		for _, h := range rep.Verifications {
+			if h.Err != nil {
+				return h.Err
+			}
+			fmt.Printf("  verification: consistent=%v refined=%v\n", h.Result.Consistent(), h.Refined)
+		}
+		return nil
+
+	case "history":
+		fmt.Print(sh.session.TransformOps().Describe())
+		return nil
+
+	case "peek":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: peek <pipe> <hier.signal>")
+		}
+		p, ok := sh.session.Pipe(rest[0])
+		if !ok {
+			return fmt.Errorf("no pipe %q", rest[0])
+		}
+		v, err := p.Sim.Peek(rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s = %d (%#x)\n", rest[1], v, v)
+		return nil
+
+	case "poke":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: poke <pipe> <hier.signal> <value>")
+		}
+		p, ok := sh.session.Pipe(rest[0])
+		if !ok {
+			return fmt.Errorf("no pipe %q", rest[0])
+		}
+		v, err := strconv.ParseUint(rest[2], 0, 64)
+		if err != nil {
+			return err
+		}
+		return p.Sim.Poke(rest[1], v)
+
+	case "trace":
+		if len(rest) < 4 {
+			return fmt.Errorf("usage: trace <tb> <pipe> <cycles> <file.vcd> [scope]")
+		}
+		cycles, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return err
+		}
+		p, ok := sh.session.Pipe(rest[1])
+		if !ok {
+			return fmt.Errorf("no pipe %q", rest[1])
+		}
+		f, err := os.Create(rest[3])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		filter := livesim.TraceAll()
+		if len(rest) >= 5 {
+			filter = livesim.TraceUnder(rest[4])
+		}
+		tr, err := livesim.NewTracer(f, p, filter)
+		if err != nil {
+			return err
+		}
+		defer tr.Close()
+		for i := 0; i < cycles; i++ {
+			if err := sh.session.Run(rest[0], rest[1], 1); err != nil {
+				return err
+			}
+			if err := tr.Sample(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  wrote %s (%d signals, %d cycles)\n", rest[3], tr.NumProbes(), cycles)
+		return nil
+
+	case "checkpoints":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: checkpoints <pipe>")
+		}
+		p, ok := sh.session.Pipe(rest[0])
+		if !ok {
+			return fmt.Errorf("no pipe %q", rest[0])
+		}
+		for _, cp := range p.Checkpoints.All() {
+			fmt.Printf("  #%-4d cycle %-10d version %-4s %8d bytes\n",
+				cp.ID, cp.Cycle, cp.Version, cp.State.Bytes())
+		}
+		return nil
+
+	case "cycle":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: cycle <pipe>")
+		}
+		p, ok := sh.session.Pipe(rest[0])
+		if !ok {
+			return fmt.Errorf("no pipe %q", rest[0])
+		}
+		fmt.Printf("  %d (version %s)\n", p.Sim.Cycle(), sh.session.Version())
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "livesim:", err)
+	os.Exit(1)
+}

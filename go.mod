@@ -1,0 +1,3 @@
+module livesim
+
+go 1.22

@@ -1,0 +1,407 @@
+// Package checkpoint implements LiveSim's checkpointing subsystem
+// (Sections III-B, III-D and Figure 2 of the paper):
+//
+//   - checkpoints are taken at regular cycle intervals during execution;
+//   - creation is kept off the simulation's critical path: the hot path
+//     only performs a stop-the-world state copy (the paper's fork), while
+//     serialization happens on a background goroutine (the paper's child
+//     process that "creates the checkpoint and halts");
+//   - reloading picks the checkpoint closest to 10k cycles before the
+//     point of interest (Section III-D, the distance is tunable);
+//   - garbage collection keeps the latest 100 checkpoints and thins older
+//     ones to roughly equal spacing (Figure 2(c)).
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"livesim/internal/sim"
+)
+
+// Checkpoint is one saved simulation state.
+type Checkpoint struct {
+	ID      int
+	Cycle   uint64
+	Version string // design version (register-transform history node)
+	// HistoryPos is the session-history position (number of run operations
+	// applied when the checkpoint was taken).
+	HistoryPos int
+	// State is the raw captured state (the "forked" copy).
+	State *sim.State
+	// Aux carries opaque side state captured with the checkpoint — the
+	// session stores testbench snapshots here so a reload resumes the
+	// whole operation history, not just the RTL state.
+	Aux map[string][]byte
+
+	// encoded is the serialized form, produced asynchronously.
+	encoded []byte
+	ready   chan struct{}
+}
+
+// Bytes returns the serialized checkpoint, blocking until the background
+// writer has finished.
+func (c *Checkpoint) Bytes() []byte {
+	<-c.ready
+	return c.encoded
+}
+
+// Store holds a session's checkpoints and applies the GC policy.
+type Store struct {
+	mu sync.Mutex
+
+	// KeepLatest is how many of the newest checkpoints are immune to
+	// thinning (the paper keeps the 100 latest).
+	KeepLatest int
+	// MaxTotal caps the total number of live checkpoints; older ones are
+	// thinned toward equal spacing when the cap is exceeded.
+	MaxTotal int
+
+	cps    []*Checkpoint
+	nextID int
+	wg     sync.WaitGroup
+
+	// Deleted counts checkpoints removed by GC (observability).
+	Deleted int
+}
+
+// NewStore returns a store with the paper's defaults.
+func NewStore() *Store {
+	return &Store{KeepLatest: 100, MaxTotal: 400}
+}
+
+// Add captures st as a new checkpoint. The call does only cheap work; the
+// serialization runs on a background goroutine. The returned checkpoint is
+// immediately usable for Restore (its State is live).
+func (s *Store) Add(st *sim.State, version string, historyPos int) *Checkpoint {
+	s.mu.Lock()
+	cp := &Checkpoint{
+		ID:         s.nextID,
+		Cycle:      st.Cycle,
+		Version:    version,
+		HistoryPos: historyPos,
+		State:      st,
+		ready:      make(chan struct{}),
+	}
+	s.nextID++
+	s.cps = append(s.cps, cp)
+	s.gcLocked()
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		cp.encoded = encodeState(st)
+		close(cp.ready)
+	}()
+	return cp
+}
+
+// Wait blocks until all background serializations have finished.
+func (s *Store) Wait() { s.wg.Wait() }
+
+// Len returns the number of live checkpoints.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cps)
+}
+
+// All returns the live checkpoints ordered by cycle.
+func (s *Store) All() []*Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Checkpoint, len(s.cps))
+	copy(out, s.cps)
+	return out
+}
+
+// Select returns the checkpoint best suited for re-running to reach
+// target: the newest checkpoint at or before target-lookback. When none
+// is old enough, the oldest checkpoint at or before target is returned;
+// nil means the simulation must restart from cycle 0.
+//
+// lookback is the paper's "closest to 10K cycles before the stopping
+// point" parameter.
+func (s *Store) Select(target, lookback uint64) *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	goal := uint64(0)
+	if target > lookback {
+		goal = target - lookback
+	}
+	var best *Checkpoint
+	for _, cp := range s.cps {
+		if cp.Cycle > target {
+			continue
+		}
+		if cp.Cycle <= goal {
+			if best == nil || cp.Cycle > best.Cycle {
+				best = cp
+			}
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Nothing old enough: take the earliest usable one.
+	for _, cp := range s.cps {
+		if cp.Cycle <= target && (best == nil || cp.Cycle < best.Cycle) {
+			best = cp
+		}
+	}
+	return best
+}
+
+// Before returns the checkpoints with Cycle <= target, ordered by cycle —
+// the candidates for parallel consistency verification (Figure 6).
+func (s *Store) Before(target uint64) []*Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Checkpoint
+	for _, cp := range s.cps {
+		if cp.Cycle <= target {
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// DropVersion removes checkpoints whose design version is not v — used
+// when the consistency verifier proves old-version checkpoints invalid.
+func (s *Store) DropOtherVersions(v string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.cps[:0]
+	dropped := 0
+	for _, cp := range s.cps {
+		if cp.Version == v {
+			kept = append(kept, cp)
+		} else {
+			dropped++
+		}
+	}
+	s.cps = kept
+	s.Deleted += dropped
+	return dropped
+}
+
+// DropVersionAfter removes checkpoints of the given version at or beyond
+// cycle — the cleanup after the consistency verifier finds a divergence
+// point: everything past it describes states the new code cannot reach.
+func (s *Store) DropVersionAfter(version string, cycle uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.cps[:0]
+	dropped := 0
+	for _, cp := range s.cps {
+		if cp.Version == version && cp.Cycle >= cycle {
+			dropped++
+			continue
+		}
+		kept = append(kept, cp)
+	}
+	s.cps = kept
+	s.Deleted += dropped
+	return dropped
+}
+
+// RelabelVersion rewrites the version tag on checkpoints — used after the
+// verifier proves old-version checkpoints remain consistent under the new
+// code, making them loadable as new-version checkpoints.
+func (s *Store) RelabelVersion(from, to string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, cp := range s.cps {
+		if cp.Version == from {
+			cp.Version = to
+			n++
+		}
+	}
+	return n
+}
+
+// gcLocked applies the Figure 2(c) policy: the newest KeepLatest
+// checkpoints always survive; if the total still exceeds MaxTotal, older
+// checkpoints are thinned by repeatedly deleting the one whose removal
+// leaves the most even spacing (approximated by deleting the checkpoint
+// with the smallest gap to its predecessor).
+func (s *Store) gcLocked() {
+	if s.MaxTotal <= 0 || len(s.cps) <= s.MaxTotal {
+		return
+	}
+	sort.Slice(s.cps, func(i, j int) bool { return s.cps[i].Cycle < s.cps[j].Cycle })
+	for len(s.cps) > s.MaxTotal {
+		limit := len(s.cps) - s.KeepLatest // only indexes < limit are candidates
+		if limit <= 1 {
+			break
+		}
+		// Find the candidate (never the very first checkpoint: keeping the
+		// oldest anchor preserves the ability to replay from far back)
+		// whose predecessor gap is smallest.
+		bestIdx, bestGap := -1, uint64(0)
+		for i := 1; i < limit; i++ {
+			gap := s.cps[i].Cycle - s.cps[i-1].Cycle
+			if bestIdx < 0 || gap < bestGap {
+				bestIdx, bestGap = i, gap
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		s.cps = append(s.cps[:bestIdx], s.cps[bestIdx+1:]...)
+		s.Deleted++
+	}
+}
+
+// encodeState serializes a state deterministically. This is the work the
+// paper's forked child performs off the critical path.
+func encodeState(st *sim.State) []byte {
+	size := 16
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		size += 8 + len(n.Path) + len(n.ObjKey) + 8 + 8*len(n.Slots) + 8
+		for _, m := range n.Mems {
+			size += 8 + 8*len(m)
+		}
+	}
+	buf := make([]byte, 0, size)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	putStr := func(s string) {
+		put(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	put(st.Cycle)
+	if st.Finished {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(len(st.Nodes)))
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		putStr(n.Path)
+		putStr(n.ObjKey)
+		put(uint64(len(n.Slots)))
+		for _, v := range n.Slots {
+			put(v)
+		}
+		put(uint64(len(n.Mems)))
+		for _, m := range n.Mems {
+			put(uint64(len(m)))
+			for _, v := range m {
+				put(v)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeState parses the serialized form produced by the background
+// writer.
+func DecodeState(buf []byte) (*sim.State, error) {
+	off := 0
+	need := func(n int) error {
+		if off+n > len(buf) {
+			return fmt.Errorf("checkpoint truncated at offset %d", off)
+		}
+		return nil
+	}
+	get := func() (uint64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v, nil
+	}
+	getStr := func() (string, error) {
+		n, err := get()
+		if err != nil {
+			return "", err
+		}
+		if err := need(int(n)); err != nil {
+			return "", err
+		}
+		s := string(buf[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+
+	st := &sim.State{}
+	cyc, err := get()
+	if err != nil {
+		return nil, err
+	}
+	st.Cycle = cyc
+	fin, err := get()
+	if err != nil {
+		return nil, err
+	}
+	st.Finished = fin != 0
+	nNodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > 1<<24 {
+		return nil, fmt.Errorf("checkpoint corrupt: %d nodes", nNodes)
+	}
+	st.Nodes = make([]sim.NodeState, nNodes)
+	for i := range st.Nodes {
+		n := &st.Nodes[i]
+		if n.Path, err = getStr(); err != nil {
+			return nil, err
+		}
+		if n.ObjKey, err = getStr(); err != nil {
+			return nil, err
+		}
+		nSlots, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if err := need(int(nSlots) * 8); err != nil {
+			return nil, err
+		}
+		if nSlots > 0 {
+			n.Slots = make([]uint64, nSlots)
+			for j := range n.Slots {
+				n.Slots[j] = binary.LittleEndian.Uint64(buf[off:])
+				off += 8
+			}
+		}
+		nMems, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if nMems > 1<<20 {
+			return nil, fmt.Errorf("checkpoint corrupt: %d memories", nMems)
+		}
+		if nMems > 0 {
+			n.Mems = make([][]uint64, nMems)
+		}
+		for mi := 0; mi < int(nMems); mi++ {
+			depth, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if err := need(int(depth) * 8); err != nil {
+				return nil, err
+			}
+			m := make([]uint64, depth)
+			for j := range m {
+				m[j] = binary.LittleEndian.Uint64(buf[off:])
+				off += 8
+			}
+			n.Mems[mi] = m
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,206 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"livesim/internal/sim"
+)
+
+func mkState(cycle uint64) *sim.State {
+	return &sim.State{
+		Cycle: cycle,
+		Nodes: []sim.NodeState{
+			{Path: "top", ObjKey: "m", Slots: []uint64{cycle, cycle * 2}, Mems: [][]uint64{{1, 2, 3}}},
+			{Path: "top.u0", ObjKey: "leaf", Slots: []uint64{cycle + 7}},
+		},
+	}
+}
+
+func TestAddAndSelect(t *testing.T) {
+	s := NewStore()
+	for c := uint64(0); c <= 100_000; c += 10_000 {
+		s.Add(mkState(c), "v1", int(c/10_000))
+	}
+	s.Wait()
+	if s.Len() != 11 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Target 95_000 with 10k lookback: want newest cp <= 85_000.
+	cp := s.Select(95_000, 10_000)
+	if cp == nil || cp.Cycle != 80_000 {
+		t.Fatalf("selected %+v", cp)
+	}
+	// Exact boundary: target 90_000, goal 80_000 -> cp at 80_000.
+	cp = s.Select(90_000, 10_000)
+	if cp == nil || cp.Cycle != 80_000 {
+		t.Fatalf("selected %+v", cp)
+	}
+	// Target smaller than lookback: earliest checkpoint (cycle 0).
+	cp = s.Select(5_000, 10_000)
+	if cp == nil || cp.Cycle != 0 {
+		t.Fatalf("selected %+v", cp)
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	s := NewStore()
+	if cp := s.Select(100, 10); cp != nil {
+		t.Fatalf("want nil, got %+v", cp)
+	}
+}
+
+func TestEncodedRoundTrip(t *testing.T) {
+	s := NewStore()
+	cp := s.Add(mkState(42), "v1", 3)
+	got, err := DecodeState(cp.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cp.State) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, cp.State)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	s := NewStore()
+	cp := s.Add(mkState(1), "v1", 0)
+	enc := cp.Bytes()
+	for _, cut := range []int{0, 1, 8, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeState(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestGCKeepsLatestAndThins(t *testing.T) {
+	s := NewStore()
+	s.KeepLatest = 10
+	s.MaxTotal = 20
+	for c := uint64(0); c < 100; c++ {
+		s.Add(mkState(c*1000), "v1", int(c))
+	}
+	s.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("len %d want 20", s.Len())
+	}
+	all := s.All()
+	// The 10 newest must be intact (cycles 90k..99k).
+	newest := all[len(all)-10:]
+	for i, cp := range newest {
+		want := uint64(90+i) * 1000
+		if cp.Cycle != want {
+			t.Errorf("newest[%d] cycle %d want %d", i, cp.Cycle, want)
+		}
+	}
+	// The oldest anchor must survive.
+	if all[0].Cycle != 0 {
+		t.Errorf("oldest %d want 0", all[0].Cycle)
+	}
+	// The 10 older survivors should be roughly evenly spread over 0..89k:
+	// max gap should not exceed ~3x the ideal spacing.
+	older := all[:len(all)-10]
+	ideal := uint64(89_000) / uint64(len(older))
+	for i := 1; i < len(older); i++ {
+		gap := older[i].Cycle - older[i-1].Cycle
+		if gap > 3*ideal+1000 {
+			t.Errorf("gap %d too large (ideal %d): %v", gap, ideal, cycles(older))
+		}
+	}
+	if s.Deleted != 80 {
+		t.Errorf("deleted %d", s.Deleted)
+	}
+}
+
+func cycles(cps []*Checkpoint) []uint64 {
+	out := make([]uint64, len(cps))
+	for i, cp := range cps {
+		out[i] = cp.Cycle
+	}
+	return out
+}
+
+func TestBefore(t *testing.T) {
+	s := NewStore()
+	for _, c := range []uint64{500, 100, 300, 900} {
+		s.Add(mkState(c), "v1", 0)
+	}
+	got := cycles(s.Before(600))
+	want := []uint64{100, 300, 500}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestVersionOps(t *testing.T) {
+	s := NewStore()
+	s.Add(mkState(1), "v1", 0)
+	s.Add(mkState(2), "v1", 0)
+	s.Add(mkState(3), "v2", 0)
+	if n := s.RelabelVersion("v1", "v3"); n != 2 {
+		t.Errorf("relabel %d", n)
+	}
+	if n := s.DropOtherVersions("v3"); n != 1 {
+		t.Errorf("dropped %d", n)
+	}
+	if s.Len() != 2 {
+		t.Errorf("len %d", s.Len())
+	}
+}
+
+func TestIDsMonotonic(t *testing.T) {
+	s := NewStore()
+	a := s.Add(mkState(1), "v1", 0)
+	b := s.Add(mkState(2), "v1", 1)
+	if b.ID != a.ID+1 {
+		t.Errorf("ids %d %d", a.ID, b.ID)
+	}
+	if a.HistoryPos != 0 || b.HistoryPos != 1 {
+		t.Errorf("history pos %d %d", a.HistoryPos, b.HistoryPos)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary small states.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(cycle uint64, slots []uint64, mem []uint64, finished bool) bool {
+		if len(slots) > 64 {
+			slots = slots[:64]
+		}
+		if len(mem) > 64 {
+			mem = mem[:64]
+		}
+		st := &sim.State{
+			Cycle:    cycle,
+			Finished: finished,
+			Nodes: []sim.NodeState{
+				{Path: "top", ObjKey: "k", Slots: slots, Mems: [][]uint64{mem}},
+			},
+		}
+		got, err := DecodeState(encodeState(st))
+		if err != nil {
+			return false
+		}
+		if got.Cycle != cycle || got.Finished != finished || len(got.Nodes) != 1 {
+			return false
+		}
+		n := got.Nodes[0]
+		if len(n.Slots) != len(slots) || len(n.Mems[0]) != len(mem) {
+			return false
+		}
+		for i := range slots {
+			if n.Slots[i] != slots[i] {
+				return false
+			}
+		}
+		for i := range mem {
+			if n.Mems[0][i] != mem[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,502 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"livesim/internal/hdl/ast"
+	"livesim/internal/hdl/elab"
+	"livesim/internal/vm"
+)
+
+// initMarker prefixes symbolic references to a comb target's pre-block
+// value. Any such reference surviving conversion means the block fails to
+// assign the target on some path — a latch, which LiveHDL rejects.
+const initMarker = "\x00init:"
+
+// ---------------------------------------------------------------- LHS
+
+// lhsTargets returns the base signal names assigned by an LHS form.
+func lhsTargets(lhs ast.Expr) ([]string, error) {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		return []string{x.Name}, nil
+	case *ast.Index:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return nil, fmt.Errorf("unsupported assignment target %T", x.X)
+		}
+		return []string{id.Name}, nil
+	case *ast.PartSelect:
+		id, ok := x.X.(*ast.Ident)
+		if !ok {
+			return nil, fmt.Errorf("unsupported assignment target %T", x.X)
+		}
+		return []string{id.Name}, nil
+	case *ast.Concat:
+		var names []string
+		for _, p := range x.Parts {
+			id, ok := p.(*ast.Ident)
+			if !ok {
+				return nil, fmt.Errorf("concatenation targets must be plain signals, got %T", p)
+			}
+			names = append(names, id.Name)
+		}
+		return names, nil
+	default:
+		return nil, fmt.Errorf("unsupported assignment target %T", lhs)
+	}
+}
+
+// stmtTargets returns the deduplicated set of signals assigned anywhere in
+// a statement tree.
+func stmtTargets(s ast.Stmt) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(ast.Stmt) error
+	walk = func(s ast.Stmt) error {
+		switch x := s.(type) {
+		case nil:
+			return nil
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				if err := walk(st); err != nil {
+					return err
+				}
+			}
+		case *ast.If:
+			if err := walk(x.Then); err != nil {
+				return err
+			}
+			return walk(x.Else)
+		case *ast.Case:
+			for _, it := range x.Items {
+				if err := walk(it.Body); err != nil {
+					return err
+				}
+			}
+		case *ast.Assign:
+			names, err := lhsTargets(x.LHS)
+			if err != nil {
+				return err
+			}
+			for _, n := range names {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		case *ast.SysCall:
+			return nil
+		default:
+			return fmt.Errorf("unsupported statement %T", s)
+		}
+		return nil
+	}
+	if err := walk(s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- symbolic
+
+// symEnv maps target signals to their symbolic value so far.
+type symEnv map[string]ast.Expr
+
+func (env symEnv) clone() symEnv {
+	c := make(symEnv, len(env))
+	for k, v := range env {
+		c[k] = v
+	}
+	return c
+}
+
+// read returns the current symbolic value of name: the accumulated value
+// if assigned, otherwise the initial-value marker (comb) or the register's
+// pre-edge value (seq).
+func (c *compiler) symRead(env symEnv, name string, comb bool) ast.Expr {
+	if v, ok := env[name]; ok {
+		return v
+	}
+	if comb {
+		return &ast.Ident{Name: initMarker + name}
+	}
+	return &ast.Ident{Name: name}
+}
+
+// symConvert symbolically executes a statement tree. comb selects latch
+// semantics. Returns ordered target names.
+//
+// For comb blocks this implements the classic procedural-to-dataflow
+// conversion; for seq blocks it builds each register's next-value
+// expression with non-blocking semantics (all RHS reads see pre-edge
+// values).
+func (c *compiler) symConvert(body ast.Stmt, comb bool) (env symEnv, order []string, err error) {
+	env = make(symEnv)
+	var orderSeen = map[string]bool{}
+	record := func(name string) {
+		if !orderSeen[name] {
+			orderSeen[name] = true
+			order = append(order, name)
+		}
+	}
+
+	var walk func(s ast.Stmt, env symEnv) error
+	walk = func(s ast.Stmt, env symEnv) error {
+		switch x := s.(type) {
+		case nil:
+			return nil
+		case *ast.Block:
+			for _, st := range x.Stmts {
+				if err := walk(st, env); err != nil {
+					return err
+				}
+			}
+			return nil
+
+		case *ast.If:
+			thenEnv := env.clone()
+			elseEnv := env.clone()
+			if err := walk(x.Then, thenEnv); err != nil {
+				return err
+			}
+			if err := walk(x.Else, elseEnv); err != nil {
+				return err
+			}
+			merge(env, thenEnv, elseEnv, x.Cond, c, comb, record)
+			return nil
+
+		case *ast.Case:
+			// Desugar to an if/else chain, preserving arm order.
+			return walk(c.desugarCase(x), env)
+
+		case *ast.Assign:
+			if comb && x.NonBlocking {
+				return fmt.Errorf("non-blocking assignment in combinational block")
+			}
+			if !comb && !x.NonBlocking {
+				return fmt.Errorf("blocking assignment in clocked block (use <=)")
+			}
+			return c.symAssign(env, x, comb, record)
+
+		case *ast.SysCall:
+			if comb {
+				return fmt.Errorf("%s not allowed in combinational block", x.Name)
+			}
+			// Effects in seq blocks are handled by the direct emitter;
+			// in symbolic (mux) mode they are collected separately.
+			return nil
+
+		default:
+			return fmt.Errorf("unsupported statement %T", s)
+		}
+	}
+	if err := walk(body, env); err != nil {
+		return nil, nil, err
+	}
+	return env, order, nil
+}
+
+// merge folds the branch environments back into env using ternaries.
+func merge(env, thenEnv, elseEnv symEnv, cond ast.Expr, c *compiler, comb bool, record func(string)) {
+	names := map[string]bool{}
+	for n := range thenEnv {
+		names[n] = true
+	}
+	for n := range elseEnv {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		tv, tok := thenEnv[n]
+		ev, eok := elseEnv[n]
+		base, bok := env[n]
+		if !tok {
+			if bok {
+				tv = base
+			} else {
+				tv = c.symRead(env, n, comb)
+			}
+		}
+		if !eok {
+			if bok {
+				ev = base
+			} else {
+				ev = c.symRead(env, n, comb)
+			}
+		}
+		if tok || eok {
+			record(n)
+			env[n] = &ast.Ternary{Cond: cond, Then: tv, Else: ev}
+		}
+	}
+}
+
+// symAssign applies one assignment to the environment.
+func (c *compiler) symAssign(env symEnv, a *ast.Assign, comb bool, record func(string)) error {
+	rhs := a.RHS
+	if comb {
+		// Blocking semantics: substitute previously assigned targets.
+		rhs = c.substitute(rhs, env)
+	}
+	switch lhs := a.LHS.(type) {
+	case *ast.Ident:
+		record(lhs.Name)
+		env[lhs.Name] = rhs
+		return nil
+
+	case *ast.Index:
+		id, ok := lhs.X.(*ast.Ident)
+		if !ok {
+			return fmt.Errorf("unsupported assignment target %T", lhs.X)
+		}
+		if s := c.sig(id.Name); s != nil && s.Kind == elab.Memory {
+			if comb {
+				return fmt.Errorf("memory %q written in combinational block", id.Name)
+			}
+			// Sequential memory writes are effects, emitted by the direct
+			// pass with branch guards; nothing to track symbolically.
+			return nil
+		}
+		record(id.Name)
+		idx := lhs.Index
+		if comb {
+			idx = c.substitute(idx, env)
+		}
+		old := c.symRead(env, id.Name, comb)
+		// old & ~(1<<idx) | ((rhs&1) << idx). The 64-bit literals keep the
+		// sub-expressions wide enough that the shift is not truncated by
+		// self-determined width rules.
+		one := &ast.Number{Value: 1, Width: 64}
+		maskBit := &ast.Binary{Op: ast.Shl, X: one, Y: idx}
+		cleared := &ast.Binary{Op: ast.And, X: old, Y: &ast.Unary{Op: ast.BitNot, X: maskBit}}
+		bit := &ast.Binary{Op: ast.And, X: rhs, Y: one}
+		set := &ast.Binary{Op: ast.Shl, X: bit, Y: idx}
+		env[id.Name] = &ast.Binary{Op: ast.Or, X: cleared, Y: set}
+		return nil
+
+	case *ast.PartSelect:
+		id := lhs.X.(*ast.Ident)
+		record(id.Name)
+		msb, err := elab.EvalConst(lhs.MSB, c.m.Consts)
+		if err != nil {
+			return fmt.Errorf("part-select bounds must be constant: %w", err)
+		}
+		lsb, err := elab.EvalConst(lhs.LSB, c.m.Consts)
+		if err != nil {
+			return fmt.Errorf("part-select bounds must be constant: %w", err)
+		}
+		if msb < lsb || msb >= 64 {
+			return fmt.Errorf("bad part select [%d:%d]", msb, lsb)
+		}
+		w := msb - lsb + 1
+		old := c.symRead(env, id.Name, comb)
+		fieldMask := vm.Mask(int(w)) << lsb
+		cleared := &ast.Binary{Op: ast.And, X: old, Y: &ast.Number{Value: ^fieldMask, Width: 64}}
+		field := &ast.Binary{Op: ast.And, X: rhs, Y: &ast.Number{Value: vm.Mask(int(w)), Width: 64}}
+		placed := &ast.Binary{Op: ast.Shl, X: field, Y: &ast.Number{Value: lsb, Width: 64}}
+		env[id.Name] = &ast.Binary{Op: ast.Or, X: cleared, Y: placed}
+		return nil
+
+	case *ast.Concat:
+		// {a, b} = rhs: split MSB-first.
+		widths := make([]int, len(lhs.Parts))
+		total := 0
+		for i, p := range lhs.Parts {
+			id, ok := p.(*ast.Ident)
+			if !ok {
+				return fmt.Errorf("concatenation targets must be plain signals")
+			}
+			s := c.sig(id.Name)
+			if s == nil {
+				return fmt.Errorf("unknown signal %q", id.Name)
+			}
+			widths[i] = s.Width
+			total += s.Width
+		}
+		off := total
+		for i, p := range lhs.Parts {
+			id := p.(*ast.Ident)
+			off -= widths[i]
+			record(id.Name)
+			env[id.Name] = &ast.PartSelect{
+				X:   rhs,
+				MSB: &ast.Number{Value: uint64(off + widths[i] - 1), Width: 64},
+				LSB: &ast.Number{Value: uint64(off), Width: 64},
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported assignment target %T", a.LHS)
+}
+
+// substitute rewrites reads of assigned targets with their symbolic values
+// (blocking-assignment semantics in comb blocks).
+func (c *compiler) substitute(e ast.Expr, env symEnv) ast.Expr {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v
+		}
+		return x
+	case *ast.Number:
+		return x
+	case *ast.Unary:
+		return &ast.Unary{Op: x.Op, X: c.substitute(x.X, env), Pos: x.Pos}
+	case *ast.Binary:
+		return &ast.Binary{Op: x.Op, X: c.substitute(x.X, env), Y: c.substitute(x.Y, env), Pos: x.Pos}
+	case *ast.Ternary:
+		return &ast.Ternary{Cond: c.substitute(x.Cond, env), Then: c.substitute(x.Then, env), Else: c.substitute(x.Else, env)}
+	case *ast.Index:
+		return &ast.Index{X: c.substitute(x.X, env), Index: c.substitute(x.Index, env), Pos: x.Pos}
+	case *ast.PartSelect:
+		return &ast.PartSelect{X: c.substitute(x.X, env), MSB: x.MSB, LSB: x.LSB, Pos: x.Pos}
+	case *ast.Concat:
+		parts := make([]ast.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = c.substitute(p, env)
+		}
+		return &ast.Concat{Parts: parts, Pos: x.Pos}
+	case *ast.Repl:
+		return &ast.Repl{Count: x.Count, Value: c.substitute(x.Value, env), Pos: x.Pos}
+	case *ast.SysFunc:
+		args := make([]ast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = c.substitute(a, env)
+		}
+		return &ast.SysFunc{Name: x.Name, Args: args, Pos: x.Pos}
+	default:
+		return x
+	}
+}
+
+// desugarCase turns a case/casez into an if/else chain. casez items whose
+// literal labels carry x/z/? bits compare under a mask.
+func (c *compiler) desugarCase(cs *ast.Case) ast.Stmt {
+	var dflt ast.Stmt
+	var arms []ast.CaseItem
+	for _, it := range cs.Items {
+		if it.Exprs == nil {
+			dflt = it.Body
+			continue
+		}
+		arms = append(arms, it)
+	}
+	result := dflt
+	for i := len(arms) - 1; i >= 0; i-- {
+		it := arms[i]
+		var cond ast.Expr
+		for _, label := range it.Exprs {
+			var cmp ast.Expr
+			if num, ok := label.(*ast.Number); ok && cs.Casez && num.XMask != 0 {
+				careMask := vm.Mask(num.Width) &^ num.XMask
+				masked := &ast.Binary{Op: ast.And, X: cs.Subject, Y: &ast.Number{Value: careMask, Width: 64}}
+				cmp = &ast.Binary{Op: ast.Eq, X: masked, Y: &ast.Number{Value: num.Value & careMask, Width: 64}}
+			} else {
+				cmp = &ast.Binary{Op: ast.Eq, X: cs.Subject, Y: label}
+			}
+			if cond == nil {
+				cond = cmp
+			} else {
+				cond = &ast.Binary{Op: ast.LogOr, X: cond, Y: cmp}
+			}
+		}
+		result = &ast.If{Cond: cond, Then: it.Body, Else: result, Pos: cs.Pos}
+	}
+	if result == nil {
+		result = &ast.Block{}
+	}
+	return result
+}
+
+// freeVars collects the signal names an expression reads.
+func (c *compiler) freeVars(e ast.Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.Ident:
+		if strings.HasPrefix(x.Name, initMarker) {
+			out[strings.TrimPrefix(x.Name, initMarker)] = true
+			return
+		}
+		if _, isConst := c.m.Consts[x.Name]; isConst {
+			return
+		}
+		if c.sig(x.Name) != nil {
+			out[x.Name] = true
+		}
+	case *ast.Number:
+	case *ast.Unary:
+		c.freeVars(x.X, out)
+	case *ast.Binary:
+		c.freeVars(x.X, out)
+		c.freeVars(x.Y, out)
+	case *ast.Ternary:
+		c.freeVars(x.Cond, out)
+		c.freeVars(x.Then, out)
+		c.freeVars(x.Else, out)
+	case *ast.Index:
+		c.freeVars(x.X, out)
+		c.freeVars(x.Index, out)
+	case *ast.PartSelect:
+		c.freeVars(x.X, out)
+	case *ast.Concat:
+		for _, p := range x.Parts {
+			c.freeVars(p, out)
+		}
+	case *ast.Repl:
+		c.freeVars(x.Value, out)
+	case *ast.SysFunc:
+		for _, a := range x.Args {
+			c.freeVars(a, out)
+		}
+	}
+}
+
+// hasInitMarker reports whether e still references a pre-block value.
+func hasInitMarker(e ast.Expr) string {
+	found := ""
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		if found != "" || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *ast.Ident:
+			if strings.HasPrefix(x.Name, initMarker) {
+				found = strings.TrimPrefix(x.Name, initMarker)
+			}
+		case *ast.Unary:
+			walk(x.X)
+		case *ast.Binary:
+			walk(x.X)
+			walk(x.Y)
+		case *ast.Ternary:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *ast.Index:
+			walk(x.X)
+			walk(x.Index)
+		case *ast.PartSelect:
+			walk(x.X)
+		case *ast.Concat:
+			for _, p := range x.Parts {
+				walk(p)
+			}
+		case *ast.Repl:
+			walk(x.Value)
+		case *ast.SysFunc:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return found
+}

@@ -1,0 +1,587 @@
+// Package core is the paper's primary contribution: the LiveSim
+// environment itself. A Session owns the Object Library Table (Table II),
+// the Pipeline Table (Table III) and the Stage Table (Table IV), speaks
+// the command vocabulary of Table I (ldLib, instPipe, instStage, copyPipe,
+// run, chkp, ldch, swapStage), journals the operation history, takes
+// checkpoints at regular intervals, and drives the live
+// edit-run-debug loop: incremental compile → hot reload → checkpoint
+// restore → fast re-execution → background consistency verification.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"livesim/internal/checkpoint"
+	"livesim/internal/codegen"
+	"livesim/internal/livecompiler"
+	"livesim/internal/liveparser"
+	"livesim/internal/sim"
+	"livesim/internal/vm"
+	"livesim/internal/xform"
+)
+
+// Testbench drives a pipe. Implementations must be deterministic,
+// resumable (Run(d, a) followed by Run(d, b) must equal Run(d, a+b)) and
+// snapshotable, so that checkpointed sessions replay exactly.
+type Testbench interface {
+	// Run advances the pipe by up to the given number of cycles.
+	Run(d *Driver, cycles int) error
+	// Snapshot captures the testbench's internal state.
+	Snapshot() []byte
+	// Restore loads a snapshot taken from the same testbench type.
+	Restore(data []byte) error
+}
+
+// TestbenchFactory creates a fresh testbench instance in its power-on
+// state. Fresh instances back parallel verification replays.
+type TestbenchFactory func() Testbench
+
+// Driver is the face a testbench sees of a pipe.
+type Driver struct {
+	s *sim.Sim
+}
+
+// SetIn drives a root input port.
+func (d *Driver) SetIn(port string, v uint64) error { return d.s.SetIn(port, v) }
+
+// Out reads a root port.
+func (d *Driver) Out(port string) (uint64, error) { return d.s.Out(port) }
+
+// Tick advances the clock.
+func (d *Driver) Tick(n int) error { return d.s.Tick(n) }
+
+// Settle runs the combinational fixed point without a clock edge.
+func (d *Driver) Settle() error { return d.s.Settle() }
+
+// Cycle returns the current cycle.
+func (d *Driver) Cycle() uint64 { return d.s.Cycle() }
+
+// Finished reports whether the design executed $finish.
+func (d *Driver) Finished() bool { return d.s.Finished() }
+
+// Peek reads a hierarchical signal.
+func (d *Driver) Peek(path string) (uint64, error) { return d.s.Peek(path) }
+
+// Poke writes a hierarchical signal.
+func (d *Driver) Poke(path string, v uint64) error { return d.s.Poke(path, v) }
+
+// PeekMem reads a memory word.
+func (d *Driver) PeekMem(path string, addr uint64) (uint64, error) { return d.s.PeekMem(path, addr) }
+
+// PokeMem writes a memory word.
+func (d *Driver) PokeMem(path string, addr, v uint64) error { return d.s.PokeMem(path, addr, v) }
+
+// RunOp is one journaled run command (the session history of Sec. III-B:
+// "such changes are viewed by LiveSim as operations on the UUT, whose
+// history is tracked ... allowing those same operations to be applied
+// again, should the design be updated").
+type RunOp struct {
+	TB     string
+	Cycles int
+	// StartCycle is the pipe cycle when the op began.
+	StartCycle uint64
+}
+
+// LibEntry is one row of the Object Library Table (Table II).
+type LibEntry struct {
+	Handle     string // e.g. "stage0", "tb0"
+	Type       string // "Pipe", "Stage" or "Testbench"
+	CodePath   string // source location
+	ObjectPath string // specialization key (the "libc0.so#core" analogue)
+}
+
+// StageRow is one row of the Stage Table (Table IV).
+type StageRow struct {
+	PipeName  string
+	StageName string // hierarchical instance path
+	Handle    string // object key
+	Pointer   string // instance identity
+}
+
+// PipeRow is one row of the Pipeline Table (Table III).
+type PipeRow struct {
+	Name    string
+	Handle  string
+	Pointer string
+}
+
+// Pipe is one instantiated UUT with its session state.
+type Pipe struct {
+	Name        string
+	TopKey      string
+	Sim         *sim.Sim
+	Version     string
+	Checkpoints *checkpoint.Store
+	History     []RunOp
+
+	tbs map[string]Testbench // live testbench instances by handle
+
+	lastCheckpoint uint64
+}
+
+// Config tunes a Session.
+type Config struct {
+	// Style selects the codegen style (grouped = LiveSim's, mux =
+	// baseline-like). Defaults to grouped.
+	Style codegen.Style
+	// CheckpointEvery is the checkpoint interval in cycles (Figure 2(a));
+	// 0 disables automatic checkpoints.
+	CheckpointEvery uint64
+	// Lookback is the reload distance of Section III-D (default 10_000).
+	Lookback uint64
+	// Overrides rebinds top-level parameters.
+	Overrides map[string]uint64
+	// ObjectDir, when set, persists compiled objects to disk (.lso files)
+	// so later sessions reuse them — the file-system half of Table II's
+	// Object Library.
+	ObjectDir string
+	// Output receives $display text.
+	Output io.Writer
+	// VerifyWorkers sizes the background consistency pool (0 = NumCPU).
+	VerifyWorkers int
+}
+
+// Session is the LiveSim environment.
+type Session struct {
+	mu sync.Mutex
+
+	cfg      Config
+	top      string
+	compiler *livecompiler.Compiler
+	source   liveparser.Source
+
+	// objects is the live Object Library; versionObjects retains the
+	// object tables of past versions for checkpoint transformation.
+	objects        map[string]*vm.Object
+	topKey         string
+	version        string
+	versionSeq     int
+	versions       *VersionGraph
+	versionObjects map[string]map[string]*vm.Object
+
+	pipes     map[string]*Pipe
+	pipeOrder []string
+	tbFactory map[string]TestbenchFactory
+
+	verifyWG sync.WaitGroup
+}
+
+// NewSession creates an empty session for the given top module.
+func NewSession(top string, cfg Config) *Session {
+	if cfg.Lookback == 0 {
+		cfg.Lookback = 10_000
+	}
+	comp := livecompiler.New(top, cfg.Style, cfg.Overrides)
+	if cfg.ObjectDir != "" {
+		comp.SetObjectDir(cfg.ObjectDir)
+	}
+	return &Session{
+		cfg:            cfg,
+		top:            top,
+		compiler:       comp,
+		pipes:          make(map[string]*Pipe),
+		tbFactory:      make(map[string]TestbenchFactory),
+		versionObjects: make(map[string]map[string]*vm.Object),
+	}
+}
+
+// LoadDesign performs the initial full build (the session's ldLib for the
+// design's shared libraries).
+func (s *Session) LoadDesign(src liveparser.Source) (*livecompiler.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.compiler.Build(src)
+	if err != nil {
+		return nil, err
+	}
+	s.source = src
+	s.objects = res.Objects
+	s.topKey = res.TopKey
+	s.version = "v0"
+	s.versions = NewVersionGraph("v0")
+	s.versionObjects["v0"] = res.Objects
+	return res, nil
+}
+
+// RegisterTestbench adds a testbench to the object library (the tb0 rows
+// of Table II).
+func (s *Session) RegisterTestbench(handle string, f TestbenchFactory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tbFactory[handle] = f
+}
+
+// Library returns the Object Library Table (Table II).
+func (s *Session) Library() []LibEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []LibEntry
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		obj := s.objects[k]
+		typ := "Stage"
+		if k == s.topKey {
+			typ = "Pipe"
+		}
+		rows = append(rows, LibEntry{
+			Handle:     fmt.Sprintf("stage%d", i),
+			Type:       typ,
+			CodePath:   obj.SrcPath,
+			ObjectPath: k,
+		})
+	}
+	tbs := make([]string, 0, len(s.tbFactory))
+	for h := range s.tbFactory {
+		tbs = append(tbs, h)
+	}
+	sort.Strings(tbs)
+	for _, h := range tbs {
+		rows = append(rows, LibEntry{Handle: h, Type: "Testbench", CodePath: "(go)", ObjectPath: h})
+	}
+	return rows
+}
+
+// InstPipe instantiates a pipe from the top-level object (Table I).
+func (s *Session) InstPipe(name string) (*Pipe, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.objects == nil {
+		return nil, fmt.Errorf("no design loaded")
+	}
+	if _, dup := s.pipes[name]; dup {
+		return nil, fmt.Errorf("pipe %q already exists", name)
+	}
+	var opts []sim.Option
+	if s.cfg.Output != nil {
+		opts = append(opts, sim.WithOutput(s.cfg.Output))
+	}
+	sm, err := sim.New(s.resolverLocked(), s.topKey, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipe{
+		Name:        name,
+		TopKey:      s.topKey,
+		Sim:         sm,
+		Version:     s.version,
+		Checkpoints: checkpoint.NewStore(),
+		tbs:         make(map[string]Testbench),
+	}
+	s.pipes[name] = p
+	s.pipeOrder = append(s.pipeOrder, name)
+	return p, nil
+}
+
+// CopyPipe clones a pipe including its state (Table I copyPipe).
+func (s *Session) CopyPipe(newName, oldName string) (*Pipe, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.pipes[oldName]
+	if !ok {
+		return nil, fmt.Errorf("no pipe %q", oldName)
+	}
+	if _, dup := s.pipes[newName]; dup {
+		return nil, fmt.Errorf("pipe %q already exists", newName)
+	}
+	var opts []sim.Option
+	if s.cfg.Output != nil {
+		opts = append(opts, sim.WithOutput(s.cfg.Output))
+	}
+	sm, err := sim.New(s.resolverForVersionLocked(old.Version), old.TopKey, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sm.Restore(old.Sim.Snapshot()); err != nil {
+		return nil, err
+	}
+	p := &Pipe{
+		Name:        newName,
+		TopKey:      old.TopKey,
+		Sim:         sm,
+		Version:     old.Version,
+		Checkpoints: checkpoint.NewStore(),
+		History:     append([]RunOp(nil), old.History...),
+		tbs:         make(map[string]Testbench),
+	}
+	for h, tb := range old.tbs {
+		f, ok := s.tbFactory[h]
+		if !ok {
+			return nil, fmt.Errorf("testbench %q not registered", h)
+		}
+		nt := f()
+		if err := nt.Restore(tb.Snapshot()); err != nil {
+			return nil, err
+		}
+		p.tbs[h] = nt
+	}
+	s.pipes[newName] = p
+	s.pipeOrder = append(s.pipeOrder, newName)
+	return p, nil
+}
+
+// Pipe returns a pipe by name.
+func (s *Session) Pipe(name string) (*Pipe, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[name]
+	return p, ok
+}
+
+// Pipes returns the Pipeline Table (Table III).
+func (s *Session) Pipes() []PipeRow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []PipeRow
+	for _, name := range s.pipeOrder {
+		p := s.pipes[name]
+		rows = append(rows, PipeRow{
+			Name:    name,
+			Handle:  p.TopKey,
+			Pointer: fmt.Sprintf("%p", p.Sim),
+		})
+	}
+	return rows
+}
+
+// Stages returns the Stage Table (Table IV) for one pipe.
+func (s *Session) Stages(pipeName string) ([]StageRow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		return nil, fmt.Errorf("no pipe %q", pipeName)
+	}
+	var rows []StageRow
+	for _, n := range p.Sim.Nodes() {
+		rows = append(rows, StageRow{
+			PipeName:  pipeName,
+			StageName: n.Path,
+			Handle:    n.Obj.Key,
+			Pointer:   fmt.Sprintf("%p", n.Inst),
+		})
+	}
+	return rows, nil
+}
+
+// Run executes a testbench on a pipe for the given number of cycles
+// (Table I run), journaling the operation and taking checkpoints at the
+// configured interval.
+func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
+	// Serialize with background verification refinement.
+	s.verifyWG.Wait()
+
+	s.mu.Lock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("no pipe %q", pipeName)
+	}
+	f, ok := s.tbFactory[tbHandle]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("no testbench %q", tbHandle)
+	}
+	tb, live := p.tbs[tbHandle]
+	if !live {
+		tb = f()
+		p.tbs[tbHandle] = tb
+	}
+	p.History = append(p.History, RunOp{TB: tbHandle, Cycles: cycles, StartCycle: p.Sim.Cycle()})
+	s.mu.Unlock()
+
+	return s.runChunked(p, tb, cycles)
+}
+
+// runChunked advances the testbench, pausing at checkpoint boundaries.
+func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
+	d := &Driver{s: p.Sim}
+	every := s.cfg.CheckpointEvery
+	if p.Checkpoints.Len() == 0 && every > 0 {
+		s.takeCheckpoint(p)
+	}
+	remaining := cycles
+	for remaining > 0 && !p.Sim.Finished() {
+		chunk := remaining
+		if every > 0 {
+			untilNext := int(every - (p.Sim.Cycle() - p.lastCheckpoint))
+			if untilNext <= 0 {
+				untilNext = int(every)
+			}
+			if untilNext < chunk {
+				chunk = untilNext
+			}
+		}
+		before := p.Sim.Cycle()
+		if err := tb.Run(d, chunk); err != nil {
+			return err
+		}
+		advanced := int(p.Sim.Cycle() - before)
+		if advanced <= 0 {
+			return fmt.Errorf("testbench did not advance the simulation")
+		}
+		remaining -= advanced
+		if every > 0 && p.Sim.Cycle()-p.lastCheckpoint >= every {
+			s.takeCheckpoint(p)
+		}
+	}
+	return nil
+}
+
+// takeCheckpoint captures pipe state plus testbench snapshots. Only the
+// state copy happens here; serialization is asynchronous (Figure 2(a)).
+func (s *Session) takeCheckpoint(p *Pipe) *checkpoint.Checkpoint {
+	st := p.Sim.Snapshot()
+	aux := make(map[string][]byte, len(p.tbs))
+	for h, tb := range p.tbs {
+		aux[h] = tb.Snapshot()
+	}
+	cp := p.Checkpoints.Add(st, p.Version, len(p.History))
+	cp.Aux = aux
+	p.lastCheckpoint = st.Cycle
+	return cp
+}
+
+// Checkpoint forces a checkpoint now (Table I chkp without a path).
+func (s *Session) Checkpoint(pipeName string) (*checkpoint.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		return nil, fmt.Errorf("no pipe %q", pipeName)
+	}
+	return s.takeCheckpoint(p), nil
+}
+
+// SaveCheckpoint writes the pipe's current state to a file (Table I chkp).
+func (s *Session) SaveCheckpoint(pipeName, path string) error {
+	s.mu.Lock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("no pipe %q", pipeName)
+	}
+	cp := s.takeCheckpoint(p)
+	s.mu.Unlock()
+	return os.WriteFile(path, cp.Bytes(), 0o644)
+}
+
+// LoadCheckpoint restores a pipe from a checkpoint file (Table I ldch).
+func (s *Session) LoadCheckpoint(pipeName, path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		return fmt.Errorf("no pipe %q", pipeName)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := checkpoint.DecodeState(data)
+	if err != nil {
+		return err
+	}
+	return p.Sim.Restore(st)
+}
+
+// SwapStage hot-swaps one stage object in one pipe (Table I swapStage).
+// Normally ApplyChange drives this; the command is exposed for manual use.
+func (s *Session) SwapStage(pipeName, key string, migrate sim.MigrateFunc) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[pipeName]
+	if !ok {
+		return 0, fmt.Errorf("no pipe %q", pipeName)
+	}
+	return p.Sim.Reload(key, migrate)
+}
+
+// resolverLocked resolves against the live object table.
+func (s *Session) resolverLocked() sim.Resolver {
+	return sim.ResolverFunc(func(key string) (*vm.Object, error) {
+		if o, ok := s.objects[key]; ok {
+			return o, nil
+		}
+		return nil, fmt.Errorf("no object %q in library", key)
+	})
+}
+
+// resolverForVersionLocked resolves against a retained version table.
+func (s *Session) resolverForVersionLocked(version string) sim.Resolver {
+	tbl := s.versionObjects[version]
+	return sim.ResolverFunc(func(key string) (*vm.Object, error) {
+		if o, ok := tbl[key]; ok {
+			return o, nil
+		}
+		return nil, fmt.Errorf("no object %q in version %s", key, version)
+	})
+}
+
+// Version returns the current design version id.
+func (s *Session) Version() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// WaitBackground blocks until background verification work completes.
+func (s *Session) WaitBackground() { s.verifyWG.Wait() }
+
+// TransformOps exposes the version graph (for inspection and the manual
+// edits Section III-E allows).
+func (s *Session) TransformOps() *VersionGraph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions
+}
+
+// PruneVersions drops retained object tables for design versions that no
+// live checkpoint references anymore (the current version is always
+// kept). The transform history itself is kept — it is tiny and the user
+// may want to inspect it — but the per-version object tables are the
+// memory-heavy part. Returns the number of versions pruned. ApplyChange
+// calls this after each background verification completes.
+func (s *Session) PruneVersions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := map[string]bool{s.version: true}
+	for _, p := range s.pipes {
+		live[p.Version] = true
+		for _, cp := range p.Checkpoints.All() {
+			live[cp.Version] = true
+		}
+	}
+	pruned := 0
+	for v := range s.versionObjects {
+		if !live[v] {
+			delete(s.versionObjects, v)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// RetainedVersions reports how many version object tables are held.
+func (s *Session) RetainedVersions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.versionObjects)
+}
+
+func applyOpsToRegs(oldObj *vm.Object, slots []uint64, ops []xform.Op) map[string]uint64 {
+	vals := make(map[string]uint64, len(oldObj.Regs))
+	for _, r := range oldObj.Regs {
+		if int(r.Cur) < len(slots) {
+			vals[r.Name] = slots[r.Cur]
+		}
+	}
+	return xform.ApplyOps(vals, ops)
+}

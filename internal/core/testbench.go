@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// StatelessTB drives the design as a pure function of the absolute cycle
+// number. Because it keeps no internal state, it is trivially resumable
+// and snapshotable — the recommended shape for deterministic testbenches.
+type StatelessTB struct {
+	// OnCycle drives inputs for the given cycle, before the clock edge.
+	OnCycle func(d *Driver, cycle uint64) error
+}
+
+// NewStatelessTB wraps a per-cycle input function as a Testbench factory.
+func NewStatelessTB(onCycle func(d *Driver, cycle uint64) error) TestbenchFactory {
+	return func() Testbench { return &StatelessTB{OnCycle: onCycle} }
+}
+
+// Run drives one cycle at a time.
+func (tb *StatelessTB) Run(d *Driver, cycles int) error {
+	for i := 0; i < cycles && !d.Finished(); i++ {
+		if tb.OnCycle != nil {
+			if err := tb.OnCycle(d, d.Cycle()); err != nil {
+				return err
+			}
+		}
+		if err := d.Tick(1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns nil: there is no internal state.
+func (tb *StatelessTB) Snapshot() []byte { return nil }
+
+// Restore accepts any snapshot (there is nothing to restore).
+func (tb *StatelessTB) Restore([]byte) error { return nil }
+
+// CountingTB is a testbench with internal state (a step counter), useful
+// for exercising snapshot/restore of testbench state across checkpoint
+// reloads.
+type CountingTB struct {
+	Steps uint64
+	// OnStep drives inputs given the internal step counter.
+	OnStep func(d *Driver, step uint64) error
+}
+
+// NewCountingTB wraps a per-step function as a Testbench factory.
+func NewCountingTB(onStep func(d *Driver, step uint64) error) TestbenchFactory {
+	return func() Testbench { return &CountingTB{OnStep: onStep} }
+}
+
+// Run advances one cycle per step.
+func (tb *CountingTB) Run(d *Driver, cycles int) error {
+	for i := 0; i < cycles && !d.Finished(); i++ {
+		if tb.OnStep != nil {
+			if err := tb.OnStep(d, tb.Steps); err != nil {
+				return err
+			}
+		}
+		if err := d.Tick(1); err != nil {
+			return err
+		}
+		tb.Steps++
+	}
+	return nil
+}
+
+// Snapshot captures the step counter.
+func (tb *CountingTB) Snapshot() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], tb.Steps)
+	return b[:]
+}
+
+// Restore loads the step counter.
+func (tb *CountingTB) Restore(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("bad CountingTB snapshot length %d", len(data))
+	}
+	tb.Steps = binary.LittleEndian.Uint64(data)
+	return nil
+}

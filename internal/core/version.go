@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"livesim/internal/xform"
+)
+
+// VersionGraph is the session-wide Register Transform History (Table VI):
+// a tree of design versions, each carrying per-module transform ops that
+// translate the parent version's register state into its own. Branching
+// is supported — checking out an old version and editing from there adds
+// a sibling branch.
+type VersionGraph struct {
+	parents map[string]string
+	ops     map[string]map[string][]xform.Op // version -> module -> ops
+	order   []string
+}
+
+// NewVersionGraph creates a graph rooted at root.
+func NewVersionGraph(root string) *VersionGraph {
+	g := &VersionGraph{
+		parents: make(map[string]string),
+		ops:     make(map[string]map[string][]xform.Op),
+	}
+	g.parents[root] = ""
+	g.ops[root] = nil
+	g.order = append(g.order, root)
+	return g
+}
+
+// Add records a version derived from parent with per-module ops.
+func (g *VersionGraph) Add(id, parent string, ops map[string][]xform.Op) error {
+	if _, dup := g.ops[id]; dup {
+		return fmt.Errorf("version %q already exists", id)
+	}
+	if _, ok := g.ops[parent]; !ok {
+		return fmt.Errorf("parent version %q not found", parent)
+	}
+	g.parents[id] = parent
+	g.ops[id] = ops
+	g.order = append(g.order, id)
+	return nil
+}
+
+// EditOps overrides the ops of one module at one version — the manual
+// correction path the paper describes ("the user can manually edit the
+// Register Transform History if the mapping is incorrect").
+func (g *VersionGraph) EditOps(id, module string, ops []xform.Op) error {
+	m, ok := g.ops[id]
+	if !ok {
+		return fmt.Errorf("version %q not found", id)
+	}
+	if m == nil {
+		m = make(map[string][]xform.Op)
+		g.ops[id] = m
+	}
+	m[module] = ops
+	return nil
+}
+
+// PathOps returns the transform ops for one module along the path from
+// ancestor version `from` to descendant version `to`.
+func (g *VersionGraph) PathOps(module, from, to string) ([]xform.Op, error) {
+	if _, ok := g.ops[from]; !ok {
+		return nil, fmt.Errorf("version %q not found", from)
+	}
+	var chain []string
+	cur := to
+	for {
+		if _, ok := g.ops[cur]; !ok {
+			return nil, fmt.Errorf("version %q not found", cur)
+		}
+		if cur == from {
+			break
+		}
+		chain = append(chain, cur)
+		parent := g.parents[cur]
+		if parent == "" {
+			return nil, fmt.Errorf("version %q is not an ancestor of %q", from, to)
+		}
+		cur = parent
+	}
+	var out []xform.Op
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, g.ops[chain[i]][module]...)
+	}
+	return out, nil
+}
+
+// Versions lists version ids in creation order.
+func (g *VersionGraph) Versions() []string {
+	return append([]string(nil), g.order...)
+}
+
+// Parent returns a version's parent ("" for the root).
+func (g *VersionGraph) Parent(id string) string { return g.parents[id] }
+
+// Describe renders the graph like Table VI of the paper.
+func (g *VersionGraph) Describe() string {
+	out := "Version | Operations | Parent\n"
+	for _, id := range g.order {
+		parent := g.parents[id]
+		if parent == "" {
+			parent = "null"
+		}
+		mods := make([]string, 0, len(g.ops[id]))
+		for m := range g.ops[id] {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+		opsStr := ""
+		for _, m := range mods {
+			for _, op := range g.ops[id][m] {
+				if opsStr != "" {
+					opsStr += "; "
+				}
+				opsStr += m + ": " + op.String()
+			}
+		}
+		if opsStr == "" {
+			opsStr = "-"
+		}
+		out += fmt.Sprintf("%s | %s | %s\n", id, opsStr, parent)
+	}
+	return out
+}

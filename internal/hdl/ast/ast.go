@@ -1,0 +1,338 @@
+// Package ast defines the abstract syntax tree for LiveHDL, the Verilog
+// subset used by this LiveSim reproduction.
+//
+// The tree deliberately keeps source extents on modules: LiveParser splits
+// a file into module regions and diffs them individually, so each Module
+// records the byte range it was parsed from.
+package ast
+
+import "livesim/internal/hdl/token"
+
+// SourceFile is one parsed source unit.
+type SourceFile struct {
+	Name    string
+	Modules []*Module
+}
+
+// Module is one `module ... endmodule` definition.
+type Module struct {
+	Name   string
+	Params []*Param
+	Ports  []*Port
+	Items  []Item
+	Pos    token.Pos // position of the `module` keyword
+	End    token.Pos // position just after `endmodule`
+}
+
+// Param is a module parameter with an optional default.
+type Param struct {
+	Name    string
+	Default Expr
+	Pos     token.Pos
+}
+
+// Dir is a port direction.
+type Dir uint8
+
+// Port directions.
+const (
+	Input Dir = iota
+	Output
+	Inout
+)
+
+func (d Dir) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return "inout"
+	}
+}
+
+// Range is a [MSB:LSB] vector range. A nil *Range means a 1-bit signal.
+type Range struct {
+	MSB, LSB Expr
+}
+
+// Port is one module port.
+type Port struct {
+	Name   string
+	Dir    Dir
+	Range  *Range
+	IsReg  bool
+	Signed bool
+	Pos    token.Pos
+}
+
+// Item is a module-level item.
+type Item interface{ isItem() }
+
+// NetKind distinguishes wire/reg/integer declarations.
+type NetKind uint8
+
+// Net kinds.
+const (
+	Wire NetKind = iota
+	Reg
+	Integer
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case Wire:
+		return "wire"
+	case Reg:
+		return "reg"
+	default:
+		return "integer"
+	}
+}
+
+// NetDecl declares wires, regs, integers and memories.
+type NetDecl struct {
+	Kind   NetKind
+	Name   string
+	Range  *Range // element width; nil = 1 bit (integer implies [31:0])
+	Array  *Range // non-nil for memories: reg [7:0] m [0:255]
+	Signed bool
+	Init   Expr // wire w = expr; sugar for a continuous assign
+	Pos    token.Pos
+}
+
+// LocalParam is a localparam declaration.
+type LocalParam struct {
+	Name  string
+	Value Expr
+	Pos   token.Pos
+}
+
+// ContAssign is a continuous assignment: assign lhs = rhs;
+type ContAssign struct {
+	LHS Expr
+	RHS Expr
+	Pos token.Pos
+}
+
+// EdgeKind describes an always block's sensitivity.
+type EdgeKind uint8
+
+// Sensitivity kinds.
+const (
+	Comb    EdgeKind = iota // always @(*) or always @*
+	Posedge                 // always @(posedge clk)
+	Negedge                 // always @(negedge clk)
+)
+
+// AlwaysBlock is an always process.
+type AlwaysBlock struct {
+	Edge  EdgeKind
+	Clock string // sensitivity signal for Posedge/Negedge
+	Body  Stmt
+	Pos   token.Pos
+}
+
+// NamedConn is a named binding (.name(expr)) or positional (Name == "").
+type NamedConn struct {
+	Name string
+	Expr Expr // nil for explicitly unconnected .name()
+	Pos  token.Pos
+}
+
+// Instance instantiates a child module.
+type Instance struct {
+	ModName string
+	Name    string
+	Params  []NamedConn
+	Conns   []NamedConn
+	Pos     token.Pos
+}
+
+func (*NetDecl) isItem()     {}
+func (*LocalParam) isItem()  {}
+func (*ContAssign) isItem()  {}
+func (*AlwaysBlock) isItem() {}
+func (*Instance) isItem()    {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ isStmt() }
+
+// Block is a begin...end statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   token.Pos
+}
+
+// If is a procedural if/else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  token.Pos
+}
+
+// CaseItem is one arm of a case statement; Exprs == nil means default.
+type CaseItem struct {
+	Exprs []Expr
+	Body  Stmt
+}
+
+// Case is a case/casez statement.
+type Case struct {
+	Subject Expr
+	Items   []CaseItem
+	Casez   bool
+	Pos     token.Pos
+}
+
+// Assign is a procedural assignment, blocking (=) or non-blocking (<=).
+type Assign struct {
+	LHS         Expr
+	RHS         Expr
+	NonBlocking bool
+	Pos         token.Pos
+}
+
+// SysCall is a system task statement such as $display or $finish.
+type SysCall struct {
+	Name string
+	Args []Expr
+	Pos  token.Pos
+}
+
+func (*Block) isStmt()   {}
+func (*If) isStmt()      {}
+func (*Case) isStmt()    {}
+func (*Assign) isStmt()  {}
+func (*SysCall) isStmt() {}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// Ident is a name reference.
+type Ident struct {
+	Name string
+	Pos  token.Pos
+}
+
+// Number is a literal. Width 0 means unsized (32-bit by Verilog rules, but
+// context-extended at lowering). XMask marks bits written as x/z/? in the
+// literal; casez comparison ignores those bits.
+type Number struct {
+	Value  uint64
+	Width  int
+	Signed bool
+	XMask  uint64
+	Pos    token.Pos
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	Neg     UnaryOp = iota // -
+	LogNot                 // !
+	BitNot                 // ~
+	RedAnd                 // &
+	RedOr                  // |
+	RedXor                 // ^
+	RedNand                // ~&
+	RedNor                 // ~|
+	RedXnor                // ~^
+	Plus                   // +
+)
+
+// Unary is a unary expression.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos token.Pos
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	Add BinaryOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	And
+	Or
+	Xor
+	Xnor
+	LogAnd
+	LogOr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Shl
+	Shr
+	Sshr
+)
+
+// Binary is a binary expression.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  token.Pos
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+	Pos              token.Pos
+}
+
+// Index is x[i]: a bit select on a vector or an element select on a memory.
+type Index struct {
+	X     Expr
+	Index Expr
+	Pos   token.Pos
+}
+
+// PartSelect is x[msb:lsb] with constant bounds.
+type PartSelect struct {
+	X        Expr
+	MSB, LSB Expr
+	Pos      token.Pos
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Parts []Expr
+	Pos   token.Pos
+}
+
+// Repl is {N{x}}.
+type Repl struct {
+	Count Expr
+	Value Expr
+	Pos   token.Pos
+}
+
+// SysFunc is $signed(x), $unsigned(x) and friends in expression position.
+type SysFunc struct {
+	Name string
+	Args []Expr
+	Pos  token.Pos
+}
+
+func (*Ident) isExpr()      {}
+func (*Number) isExpr()     {}
+func (*Unary) isExpr()      {}
+func (*Binary) isExpr()     {}
+func (*Ternary) isExpr()    {}
+func (*Index) isExpr()      {}
+func (*PartSelect) isExpr() {}
+func (*Concat) isExpr()     {}
+func (*Repl) isExpr()       {}
+func (*SysFunc) isExpr()    {}

@@ -1,0 +1,128 @@
+package elab
+
+import (
+	"fmt"
+
+	"livesim/internal/hdl/ast"
+)
+
+// EvalConst evaluates a compile-time constant expression over the given
+// name table (parameters and localparams). Any reference to a signal is an
+// error — Verilog requires parameters to be decidable at elaboration time.
+func EvalConst(e ast.Expr, consts map[string]uint64) (uint64, error) {
+	switch x := e.(type) {
+	case *ast.Number:
+		return x.Value, nil
+	case *ast.Ident:
+		v, ok := consts[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("%q is not a constant", x.Name)
+		}
+		return v, nil
+	case *ast.Unary:
+		v, err := EvalConst(x.X, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case ast.Neg:
+			return -v, nil
+		case ast.Plus:
+			return v, nil
+		case ast.BitNot:
+			return ^v, nil
+		case ast.LogNot:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		default:
+			return 0, fmt.Errorf("operator not allowed in constant expression")
+		}
+	case *ast.Binary:
+		a, err := EvalConst(x.X, consts)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalConst(x.Y, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case ast.Add:
+			return a + b, nil
+		case ast.Sub:
+			return a - b, nil
+		case ast.Mul:
+			return a * b, nil
+		case ast.Div:
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return a / b, nil
+		case ast.Mod:
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero in constant expression")
+			}
+			return a % b, nil
+		case ast.And:
+			return a & b, nil
+		case ast.Or:
+			return a | b, nil
+		case ast.Xor:
+			return a ^ b, nil
+		case ast.Shl:
+			if b >= 64 {
+				return 0, nil
+			}
+			return a << b, nil
+		case ast.Shr, ast.Sshr:
+			if b >= 64 {
+				return 0, nil
+			}
+			return a >> b, nil
+		case ast.Eq:
+			return b2u(a == b), nil
+		case ast.Ne:
+			return b2u(a != b), nil
+		case ast.Lt:
+			return b2u(a < b), nil
+		case ast.Le:
+			return b2u(a <= b), nil
+		case ast.Gt:
+			return b2u(a > b), nil
+		case ast.Ge:
+			return b2u(a >= b), nil
+		case ast.LogAnd:
+			return b2u(a != 0 && b != 0), nil
+		case ast.LogOr:
+			return b2u(a != 0 || b != 0), nil
+		default:
+			return 0, fmt.Errorf("operator not allowed in constant expression")
+		}
+	case *ast.Ternary:
+		c, err := EvalConst(x.Cond, consts)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return EvalConst(x.Then, consts)
+		}
+		return EvalConst(x.Else, consts)
+	default:
+		return 0, fmt.Errorf("expression form %T not allowed in constant expression", e)
+	}
+}
+
+// TryConst evaluates e if it is constant; ok is false otherwise.
+func TryConst(e ast.Expr, consts map[string]uint64) (v uint64, ok bool) {
+	v, err := EvalConst(e, consts)
+	return v, err == nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,278 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+
+	"livesim/internal/hdl/ast"
+	"livesim/internal/hdl/parser"
+)
+
+func parseAll(t *testing.T, srcs ...string) map[string]*ast.Module {
+	t.Helper()
+	mods := make(map[string]*ast.Module)
+	for _, src := range srcs {
+		sf, err := parser.ParseFile("t.v", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range sf.Modules {
+			mods[m.Name] = m
+		}
+	}
+	return mods
+}
+
+const adder = `
+module adder #(parameter W = 8) (
+  input clk,
+  input [W-1:0] a, b,
+  output reg [W-1:0] sum
+);
+  always @(posedge clk) sum <= a + b;
+endmodule
+`
+
+func TestElaborateSimple(t *testing.T) {
+	d, err := Elaborate(parseAll(t, adder), "adder", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Top()
+	if m.Key != "adder#W=8" {
+		t.Errorf("key %q", m.Key)
+	}
+	if got := m.SigByName["a"].Width; got != 8 {
+		t.Errorf("a width %d", got)
+	}
+	if m.Clock != "clk" {
+		t.Errorf("clock %q", m.Clock)
+	}
+	if len(m.Ports) != 4 {
+		t.Errorf("ports %d", len(m.Ports))
+	}
+	if m.SigByName["sum"].Kind != Reg {
+		t.Errorf("sum kind %v", m.SigByName["sum"].Kind)
+	}
+}
+
+func TestParameterOverride(t *testing.T) {
+	d, err := Elaborate(parseAll(t, adder), "adder", map[string]uint64{"W": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Top()
+	if m.Key != "adder#W=16" || m.SigByName["sum"].Width != 16 {
+		t.Errorf("key %q width %d", m.Key, m.SigByName["sum"].Width)
+	}
+}
+
+const hier = `
+module leaf #(parameter W = 4) (input [W-1:0] x, output [W-1:0] y);
+  assign y = x + 1;
+endmodule
+module mid #(parameter W = 4) (input [W-1:0] i, output [W-1:0] o);
+  wire [W-1:0] t;
+  leaf #(.W(W)) l0 (.x(i), .y(t));
+  leaf #(.W(W)) l1 (.x(t), .y(o));
+endmodule
+module top (input [7:0] a, output [7:0] b);
+  mid #(.W(8)) m0 (.i(a), .o(b));
+endmodule
+`
+
+func TestHierarchySharing(t *testing.T) {
+	d, err := Elaborate(parseAll(t, hier), "top", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two leaf instances in mid share one specialization.
+	if len(d.Modules) != 3 {
+		t.Fatalf("want 3 specializations, got %d: %v", len(d.Modules), d.Order)
+	}
+	if _, ok := d.Modules["leaf#W=8"]; !ok {
+		t.Errorf("missing leaf#W=8: %v", d.Order)
+	}
+	// Order must be children-first.
+	pos := map[string]int{}
+	for i, k := range d.Order {
+		pos[k] = i
+	}
+	if pos["leaf#W=8"] > pos["mid#W=8"] || pos["mid#W=8"] > pos["top"] {
+		t.Errorf("order %v", d.Order)
+	}
+	mid := d.Modules["mid#W=8"]
+	if len(mid.Instances) != 2 || mid.Instances[0].ChildKey != "leaf#W=8" {
+		t.Errorf("instances %+v", mid.Instances)
+	}
+}
+
+func TestTwoSpecializations(t *testing.T) {
+	src := `
+module leaf #(parameter W = 4) (input [W-1:0] x, output [W-1:0] y);
+  assign y = x;
+endmodule
+module top ();
+  wire [3:0] a4, b4;
+  wire [7:0] a8, b8;
+  leaf #(.W(4)) l4 (.x(a4), .y(b4));
+  leaf #(.W(8)) l8 (.x(a8), .y(b8));
+endmodule
+`
+	d, err := Elaborate(parseAll(t, src), "top", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Modules["leaf#W=4"]; !ok {
+		t.Error("missing leaf#W=4")
+	}
+	if _, ok := d.Modules["leaf#W=8"]; !ok {
+		t.Error("missing leaf#W=8")
+	}
+}
+
+func TestLocalparamAndMemory(t *testing.T) {
+	src := `
+module ram (input clk);
+  localparam DEPTH = 1 << 4;
+  reg [31:0] mem [0:DEPTH-1];
+  integer i;
+endmodule
+`
+	d, err := Elaborate(parseAll(t, src), "ram", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Top()
+	mem := m.SigByName["mem"]
+	if mem.Kind != Memory || mem.Depth != 16 || mem.Width != 32 {
+		t.Errorf("mem %+v", mem)
+	}
+	i := m.SigByName["i"]
+	if i.Kind != Reg || i.Width != 32 || !i.Signed {
+		t.Errorf("integer %+v", i)
+	}
+	if m.Consts["DEPTH"] != 16 {
+		t.Errorf("DEPTH %d", m.Consts["DEPTH"])
+	}
+}
+
+func TestWireInitBecomesAssign(t *testing.T) {
+	src := "module m (input a, output w); wire t = a & 1'b1; assign w = t; endmodule"
+	d, err := Elaborate(parseAll(t, src), "m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Top().Assigns) != 2 {
+		t.Errorf("assigns %d", len(d.Top().Assigns))
+	}
+}
+
+func TestElabErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing module", "module a (); b u0 (); endmodule", "not found"},
+		{"recursive", "module a (); a u0 (); endmodule", "recursive"},
+		{"dup signal", "module a (); wire x; wire x; endmodule", "twice"},
+		{"bad range", "module a (input [7:4] x); endmodule", "msb:0"},
+		{"too wide", "module a (input [64:0] x); endmodule", "width"},
+		{"two clocks", "module a (input c1, c2); reg r, s; always @(posedge c1) r <= 1; always @(posedge c2) s <= 1; endmodule", "clocks"},
+		{"negedge", "module a (input c); reg r; always @(negedge c) r <= 1; endmodule", "negedge"},
+		{"inout", "module a (inout x); endmodule", "inout"},
+		{"bad port conn", "module b (input x); endmodule module a (); wire w; b u0 (.nope(w)); endmodule", "no port"},
+		{"dup port conn", "module b (input x); endmodule module a (); wire w; b u0 (.x(w), .x(w)); endmodule", "twice"},
+		{"output to expr", "module b (output x); endmodule module a (); wire w; b u0 (.x(w+1)); endmodule", "plain signal"},
+		{"wire memory", "module a (); wire [3:0] m [0:3]; endmodule", "reg"},
+		{"unknown param", "module b (); endmodule module a (); b #(.Z(1)) u0 (); endmodule", "parameter"},
+		{"memory lo bound", "module a (); reg [3:0] m [2:5]; endmodule", "index 0"},
+		{"const signal ref", "module a (input x); wire [x:0] y; endmodule", "not a constant"},
+	}
+	for _, c := range cases {
+		_, err := Elaborate(parseAll(t, c.src), "a", nil)
+		if err == nil {
+			t.Errorf("%s: want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	consts := map[string]uint64{"W": 8, "D": 3}
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"W", 8},
+		{"W-1", 7},
+		{"1 << W", 256},
+		{"W*D+1", 25},
+		{"W == 8 ? 100 : 200", 100},
+		{"W != 8 ? 100 : 200", 200},
+		{"-1", ^uint64(0)},
+		{"~0", ^uint64(0)},
+		{"!D", 0},
+		{"W/D", 2},
+		{"W%D", 2},
+		{"W >= D && D > 0", 1},
+		{"(W | D) ^ D", 8},
+	}
+	for _, c := range cases {
+		e, err := parser.ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		got, err := EvalConst(e, consts)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: got %d want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalConstErrors(t *testing.T) {
+	for _, src := range []string{"x", "1/0", "1%0", "{1,2}", "&3"} {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", src, err)
+		}
+		if _, err := EvalConst(e, nil); err == nil {
+			t.Errorf("%s: want error", src)
+		}
+	}
+}
+
+func TestPositionalConnections(t *testing.T) {
+	src := `
+module b (input x, output y);
+  assign y = x;
+endmodule
+module a (input i, output o);
+  b u0 (i, o);
+endmodule
+`
+	d, err := Elaborate(parseAll(t, src), "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := d.Top().Instances[0].Conns
+	if len(conns) != 2 || conns[0].Port.Name != "x" || conns[1].Port.Name != "y" {
+		t.Errorf("conns %+v", conns)
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	p := map[string]uint64{"B": 2, "A": 1, "C": 3}
+	if got := Key("m", p); got != "m#A=1,B=2,C=3" {
+		t.Errorf("key %q", got)
+	}
+	if got := Key("m", nil); got != "m" {
+		t.Errorf("key %q", got)
+	}
+}

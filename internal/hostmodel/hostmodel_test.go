@@ -1,0 +1,154 @@
+package hostmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitsOnReuse(t *testing.T) {
+	c := NewCache(32*1024, 8, 64)
+	if c.Access(0x1000) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("repeat access must hit")
+	}
+	if !c.Access(0x103F) {
+		t.Error("same line must hit")
+	}
+	if c.Access(0x1040) {
+		t.Error("next line must miss")
+	}
+	if c.Misses != 2 || c.Accesses != 4 {
+		t.Errorf("stats %d/%d", c.Misses, c.Accesses)
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets, 2 ways
+	// Three lines mapping to the same set: strides of sets*line = 512.
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a)
+	c.Access(b)
+	c.Access(d) // evicts a (LRU)
+	if c.Access(a) {
+		t.Error("a should have been evicted")
+	}
+	if !c.Access(d) {
+		t.Error("d should still be resident")
+	}
+}
+
+func TestCacheWorkingSetEffect(t *testing.T) {
+	// A working set within capacity has near-zero steady-state misses; a
+	// working set 4x capacity misses constantly — the Table VII mechanism.
+	small := NewCache(32*1024, 8, 64)
+	big := NewCache(32*1024, 8, 64)
+	// Warm the small cache once so only steady-state misses count.
+	for a := uint64(0); a < 16*1024; a += 64 {
+		small.Access(a)
+	}
+	coldMisses := small.Misses
+	for round := 0; round < 20; round++ {
+		for a := uint64(0); a < 16*1024; a += 64 {
+			small.Access(a)
+		}
+		for a := uint64(0); a < 128*1024; a += 64 {
+			big.Access(a)
+		}
+	}
+	bigRate := float64(big.Misses) / float64(big.Accesses)
+	if small.Misses != coldMisses {
+		t.Errorf("in-capacity steady-state misses: %d extra", small.Misses-coldMisses)
+	}
+	if bigRate < 0.9 {
+		t.Errorf("thrashing miss rate %.3f (want ~1)", bigRate)
+	}
+}
+
+func TestGSharePredictsLoops(t *testing.T) {
+	g := NewGShare(12)
+	// A loop branch taken 63 of every 64 times is highly predictable.
+	for i := 0; i < 64*100; i++ {
+		g.Predict(0x400, i%64 != 63)
+	}
+	rate := float64(g.Mispredicts) / float64(g.Branches)
+	if rate > 0.08 {
+		t.Errorf("loop mispredict rate %.3f", rate)
+	}
+	// Alternating pattern is learnable by history.
+	g2 := NewGShare(12)
+	for i := 0; i < 4000; i++ {
+		g2.Predict(0x800, i%2 == 0)
+	}
+	if rate := float64(g2.Mispredicts) / float64(g2.Branches); rate > 0.1 {
+		t.Errorf("alternating mispredict rate %.3f", rate)
+	}
+}
+
+func TestHostMetrics(t *testing.T) {
+	h := NewHost()
+	if m := h.Metrics(); m.Instrs != 0 || m.IPC != 0 {
+		t.Errorf("empty metrics %+v", m)
+	}
+	// Perfectly cached straight-line code: IPC near 1/baseCPI.
+	for i := 0; i < 100000; i++ {
+		h.Instr(0x1000+uint64(i%8)*32, false, false)
+		h.Data(0x2000, false)
+	}
+	m := h.Metrics()
+	if m.IPC < 3.0 {
+		t.Errorf("cached IPC %.2f, want near %.2f", m.IPC, 1.0/baseCPI)
+	}
+	if m.IMPKI > 0.1 || m.DMPKI > 0.1 {
+		t.Errorf("unexpected misses %+v", m)
+	}
+	if m.String() == "" {
+		t.Error("empty string")
+	}
+
+	// Thrashing instruction stream: IPC collapses.
+	h2 := NewHost()
+	for i := 0; i < 100000; i++ {
+		h2.Instr(uint64(i)*64%(4*1024*1024), false, false)
+		h2.Data(0x2000, false)
+	}
+	m2 := h2.Metrics()
+	if m2.IMPKI < 500 {
+		t.Errorf("thrash IMPKI %.1f", m2.IMPKI)
+	}
+	if m2.IPC > m.IPC/4 {
+		t.Errorf("thrash IPC %.2f vs cached %.2f", m2.IPC, m.IPC)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewCache(1000, 3, 64)
+}
+
+// Property: miss count never exceeds access count, and a second pass over
+// a small footprint is all hits.
+func TestCacheProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewCache(4096, 4, 64)
+		for _, a := range addrs {
+			c.Access(uint64(a) % 2048) // footprint 2 KB < 4 KB capacity
+		}
+		if c.Misses > c.Accesses {
+			return false
+		}
+		before := c.Misses
+		for _, a := range addrs {
+			c.Access(uint64(a) % 2048)
+		}
+		return c.Misses == before || len(addrs) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package livecompiler implements the LiveCompiler of Section III-C: it
+// turns analyzed source into hot-loadable objects, recompiling only what
+// changed and deciding — by comparing compiled output against a cached
+// copy — whether a recompiled module actually "needs to be swapped into
+// the simulation".
+//
+// The compilation unit is the elaborated specialization (module +
+// parameter binding), so a 256-core mesh still compiles each stage once
+// (Figure 4(d)). The object cache is keyed by everything that can affect
+// the generated code: the module's behavioural token hash, its parameter
+// binding, the codegen style, and the interface fingerprints of its
+// children.
+package livecompiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"livesim/internal/codegen"
+	"livesim/internal/hdl/ast"
+	"livesim/internal/hdl/elab"
+	"livesim/internal/liveparser"
+	"livesim/internal/vm"
+)
+
+// Stats reports what one build did — the raw material for the paper's
+// Table VIII (compilation time) and Figure 8 (reload latency breakdown).
+type Stats struct {
+	ParseTime   time.Duration // preprocess + parse + fingerprint
+	ElabTime    time.Duration
+	CompileTime time.Duration
+	Compiled    int // specializations actually compiled
+	CacheHits   int // specializations served from cache
+	DiskHits    int // cache hits satisfied from the on-disk object store
+}
+
+// Result is the outcome of a build.
+type Result struct {
+	TopKey string
+	// Objects maps specialization keys to compiled objects. Unchanged
+	// specializations keep their previous *vm.Object identity, which the
+	// kernel uses to skip no-op swaps.
+	Objects map[string]*vm.Object
+	// Swapped lists specialization keys whose object changed (or is new)
+	// relative to the previous build — the hot-reload set.
+	Swapped []string
+	// Removed lists specialization keys that no longer exist.
+	Removed []string
+	// Diff is the LiveParser change summary versus the previous build
+	// (nil on the first build).
+	Diff *liveparser.Diff
+	// Stats breaks down where the time went.
+	Stats Stats
+}
+
+// Compiler is a stateful incremental compiler for one design.
+type Compiler struct {
+	style     codegen.Style
+	top       string
+	overrides map[string]uint64
+
+	prevAnalysis *liveparser.Analysis
+	prevObjects  map[string]*vm.Object
+
+	// cache maps content keys to compiled objects across builds.
+	cache map[string]*vm.Object
+	// objDir, when set, persists compiled objects as .lso files — the
+	// on-disk shared-library analog of Table II's Object-Path column.
+	objDir string
+}
+
+// New creates a compiler for the module named top, using the given
+// codegen style and optional top-level parameter overrides.
+func New(top string, style codegen.Style, overrides map[string]uint64) *Compiler {
+	return &Compiler{
+		top:       top,
+		style:     style,
+		overrides: overrides,
+		cache:     make(map[string]*vm.Object),
+	}
+}
+
+// SetObjectDir enables the persistent object cache: compiled objects are
+// written to dir as .lso files and reloaded on cache misses, so a fresh
+// session reuses a previous session's compilation work.
+func (c *Compiler) SetObjectDir(dir string) { c.objDir = dir }
+
+// ObjectFile returns the on-disk path an object with the given content
+// key would use ("" when no object directory is configured).
+func (c *Compiler) objectFile(contentKey string) string {
+	if c.objDir == "" {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write([]byte(contentKey))
+	return filepath.Join(c.objDir, fmt.Sprintf("%016x.lso", h.Sum64()))
+}
+
+// Objects returns the object table of the last successful build.
+func (c *Compiler) Objects() map[string]*vm.Object { return c.prevObjects }
+
+// Resolver exposes the last build's objects to the simulation kernel.
+func (c *Compiler) Resolver() func(key string) (*vm.Object, error) {
+	return func(key string) (*vm.Object, error) {
+		if o, ok := c.prevObjects[key]; ok {
+			return o, nil
+		}
+		return nil, fmt.Errorf("no compiled object %q", key)
+	}
+}
+
+// Build compiles a source snapshot. The first call is a full build; later
+// calls are incremental: only dirty modules recompile, and Swapped lists
+// exactly the objects whose code changed.
+func (c *Compiler) Build(src liveparser.Source) (*Result, error) {
+	res := &Result{Objects: make(map[string]*vm.Object)}
+
+	t0 := time.Now()
+	analysis, err := liveparser.Analyze(src)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ParseTime = time.Since(t0)
+
+	if c.prevAnalysis != nil {
+		res.Diff = liveparser.Compare(c.prevAnalysis, analysis)
+	}
+
+	srcs := make(map[string]*ast.Module, len(analysis.Modules))
+	for name, mi := range analysis.Modules {
+		srcs[name] = mi.AST
+	}
+	t1 := time.Now()
+	design, err := elab.Elaborate(srcs, c.top, c.overrides)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.ElabTime = time.Since(t1)
+	res.TopKey = design.TopKey
+
+	t2 := time.Now()
+	for _, key := range design.Order {
+		em := design.Modules[key]
+		ck := c.contentKey(analysis, em)
+		if obj, ok := c.cache[ck]; ok {
+			res.Objects[key] = obj
+			res.Stats.CacheHits++
+			continue
+		}
+		if file := c.objectFile(ck); file != "" {
+			if data, err := os.ReadFile(file); err == nil {
+				if obj, err := vm.DecodeObject(data); err == nil && obj.Key == em.Key {
+					c.cache[ck] = obj
+					res.Objects[key] = obj
+					res.Stats.CacheHits++
+					res.Stats.DiskHits++
+					continue
+				}
+			}
+		}
+		obj, err := codegen.Compile(em, codegen.Options{
+			Style:   c.style,
+			SrcPath: analysis.Modules[em.Name].File + "#" + em.Name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.cache[ck] = obj
+		res.Objects[key] = obj
+		res.Stats.Compiled++
+		if file := c.objectFile(ck); file != "" {
+			// Best effort: a failed write only loses future reuse.
+			_ = os.WriteFile(file, vm.EncodeObject(obj), 0o644)
+		}
+	}
+	res.Stats.CompileTime = time.Since(t2)
+
+	// Swap decision: hash-compare against the previous build.
+	for key, obj := range res.Objects {
+		prev, had := c.prevObjects[key]
+		if !had || prev.Hash() != obj.Hash() {
+			res.Swapped = append(res.Swapped, key)
+		}
+	}
+	for key := range c.prevObjects {
+		if _, still := res.Objects[key]; !still {
+			res.Removed = append(res.Removed, key)
+		}
+	}
+	sort.Strings(res.Swapped)
+	sort.Strings(res.Removed)
+
+	c.prevAnalysis = analysis
+	c.prevObjects = res.Objects
+	return res, nil
+}
+
+// contentKey fingerprints everything that can influence the compiled
+// object of one specialization.
+func (c *Compiler) contentKey(a *liveparser.Analysis, em *elab.Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|style=%d|body=%x", em.Key, c.style, a.Modules[em.Name].BodyHash)
+	for _, inst := range em.Instances {
+		childInfo := a.Modules[inst.Child.Name]
+		fmt.Fprintf(&sb, "|child=%s:%x", inst.ChildKey, childInfo.IfaceHash)
+	}
+	return sb.String()
+}

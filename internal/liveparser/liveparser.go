@@ -1,0 +1,260 @@
+// Package liveparser implements the LiveParser of Section III-C: it
+// watches source text, decides which modules an edit actually changed
+// *behaviourally* (comment and whitespace edits are not changes), and
+// computes the set of modules LiveCompiler must recompile.
+//
+// The rules follow the paper:
+//
+//   - an edit inside one module dirties that module only;
+//   - a change to a module's interface (ports/parameters) additionally
+//     dirties every module that instantiates it, because instantiation
+//     binds ports positionally/by name at compile time;
+//   - preprocessor directives act globally: the analysis preprocesses
+//     each file first, so a `define edit automatically shows up as a
+//     behavioural change in every module whose expanded text changed
+//     ("this could affect any code below the affected lines").
+package liveparser
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"livesim/internal/hdl/ast"
+	"livesim/internal/hdl/lexer"
+	"livesim/internal/hdl/parser"
+	"livesim/internal/hdl/preproc"
+	"livesim/internal/hdl/token"
+)
+
+// Source is a snapshot of the design's source text.
+type Source struct {
+	// Files maps file names to contents. Iteration is sorted by name, so
+	// duplicate module definitions resolve deterministically (and error).
+	Files map[string]string
+	// Defines seeds the preprocessor.
+	Defines map[string]string
+	// Include resolves `include directives.
+	Include preproc.Includer
+}
+
+// ModuleInfo is the analyzed form of one module.
+type ModuleInfo struct {
+	Name string
+	File string
+	// AST is the parsed module (post-preprocessing).
+	AST *ast.Module
+	// BodyHash covers the whole module's behavioural token stream.
+	BodyHash uint64
+	// IfaceHash covers only the header (name, parameters, ports).
+	IfaceHash uint64
+	// MacroDeps lists macros the module's lines depended on.
+	MacroDeps []string
+}
+
+// Analysis is the result of analyzing one source snapshot.
+type Analysis struct {
+	Modules map[string]*ModuleInfo
+	// Instantiates maps a module to the modules it instantiates.
+	Instantiates map[string][]string
+	// InstantiatedBy is the reverse edge set.
+	InstantiatedBy map[string][]string
+}
+
+// Analyze preprocesses and parses all files and fingerprints each module.
+func Analyze(src Source) (*Analysis, error) {
+	a := &Analysis{
+		Modules:        make(map[string]*ModuleInfo),
+		Instantiates:   make(map[string][]string),
+		InstantiatedBy: make(map[string][]string),
+	}
+	files := make([]string, 0, len(src.Files))
+	for f := range src.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, file := range files {
+		res, err := preproc.Process(file, src.Files[file], preproc.Options{
+			Defines: src.Defines,
+			Include: src.Include,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("preprocess %s: %w", file, err)
+		}
+		sf, err := parser.ParseFile(file, res.Text)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", file, err)
+		}
+		for _, m := range sf.Modules {
+			if _, dup := a.Modules[m.Name]; dup {
+				return nil, fmt.Errorf("module %s defined in both %s and %s", m.Name, a.Modules[m.Name].File, file)
+			}
+			text := res.Text[m.Pos.Offset:m.End.Offset]
+			info := &ModuleInfo{
+				Name:      m.Name,
+				File:      file,
+				AST:       m,
+				BodyHash:  behaviorHash(text),
+				IfaceHash: ifaceHash(m, text),
+				MacroDeps: macroDeps(res, m.Pos.Line, m.End.Line),
+			}
+			a.Modules[m.Name] = info
+			for _, it := range m.Items {
+				if inst, ok := it.(*ast.Instance); ok {
+					a.Instantiates[m.Name] = append(a.Instantiates[m.Name], inst.ModName)
+					a.InstantiatedBy[inst.ModName] = append(a.InstantiatedBy[inst.ModName], m.Name)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// behaviorHash fingerprints the behavioural token stream of a fragment:
+// comments and whitespace do not contribute.
+func behaviorHash(text string) uint64 {
+	h := fnv.New64a()
+	for _, t := range lexer.BehavioralTokens(text) {
+		h.Write([]byte{byte(t.Kind)})
+		h.Write([]byte(t.Text))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// ifaceHash fingerprints only the module header: everything from `module`
+// to the closing `;` of the port list.
+func ifaceHash(m *ast.Module, text string) uint64 {
+	toks := lexer.Tokenize("", text)
+	h := fnv.New64a()
+	for _, t := range toks {
+		if t.Kind == token.EOF {
+			break
+		}
+		h.Write([]byte{byte(t.Kind)})
+		h.Write([]byte(t.Text))
+		h.Write([]byte{0})
+		if t.Kind == token.Semi {
+			break // end of header
+		}
+	}
+	return h.Sum64()
+}
+
+func macroDeps(res *preproc.Result, fromLine, toLine int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for line := fromLine; line <= toLine; line++ {
+		for _, d := range res.LineDeps[line] {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Diff describes what changed between two analyzed snapshots.
+type Diff struct {
+	// BodyChanged lists modules whose behaviour changed but whose
+	// interface did not.
+	BodyChanged []string
+	// IfaceChanged lists modules whose header changed.
+	IfaceChanged []string
+	// Added and Removed list modules that appear/disappear.
+	Added, Removed []string
+	// Dirty is the full recompilation set: changed modules plus the
+	// parents of interface-changed or added/removed modules.
+	Dirty []string
+	// Reasons explains, per dirty module, why it must be recompiled.
+	Reasons map[string]string
+}
+
+// NoChange reports whether the edit had no behavioural effect at all —
+// the LiveParser fast path that skips LiveCompiler entirely.
+func (d *Diff) NoChange() bool {
+	return len(d.BodyChanged) == 0 && len(d.IfaceChanged) == 0 &&
+		len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// Compare diffs two snapshots.
+func Compare(oldA, newA *Analysis) *Diff {
+	d := &Diff{Reasons: make(map[string]string)}
+	dirty := map[string]bool{}
+	mark := func(name, reason string) {
+		if !dirty[name] {
+			dirty[name] = true
+			d.Reasons[name] = reason
+		}
+	}
+
+	for name, ni := range newA.Modules {
+		oi, ok := oldA.Modules[name]
+		if !ok {
+			d.Added = append(d.Added, name)
+			mark(name, "module added")
+			continue
+		}
+		if ni.IfaceHash != oi.IfaceHash {
+			d.IfaceChanged = append(d.IfaceChanged, name)
+			mark(name, "interface changed")
+			continue
+		}
+		if ni.BodyHash != oi.BodyHash {
+			d.BodyChanged = append(d.BodyChanged, name)
+			mark(name, "behaviour changed")
+		}
+	}
+	for name := range oldA.Modules {
+		if _, ok := newA.Modules[name]; !ok {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+
+	// Interface changes and added/removed modules dirty their
+	// instantiating parents: the parents' compiled objects embed port
+	// bindings and child object keys.
+	var propagate []string
+	propagate = append(propagate, d.IfaceChanged...)
+	propagate = append(propagate, d.Added...)
+	propagate = append(propagate, d.Removed...)
+	for _, name := range propagate {
+		for _, parent := range newA.InstantiatedBy[name] {
+			mark(parent, "instantiates changed-interface module "+name)
+		}
+		for _, parent := range oldA.InstantiatedBy[name] {
+			if _, stillThere := newA.Modules[parent]; stillThere {
+				mark(parent, "instantiated removed/changed module "+name)
+			}
+		}
+	}
+
+	for name := range dirty {
+		if _, exists := newA.Modules[name]; exists {
+			d.Dirty = append(d.Dirty, name)
+		}
+	}
+	sort.Strings(d.Dirty)
+	sort.Strings(d.BodyChanged)
+	sort.Strings(d.IfaceChanged)
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// DiffSources is the convenience entry point: analyze two source
+// snapshots and compare them.
+func DiffSources(oldSrc, newSrc Source) (*Diff, error) {
+	oldA, err := Analyze(oldSrc)
+	if err != nil {
+		return nil, fmt.Errorf("old snapshot: %w", err)
+	}
+	newA, err := Analyze(newSrc)
+	if err != nil {
+		return nil, fmt.Errorf("new snapshot: %w", err)
+	}
+	return Compare(oldA, newA), nil
+}

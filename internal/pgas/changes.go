@@ -1,0 +1,115 @@
+package pgas
+
+import (
+	"fmt"
+	"strings"
+
+	"livesim/internal/liveparser"
+)
+
+// Change is one realistic code edit applied to the PGAS core — the
+// reproduction of the paper's methodology of replaying "code changes in
+// the core GitHub repository ... changes actually made in the core"
+// (Section IV). Every change touches exactly one pipeline stage, as in
+// Figure 8's evaluation ("all these bugs affected a single pipeline
+// stage").
+type Change struct {
+	// Name identifies the change in benchmark output.
+	Name string
+	// Stage is the module the change affects.
+	Stage string
+	// Description says what the edit does.
+	Description string
+	// File is the source file to edit.
+	File string
+	// Old/New are the textual replacement implementing the edit.
+	Old, New string
+	// Behavioral is false for comment/whitespace-only edits.
+	Behavioral bool
+}
+
+// Changes is the curated single-stage edit catalog.
+var Changes = []Change{
+	{
+		Name:        "ex-branch-polarity",
+		Stage:       "stage_ex",
+		Description: "blt wrongly (or deliberately) also taken on equality",
+		File:        "stage_ex.v",
+		Old:         "3'b100: taken_r = $signed(a_r) < $signed(b_r);",
+		New:         "3'b100: taken_r = ($signed(a_r) < $signed(b_r)) || (a_r == b_r);",
+		Behavioral:  true,
+	},
+	{
+		Name:        "ex-comment-only",
+		Stage:       "stage_ex",
+		Description: "clarifying comment in the ALU (must not trigger a swap)",
+		File:        "stage_ex.v",
+		Old:         "// Branch decision.",
+		New:         "// Branch decision (resolved in EX; taken branches flush IF/ID).",
+		Behavioral:  false,
+	},
+	{
+		Name:        "id-hazard-tighten",
+		Stage:       "stage_id",
+		Description: "conservatively stall decode behind any pending MEM write (changes pipeline timing everywhere)",
+		File:        "stage_id.v",
+		Old:         "assign hazard = (uses_rs1 && match1) || (uses_rs2 && match2);",
+		New:         "assign hazard = (uses_rs1 && match1) || (uses_rs2 && match2) || (vr && mem_pend);",
+		Behavioral:  true,
+	},
+	{
+		Name:        "mem-size-mask",
+		Stage:       "stage_mem",
+		Description: "rework the sub-word store mask derivation",
+		File:        "stage_mem.v",
+		Old:         "wire [63:0] raw_local = (l_rdata >> sh) & mask;",
+		New:         "wire [63:0] raw_shift = l_rdata >> sh;\n  wire [63:0] raw_local = raw_shift & mask;",
+		Behavioral:  true, // token stream changes even though semantics match
+	},
+	{
+		Name:        "if-fetch-register-rename",
+		Stage:       "stage_if",
+		Description: "rename the halt drain register (Table V rename path)",
+		File:        "stage_if.v",
+		Old:         "drain",
+		New:         "drain_q",
+		Behavioral:  true,
+	},
+	{
+		Name:        "wb-result-latch",
+		Stage:       "stage_wb",
+		Description: "add an extra sanity mask on the writeback value",
+		File:        "stage_wb.v",
+		Old:         "assign data = res_r;",
+		New:         "assign data = res_r & 64'hFFFF_FFFF_FFFF_FFFF;",
+		Behavioral:  true,
+	},
+}
+
+// Apply rewrites the change into a source snapshot, returning the edited
+// snapshot (the original is not modified).
+func (c Change) Apply(src liveparser.Source) (liveparser.Source, error) {
+	text, ok := src.Files[c.File]
+	if !ok {
+		return src, fmt.Errorf("change %s: no file %s", c.Name, c.File)
+	}
+	if !strings.Contains(text, c.Old) {
+		return src, fmt.Errorf("change %s: pattern not found in %s", c.Name, c.File)
+	}
+	out := liveparser.Source{
+		Files:   make(map[string]string, len(src.Files)),
+		Defines: src.Defines,
+		Include: src.Include,
+	}
+	for k, v := range src.Files {
+		out.Files[k] = v
+	}
+	out.Files[c.File] = strings.ReplaceAll(text, c.Old, c.New)
+	return out, nil
+}
+
+// Revert produces the snapshot with the change undone.
+func (c Change) Revert(src liveparser.Source) (liveparser.Source, error) {
+	r := Change{Name: c.Name, File: c.File, Old: c.New, New: c.Old}
+	return r.Apply(src)
+}

@@ -1,0 +1,345 @@
+package pgas
+
+import (
+	"fmt"
+	"testing"
+
+	"livesim/internal/codegen"
+	"livesim/internal/riscv"
+	"livesim/internal/sim"
+)
+
+// cosim runs a program on the RTL core and the ISS and compares the
+// architectural state (registers + memory) at halt.
+func cosim(t *testing.T, src string, maxCycles int) (*sim.Sim, *riscv.CPU) {
+	t.Helper()
+	prog, err := riscv.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	// ISS reference.
+	mem := make(riscv.SliceMemory, 32*1024)
+	copy(mem, prog.Bytes())
+	cpu := riscv.NewCPU(mem)
+	if err := cpu.Run(maxCycles); err != nil {
+		t.Fatalf("ISS: %v", err)
+	}
+	if !cpu.Halted {
+		t.Fatalf("ISS did not halt in %d steps", maxCycles)
+	}
+
+	// RTL.
+	s, err := NewSim(1, codegen.StyleGrouped)
+	if err != nil {
+		t.Fatalf("build RTL: %v", err)
+	}
+	if err := LoadImage(s, 1, 0, prog.Words64()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunToHalt(s, maxCycles); err != nil {
+		t.Fatalf("RTL: %v (pc=%#x)", err, peekPC(t, s))
+	}
+
+	compareState(t, s, cpu, src)
+	return s, cpu
+}
+
+func peekPC(t *testing.T, s *sim.Sim) uint64 {
+	v, err := s.Peek("top.n0.u_core.u_if.pc_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// compareState checks registers and data memory between RTL and ISS.
+func compareState(t *testing.T, s *sim.Sim, cpu *riscv.CPU, src string) {
+	t.Helper()
+	for r := 1; r < 32; r++ {
+		got, err := ReadReg(s, 1, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != cpu.Regs[r] {
+			t.Errorf("x%d (%s): RTL %#x, ISS %#x", r, riscv.RegNames[r], got, cpu.Regs[r])
+		}
+	}
+	issMem := cpu.Mem.(riscv.SliceMemory)
+	for w := 0; w < 4096; w++ {
+		want, _ := issMem.Load(uint64(w*8), 8)
+		got, err := s.PeekMem("top.n0.u_mem.mem", uint64(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("mem[%#x]: RTL %#x, ISS %#x", w*8, got, want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("program:\n%s", src)
+	}
+}
+
+func TestCosimMinimal(t *testing.T) {
+	cosim(t, `
+  li a0, 42
+  ecall
+`, 200)
+}
+
+func TestCosimArithChain(t *testing.T) {
+	cosim(t, `
+  li a0, 40
+  li a1, 2
+  add a2, a0, a1
+  sub a3, a0, a1
+  xor a4, a2, a3
+  or  a5, a2, a3
+  and a6, a2, a3
+  sll a7, a1, a1
+  srl t0, a0, a1
+  sra t1, a0, a1
+  slt t2, a1, a0
+  sltu t3, a0, a1
+  ecall
+`, 500)
+}
+
+func TestCosimImmediates(t *testing.T) {
+	cosim(t, `
+  addi a0, zero, -7
+  slti a1, a0, 0
+  sltiu a2, a0, 5
+  xori a3, a0, 0xFF
+  ori  a4, a0, 0x0F
+  andi a5, a0, 0x3C
+  slli a6, a0, 3
+  srli a7, a0, 2
+  srai t0, a0, 2
+  lui t1, 0xABCDE
+  auipc t2, 0x1
+  ecall
+`, 500)
+}
+
+func TestCosimWordOps(t *testing.T) {
+	cosim(t, `
+  li a0, 0x7FFFFFFF
+  addiw a1, a0, 1
+  addw a2, a0, a0
+  subw a3, a1, a0
+  slliw a4, a0, 1
+  srliw a5, a0, 3
+  sraiw a6, a1, 4
+  li t0, 35
+  sllw a7, a0, t0
+  srlw t1, a0, t0
+  sraw t2, a1, t0
+  ecall
+`, 500)
+}
+
+func TestCosimLoadStore(t *testing.T) {
+	cosim(t, `
+  li a0, 0x1000
+  li a1, -1
+  sd a1, 0(a0)
+  li a2, 0x1234
+  sh a2, 2(a0)
+  li a3, 0x77
+  sb a3, 5(a0)
+  li a4, 0x4AFE0000
+  sw a4, 8(a0)
+  ld t0, 0(a0)
+  lw t1, 0(a0)
+  lwu t2, 0(a0)
+  lh t3, 2(a0)
+  lhu t4, 2(a0)
+  lb t5, 5(a0)
+  lbu t6, 5(a0)
+  ld s0, 8(a0)
+  ecall
+`, 800)
+}
+
+func TestCosimLoadUseHazard(t *testing.T) {
+	cosim(t, `
+  li a0, 0x1000
+  li a1, 99
+  sd a1, 0(a0)
+  ld a2, 0(a0)
+  addi a3, a2, 1     # immediate use of loaded value
+  ld a4, 0(a0)
+  add a5, a4, a4     # use again
+  ecall
+`, 500)
+}
+
+func TestCosimBranches(t *testing.T) {
+	cosim(t, `
+  li a0, 5
+  li a1, -3
+  li s0, 0
+  blt a1, a0, l1     # taken (signed)
+  addi s0, s0, 1     # skipped
+l1:
+  bltu a1, a0, l2    # not taken (unsigned -3 is big)
+  addi s0, s0, 2     # executed
+l2:
+  beq a0, a0, l3     # taken
+  addi s0, s0, 4     # skipped
+l3:
+  bne a0, a0, l4     # not taken
+  addi s0, s0, 8     # executed
+l4:
+  bge a0, a1, l5     # taken
+  addi s0, s0, 16    # skipped
+l5:
+  bgeu a0, a1, l6    # not taken
+  addi s0, s0, 32    # executed
+l6:
+  ecall
+`, 800)
+}
+
+func TestCosimFibonacci(t *testing.T) {
+	s, cpu := cosim(t, `
+  li a0, 0
+  li a1, 1
+  li t0, 25
+loop:
+  beqz t0, done
+  add t1, a0, a1
+  mv a0, a1
+  mv a1, t1
+  addi t0, t0, -1
+  j loop
+done:
+  ecall
+`, 3000)
+	got, _ := ReadReg(s, 1, 0, 10)
+	if got != 75025 || cpu.Regs[10] != 75025 {
+		t.Errorf("fib(25) RTL %d ISS %d", got, cpu.Regs[10])
+	}
+}
+
+func TestCosimCallRet(t *testing.T) {
+	cosim(t, `
+  li sp, 0x2000
+  li a0, 3
+  call square
+  mv s0, a0
+  li a0, 7
+  call square
+  add s1, s0, a0
+  ecall
+square:
+  addi sp, sp, -8
+  sd ra, 0(sp)
+  mv t0, a0
+  li a0, 0
+  beqz t0, sqdone
+sqloop:
+  add a0, a0, t0
+  addi t0, t0, -1
+  bnez t0, sqloop
+sqdone:
+  ld ra, 0(sp)
+  addi sp, sp, 8
+  ret
+`, 3000)
+}
+
+func TestCosimMemcpyLoop(t *testing.T) {
+	cosim(t, `
+  li a0, 0x1000      # src
+  li a1, 0x1800      # dst
+  li a2, 16          # words
+  li t0, 0xABCD
+init:
+  beqz a2, copy_setup
+  sd t0, 0(a0)
+  addi t0, t0, 0x111
+  addi a0, a0, 8
+  addi a2, a2, -1
+  j init
+copy_setup:
+  li a0, 0x1000
+  li a2, 16
+copy:
+  beqz a2, done
+  ld t1, 0(a0)
+  sd t1, 0(a1)
+  addi a0, a0, 8
+  addi a1, a1, 8
+  addi a2, a2, -1
+  j copy
+done:
+  ecall
+`, 5000)
+}
+
+// TestCosimRandomPrograms generates constrained random programs and
+// co-simulates each against the ISS — the property-style workhorse that
+// shakes out pipeline hazards the directed tests miss.
+func TestCosimRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cosim(t, randomProgram(seed, 60), 8000)
+		})
+	}
+}
+
+// randomProgram emits a deterministic pseudo-random straight-line program
+// with loads, stores, ALU ops and short forward branches.
+func randomProgram(seed uint64, n int) string {
+	rng := seed
+	next := func(mod uint64) uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return (rng >> 33) % mod
+	}
+	reg := func() int { return int(10 + next(8)) } // a0..a7
+	prog := "  li a0, 17\n  li a1, -9\n  li a2, 0x1200\n  li a3, 5\n  li a4, 0x44\n  li a5, 3\n  li a6, 0x1300\n  li a7, 1\n"
+	label := 0
+	for i := 0; i < n; i++ {
+		switch next(12) {
+		case 0:
+			prog += fmt.Sprintf("  add a%d, a%d, a%d\n", reg()-10, reg()-10, reg()-10)
+		case 1:
+			prog += fmt.Sprintf("  sub a%d, a%d, a%d\n", reg()-10, reg()-10, reg()-10)
+		case 2:
+			prog += fmt.Sprintf("  xor a%d, a%d, a%d\n", reg()-10, reg()-10, reg()-10)
+		case 3:
+			prog += fmt.Sprintf("  addi a%d, a%d, %d\n", reg()-10, reg()-10, int(next(4000))-2000)
+		case 4:
+			prog += fmt.Sprintf("  slli a%d, a%d, %d\n", reg()-10, reg()-10, next(63))
+		case 5:
+			prog += fmt.Sprintf("  srai a%d, a%d, %d\n", reg()-10, reg()-10, next(63))
+		case 6:
+			prog += fmt.Sprintf("  sltu a%d, a%d, a%d\n", reg()-10, reg()-10, reg()-10)
+		case 7:
+			// Store then load to a safe slot.
+			slot := next(32) * 8
+			prog += fmt.Sprintf("  li t0, %d\n  sd a%d, 0x%x(t0)\n", 0x1400, reg()-10, slot)
+		case 8:
+			slot := next(32) * 8
+			prog += fmt.Sprintf("  li t0, %d\n  ld a%d, 0x%x(t0)\n", 0x1400, reg()-10, slot)
+		case 9:
+			slot := next(64) * 4
+			prog += fmt.Sprintf("  li t1, %d\n  lw a%d, 0x%x(t1)\n", 0x1400, reg()-10, slot)
+		case 10:
+			prog += fmt.Sprintf("  addw a%d, a%d, a%d\n", reg()-10, reg()-10, reg()-10)
+		case 11:
+			// Forward branch skipping one instruction.
+			prog += fmt.Sprintf("  beq a%d, a%d, L%d\n  addi a%d, a%d, 13\nL%d:\n",
+				reg()-10, reg()-10, label, reg()-10, reg()-10, label)
+			label++
+		}
+	}
+	return prog + "  ecall\n"
+}

@@ -1,0 +1,186 @@
+package pgas
+
+import (
+	"fmt"
+
+	"livesim/internal/riscv"
+)
+
+// GlobalAddr returns the global PGAS address of (node, offset): bit 31
+// marks the global window, bits [30:16] the owning node.
+func GlobalAddr(node int, offset uint32) uint32 {
+	return 1<<31 | uint32(node)<<16 | offset
+}
+
+// Mailbox is the local byte offset used by the message-passing programs.
+const Mailbox = 0x1800
+
+// ComputeProgram returns the per-node compute kernel used by the paper's
+// long-running simulations: an iterated mix of integer work (Fibonacci,
+// checksums, memory walks) over the node's local store. iters scales the
+// runtime; the result lands in a0 and the checksum is stored at local
+// word 0x1000.
+func ComputeProgram(iters int) string {
+	return fmt.Sprintf(`
+  li s0, %d          # outer iterations
+  li s1, 0            # checksum
+outer:
+  beqz s0, finish
+  # Fibonacci(16) into t2.
+  li t0, 0
+  li t1, 1
+  li t3, 16
+fib:
+  beqz t3, fibdone
+  add t2, t0, t1
+  mv t0, t1
+  mv t1, t2
+  addi t3, t3, -1
+  j fib
+fibdone:
+  add s1, s1, t0
+  # Walk 16 words of local memory, accumulate and rewrite.
+  li t4, 0x1100
+  li t5, 16
+walk:
+  beqz t5, walked
+  ld t6, 0(t4)
+  add t6, t6, s1
+  sd t6, 0(t4)
+  add s1, s1, t6
+  addi t4, t4, 8
+  addi t5, t5, -1
+  j walk
+walked:
+  # Mix with shifts and xors.
+  slli t0, s1, 7
+  xor s1, s1, t0
+  srli t0, s1, 9
+  xor s1, s1, t0
+  addi s0, s0, -1
+  j outer
+finish:
+  li t0, 0x1000
+  sd s1, 0(t0)
+  mv a0, s1
+  ecall
+`, iters)
+}
+
+// TokenRingProgram returns node i's program for an n-node token ring:
+// node 0 injects a token into node 1's mailbox and waits for it to come
+// back around; every other node waits for the token, increments it, and
+// forwards it. The returned token equals n in a0 of node 0.
+func TokenRingProgram(n, i int) string {
+	nextNode := (i + 1) % n
+	send := GlobalAddr(nextNode, Mailbox)
+	if i == 0 {
+		return fmt.Sprintf(`
+  li t0, 1
+  li t1, 0x%x       # node 1's mailbox (global)
+  sd t0, 0(t1)
+  li t2, %d          # own mailbox (local)
+spin:
+  ld a0, 0(t2)
+  beqz a0, spin
+  ecall
+`, send, Mailbox)
+	}
+	return fmt.Sprintf(`
+  li t2, %d          # own mailbox (local)
+spin:
+  ld a0, 0(t2)
+  beqz a0, spin
+  addi a0, a0, 1
+  li t1, 0x%x       # next node's mailbox (global)
+  sd a0, 0(t1)
+  ecall
+`, Mailbox, send)
+}
+
+// ReduceProgram returns node i's program for an n-node sum reduction:
+// every node computes a local value (i+1)*3 and stores it at word
+// Mailbox; node 0 polls each node's flag word, accumulates the values
+// remotely, and stores the total at local 0x1000.
+func ReduceProgram(n, i int) string {
+	if i != 0 {
+		return fmt.Sprintf(`
+  li t0, %d
+  li t1, %d
+  sd t0, 8(t1)       # value
+  li t2, 1
+  sd t2, 0(t1)       # ready flag
+  ecall
+`, (i+1)*3, Mailbox)
+	}
+	// Node 0: own contribution, then poll and sum the others.
+	prog := fmt.Sprintf(`
+  li s1, %d          # own value
+  li s2, 1           # next node to collect
+collect:
+  li t3, %d
+  bge s2, t3, done
+`, 3, n)
+	prog += fmt.Sprintf(`
+  # flag address of node s2: 0x80000000 | s2<<16 | Mailbox
+  li t4, 1
+  slli t4, t4, 31
+  slli t5, s2, 16
+  or t4, t4, t5
+  li t6, %d
+  or t4, t4, t6
+poll:
+  ld t0, 0(t4)
+  beqz t0, poll
+  ld t1, 8(t4)       # value
+  add s1, s1, t1
+  addi s2, s2, 1
+  j collect
+done:
+  li t0, 0x1000
+  sd s1, 0(t0)
+  mv a0, s1
+  ecall
+`, Mailbox)
+	return prog
+}
+
+// AssembleAll assembles one program per node.
+func AssembleAll(srcs []string) ([][]uint64, error) {
+	images := make([][]uint64, len(srcs))
+	for i, src := range srcs {
+		p, err := riscv.Assemble(src)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		images[i] = p.Words64()
+	}
+	return images, nil
+}
+
+// ComputeImages builds n copies of the compute kernel.
+func ComputeImages(n, iters int) ([][]uint64, error) {
+	srcs := make([]string, n)
+	for i := range srcs {
+		srcs[i] = ComputeProgram(iters)
+	}
+	return AssembleAll(srcs)
+}
+
+// TokenRingImages builds the n-node token ring.
+func TokenRingImages(n int) ([][]uint64, error) {
+	srcs := make([]string, n)
+	for i := range srcs {
+		srcs[i] = TokenRingProgram(n, i)
+	}
+	return AssembleAll(srcs)
+}
+
+// ReduceImages builds the n-node reduction.
+func ReduceImages(n int) ([][]uint64, error) {
+	srcs := make([]string, n)
+	for i := range srcs {
+		srcs[i] = ReduceProgram(n, i)
+	}
+	return AssembleAll(srcs)
+}

@@ -1,0 +1,245 @@
+package pgas
+
+import (
+	"strings"
+	"testing"
+
+	"livesim/internal/codegen"
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+)
+
+// newMeshSession wires a PGAS mesh into a full LiveSim session with the
+// compute workload registered as tb0.
+func newMeshSession(t *testing.T, n, iters int, every uint64) (*core.Session, *core.Pipe) {
+	t.Helper()
+	s := core.NewSession(TopName(n), core.Config{
+		Style:           codegen.StyleGrouped,
+		CheckpointEvery: every,
+		Lookback:        every,
+	})
+	if _, err := s.LoadDesign(Source(n)); err != nil {
+		t.Fatal(err)
+	}
+	images, err := ComputeImages(n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterTestbench("tb0", NewTestbench(n, images))
+	p, err := s.InstPipe("p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+// TestSessionERDLoop drives the paper's whole headline flow on a real
+// mesh: run, edit one pipeline stage, hot reload, resume from checkpoint,
+// verify in the background — and end bit-identical to a from-scratch run
+// of the edited design.
+func TestSessionERDLoop(t *testing.T) {
+	const n, iters = 2, 50
+	s, p := newMeshSession(t, n, iters, 500)
+	if err := s.Run("tb0", "p0", 3000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checkpoints.Len() < 3 {
+		t.Fatalf("checkpoints %d", p.Checkpoints.Len())
+	}
+	target := p.Sim.Cycle()
+
+	// Apply a single-stage behavioural change.
+	edited, err := Changes[3].Apply(Source(n)) // mem-size-mask rework
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ApplyChange(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoChange {
+		t.Fatal("change not detected")
+	}
+	if len(rep.Swapped) != 1 || rep.Swapped[0] != "stage_mem" {
+		t.Fatalf("swapped %v", rep.Swapped)
+	}
+	if p.Sim.Cycle() != target {
+		t.Errorf("estimate cycle %d want %d", p.Sim.Cycle(), target)
+	}
+	rep.WaitVerification()
+	for _, h := range rep.Verifications {
+		if h.Err != nil {
+			t.Fatal(h.Err)
+		}
+		// The rework is semantics-preserving: checkpoints stay consistent.
+		if !h.Result.Consistent() {
+			t.Errorf("unexpected divergence at segment %d", h.Result.FirstDivergence)
+		}
+	}
+
+	// Ground truth: run the edited design from scratch on a fresh session.
+	s2, p2 := newMeshSession(t, n, iters, 500)
+	edited2, _ := Changes[3].Apply(Source(n))
+	if _, err := s2.ApplyChange(edited2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run("tb0", "p0x", 1); err == nil {
+		t.Fatal("expected unknown pipe error")
+	}
+	if err := s2.Run("tb0", "p0", int(target)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for r := 1; r < 32; r++ {
+			a, err := ReadReg(p.Sim, n, i, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ReadReg(p2.Sim, n, i, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("node %d x%d: live %#x scratch %#x", i, r, a, b)
+			}
+		}
+	}
+}
+
+// TestSessionCommentEditFastPath: a comment edit must not swap anything.
+func TestSessionCommentEditFastPath(t *testing.T) {
+	const n = 1
+	s, _ := newMeshSession(t, n, 10, 200)
+	if err := s.Run("tb0", "p0", 400); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Changes[1].Apply(Source(n)) // comment-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ApplyChange(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.NoChange {
+		t.Fatalf("comment edit swapped %v", rep.Swapped)
+	}
+}
+
+// TestSessionRegisterRenameOnCore: renaming a register in stage_if flows
+// through BestGuess + the transform history and preserves the mesh state.
+func TestSessionRegisterRenameOnCore(t *testing.T) {
+	const n = 1
+	s, p := newMeshSession(t, n, 50, 300)
+	if err := s.Run("tb0", "p0", 900); err != nil {
+		t.Fatal(err)
+	}
+	edited, err := Changes[4].Apply(Source(n)) // drain -> drain_q
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ApplyChange(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoChange {
+		t.Fatal("rename not detected")
+	}
+	rep.WaitVerification()
+	for _, h := range rep.Verifications {
+		if h.Err != nil {
+			t.Fatal(h.Err)
+		}
+		if !h.Result.Consistent() {
+			t.Error("rename must be state-preserving")
+		}
+	}
+	desc := s.TransformOps().Describe()
+	if !strings.Contains(desc, "rename drain, drain_q") {
+		t.Errorf("history missing rename:\n%s", desc)
+	}
+	// The pipe still runs.
+	before := p.Sim.Cycle()
+	if err := s.Run("tb0", "p0", 100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Sim.Cycle() != before+100 {
+		t.Errorf("cycle %d", p.Sim.Cycle())
+	}
+}
+
+// TestSessionDivergentChangeRefines: a behaviour-changing edit to the
+// hazard logic alters timing from early on; verification must catch it
+// and the refined state must match ground truth.
+func TestSessionDivergentChangeRefines(t *testing.T) {
+	const n, iters = 1, 60
+	s, p := newMeshSession(t, n, iters, 250)
+	if err := s.Run("tb0", "p0", 2000); err != nil {
+		t.Fatal(err)
+	}
+	target := p.Sim.Cycle()
+
+	edited, err := Changes[2].Apply(Source(n)) // hazard tighten: changes timing
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.ApplyChange(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.WaitVerification()
+	h := rep.Verifications[0]
+	if h.Err != nil {
+		t.Fatal(h.Err)
+	}
+	if h.Result.Consistent() {
+		t.Fatal("hazard change should diverge early")
+	}
+	if !h.Refined {
+		t.Fatal("expected refinement")
+	}
+
+	// Ground truth.
+	s2, p2 := newMeshSession(t, n, iters, 250)
+	edited2, _ := Changes[2].Apply(Source(n))
+	if _, err := s2.ApplyChange(edited2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run("tb0", "p0", int(target)); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 32; r++ {
+		a, _ := ReadReg(p.Sim, n, 0, r)
+		b, _ := ReadReg(p2.Sim, n, 0, r)
+		if a != b {
+			t.Errorf("x%d: refined %#x scratch %#x", r, a, b)
+		}
+	}
+	pcA, _ := p.Sim.Peek("top.n0.u_core.u_if.pc_r")
+	pcB, _ := p2.Sim.Peek("top.n0.u_core.u_if.pc_r")
+	if pcA != pcB {
+		t.Errorf("pc: refined %#x scratch %#x", pcA, pcB)
+	}
+}
+
+func TestChangeCatalogApplies(t *testing.T) {
+	src := Source(1)
+	for _, c := range Changes {
+		edited, err := c.Apply(src)
+		if err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+			continue
+		}
+		reverted, err := c.Revert(edited)
+		if err != nil {
+			t.Errorf("%s revert: %v", c.Name, err)
+			continue
+		}
+		if reverted.Files[c.File] != src.Files[c.File] {
+			t.Errorf("%s: revert is not an inverse", c.Name)
+		}
+	}
+	if _, err := Changes[0].Apply(liveparser.Source{}); err == nil {
+		t.Error("apply to empty source should fail")
+	}
+}

@@ -1,0 +1,654 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled image.
+type Program struct {
+	// Words are the 32-bit instruction/data words, base address 0.
+	Words []uint32
+	// Labels maps label names to byte addresses.
+	Labels map[string]uint64
+}
+
+// Bytes returns the little-endian byte image.
+func (p *Program) Bytes() []byte {
+	out := make([]byte, 4*len(p.Words))
+	for i, w := range p.Words {
+		out[4*i] = byte(w)
+		out[4*i+1] = byte(w >> 8)
+		out[4*i+2] = byte(w >> 16)
+		out[4*i+3] = byte(w >> 24)
+	}
+	return out
+}
+
+// Words64 packs the image into 64-bit words (the RTL memory's geometry).
+func (p *Program) Words64() []uint64 {
+	out := make([]uint64, (len(p.Words)+1)/2)
+	for i, w := range p.Words {
+		if i%2 == 0 {
+			out[i/2] |= uint64(w)
+		} else {
+			out[i/2] |= uint64(w) << 32
+		}
+	}
+	return out
+}
+
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e *asmError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// Assemble translates RV64I assembly into a Program. Supported directives:
+// labels ("name:"), .word, .dword, .zero N (N bytes of zeros, 4-aligned),
+// comments (# and //). Pseudo-instructions: nop, li, mv, j, jr, ret, call,
+// beqz, bnez, la, neg, not, seqz, snez.
+func Assemble(src string) (*Program, error) {
+	type item struct {
+		line  int
+		mn    string
+		args  []string
+		addr  uint64
+		words int // words this item occupies
+	}
+
+	labels := make(map[string]uint64)
+	var items []item
+	addr := uint64(0)
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, &asmError{lineNo + 1, "bad label " + label}
+			}
+			if _, dup := labels[label]; dup {
+				return nil, &asmError{lineNo + 1, "duplicate label " + label}
+			}
+			labels[label] = addr
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mn, rest := line, ""
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			mn, rest = line[:i], strings.TrimSpace(line[i+1:])
+		}
+		mn = strings.ToLower(mn)
+		var args []string
+		if rest != "" {
+			for _, a := range splitArgs(rest) {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		it := item{line: lineNo + 1, mn: mn, args: args, addr: addr}
+		it.words = itemWords(mn, args)
+		if it.words < 0 {
+			return nil, &asmError{it.line, "unknown directive/mnemonic " + mn}
+		}
+		addr += uint64(4 * it.words)
+		items = append(items, it)
+	}
+
+	p := &Program{Labels: labels}
+	for _, it := range items {
+		ws, err := encodeItem(it.mn, it.args, it.addr, labels)
+		if err != nil {
+			return nil, &asmError{it.line, err.Error()}
+		}
+		if len(ws) != it.words {
+			return nil, &asmError{it.line, fmt.Sprintf("internal: size mismatch %d != %d", len(ws), it.words)}
+		}
+		p.Words = append(p.Words, ws...)
+	}
+	return p, nil
+}
+
+// splitArgs splits on commas but keeps "imm(reg)" forms whole.
+func splitArgs(s string) []string {
+	return strings.Split(s, ",")
+}
+
+// itemWords returns how many 32-bit words a mnemonic occupies (-1 if
+// unknown). li and la may take two instructions; they always reserve two
+// for addresses/immediates beyond 12 bits, one when it provably fits.
+func itemWords(mn string, args []string) int {
+	switch mn {
+	case ".word":
+		return len(args)
+	case ".dword":
+		return 2 * len(args)
+	case ".zero":
+		if len(args) == 1 {
+			if n, err := strconv.Atoi(args[0]); err == nil && n >= 0 {
+				return (n + 3) / 4
+			}
+		}
+		return -1
+	case "li":
+		if len(args) == 2 {
+			if v, err := parseImm(args[1]); err == nil && fitsI12(v) {
+				return 1
+			}
+		}
+		return 2
+	case "la":
+		return 2
+	case "call":
+		return 1
+	case "nop", "mv", "j", "jr", "ret", "beqz", "bnez", "neg", "not", "seqz", "snez":
+		return 1
+	}
+	if _, ok := encoders[mn]; ok {
+		return 1
+	}
+	return -1
+}
+
+func fitsI12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	iv := int64(v)
+	if neg {
+		iv = -iv
+	}
+	return iv, nil
+}
+
+func parseReg(s string) (uint32, error) {
+	r, ok := regAliases[strings.TrimSpace(strings.ToLower(s))]
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint32(r), nil
+}
+
+// parseMemOperand parses "imm(reg)" or "(reg)".
+func parseMemOperand(s string) (int64, uint32, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	imm := int64(0)
+	if open > 0 {
+		var err error
+		imm, err = parseImm(s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return imm, reg, nil
+}
+
+// resolve parses an immediate or label.
+func resolve(s string, labels map[string]uint64) (int64, error) {
+	if v, err := parseImm(s); err == nil {
+		return v, nil
+	}
+	if a, ok := labels[strings.TrimSpace(s)]; ok {
+		return int64(a), nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", s)
+}
+
+type encoder func(args []string, addr uint64, labels map[string]uint64) ([]uint32, error)
+
+// rType builds an encoder for an R-type instruction.
+func rType(funct7, funct3, opcode uint32) encoder {
+	return func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("want rd, rs1, rs2")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		s2, err := parseReg(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encR(funct7, s2, s1, funct3, d, opcode)}, nil
+	}
+}
+
+// iType builds an encoder for an I-type ALU instruction.
+func iType(funct3, opcode uint32) encoder {
+	return func(args []string, _ uint64, labels map[string]uint64) ([]uint32, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("want rd, rs1, imm")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := resolve(args[2], labels)
+		if err != nil {
+			return nil, err
+		}
+		if !fitsI12(imm) {
+			return nil, fmt.Errorf("immediate %d out of I-type range", imm)
+		}
+		return []uint32{encI(imm, s1, funct3, d, opcode)}, nil
+	}
+}
+
+// shType builds an encoder for shift-immediate instructions.
+func shType(funct7, funct3, opcode uint32, maxSh int64) encoder {
+	return func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("want rd, rs1, shamt")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		sh, err := parseImm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		if sh < 0 || sh > maxSh {
+			return nil, fmt.Errorf("shift amount %d out of range", sh)
+		}
+		return []uint32{encI(int64(funct7)<<5|sh, s1, funct3, d, opcode)}, nil
+	}
+}
+
+// loadType builds an encoder for loads: rd, imm(rs1).
+func loadType(funct3 uint32) encoder {
+	return func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, imm(rs1)")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if !fitsI12(imm) {
+			return nil, fmt.Errorf("offset %d out of range", imm)
+		}
+		return []uint32{encI(imm, base, funct3, d, opLoad)}, nil
+	}
+}
+
+// storeType builds an encoder for stores: rs2, imm(rs1).
+func storeType(funct3 uint32) encoder {
+	return func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rs2, imm(rs1)")
+		}
+		src, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if !fitsI12(imm) {
+			return nil, fmt.Errorf("offset %d out of range", imm)
+		}
+		return []uint32{encS(imm, src, base, funct3, opStore)}, nil
+	}
+}
+
+// brType builds an encoder for branches: rs1, rs2, target.
+func brType(funct3 uint32) encoder {
+	return func(args []string, addr uint64, labels map[string]uint64) ([]uint32, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("want rs1, rs2, target")
+		}
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s2, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := resolve(args[2], labels)
+		if err != nil {
+			return nil, err
+		}
+		off := tgt - int64(addr)
+		if off < -4096 || off > 4094 || off%2 != 0 {
+			return nil, fmt.Errorf("branch offset %d out of range", off)
+		}
+		return []uint32{encB(off, s2, s1, funct3, opBranch)}, nil
+	}
+}
+
+var encoders map[string]encoder
+
+func init() {
+	encoders = map[string]encoder{
+		"add":   rType(0x00, 0b000, opReg),
+		"sub":   rType(0x20, 0b000, opReg),
+		"sll":   rType(0x00, 0b001, opReg),
+		"slt":   rType(0x00, 0b010, opReg),
+		"sltu":  rType(0x00, 0b011, opReg),
+		"xor":   rType(0x00, 0b100, opReg),
+		"srl":   rType(0x00, 0b101, opReg),
+		"sra":   rType(0x20, 0b101, opReg),
+		"or":    rType(0x00, 0b110, opReg),
+		"and":   rType(0x00, 0b111, opReg),
+		"addw":  rType(0x00, 0b000, opReg32),
+		"subw":  rType(0x20, 0b000, opReg32),
+		"sllw":  rType(0x00, 0b001, opReg32),
+		"srlw":  rType(0x00, 0b101, opReg32),
+		"sraw":  rType(0x20, 0b101, opReg32),
+		"addi":  iType(0b000, opImm),
+		"slti":  iType(0b010, opImm),
+		"sltiu": iType(0b011, opImm),
+		"xori":  iType(0b100, opImm),
+		"ori":   iType(0b110, opImm),
+		"andi":  iType(0b111, opImm),
+		"addiw": iType(0b000, opImm32),
+		"slli":  shType(0x00, 0b001, opImm, 63),
+		"srli":  shType(0x00, 0b101, opImm, 63),
+		"srai":  shType(0x20, 0b101, opImm, 63),
+		"slliw": shType(0x00, 0b001, opImm32, 31),
+		"srliw": shType(0x00, 0b101, opImm32, 31),
+		"sraiw": shType(0x20, 0b101, opImm32, 31),
+		"lb":    loadType(0b000),
+		"lh":    loadType(0b001),
+		"lw":    loadType(0b010),
+		"ld":    loadType(0b011),
+		"lbu":   loadType(0b100),
+		"lhu":   loadType(0b101),
+		"lwu":   loadType(0b110),
+		"sb":    storeType(0b000),
+		"sh":    storeType(0b001),
+		"sw":    storeType(0b010),
+		"sd":    storeType(0b011),
+		"beq":   brType(0b000),
+		"bne":   brType(0b001),
+		"blt":   brType(0b100),
+		"bge":   brType(0b101),
+		"bltu":  brType(0b110),
+		"bgeu":  brType(0b111),
+		"lui":   uTypeEnc(opLUI),
+		"auipc": uTypeEnc(opAUIPC),
+		"jal":   jalEnc,
+		"jalr":  jalrEnc,
+		"ecall": func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+			return []uint32{encI(0, 0, 0, 0, opSystem)}, nil
+		},
+		"ebreak": func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+			return []uint32{encI(1, 0, 0, 0, opSystem)}, nil
+		},
+		"fence": func(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+			return []uint32{encI(0, 0, 0, 0, opFence)}, nil
+		},
+	}
+}
+
+func uTypeEnc(opcode uint32) encoder {
+	return func(args []string, _ uint64, labels map[string]uint64) ([]uint32, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, imm")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := resolve(args[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encU(imm<<12, d, opcode)}, nil
+	}
+}
+
+func jalEnc(args []string, addr uint64, labels map[string]uint64) ([]uint32, error) {
+	if len(args) == 1 {
+		args = []string{"ra", args[0]}
+	}
+	if len(args) != 2 {
+		return nil, fmt.Errorf("want rd, target")
+	}
+	d, err := parseReg(args[0])
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := resolve(args[1], labels)
+	if err != nil {
+		return nil, err
+	}
+	off := tgt - int64(addr)
+	if off < -(1<<20) || off >= 1<<20 || off%2 != 0 {
+		return nil, fmt.Errorf("jal offset %d out of range", off)
+	}
+	return []uint32{encJ(off, d, opJAL)}, nil
+}
+
+func jalrEnc(args []string, _ uint64, _ map[string]uint64) ([]uint32, error) {
+	// Forms: jalr rd, imm(rs1) | jalr rd, rs1, imm | jalr rs1
+	switch len(args) {
+	case 1:
+		s1, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0, s1, 0, 1, opJALR)}, nil
+	case 2:
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		imm, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encI(imm, base, 0, d, opJALR)}, nil
+	case 3:
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		s1, err := parseReg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		imm, err := parseImm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encI(imm, s1, 0, d, opJALR)}, nil
+	}
+	return nil, fmt.Errorf("bad jalr form")
+}
+
+// encodeItem assembles one source item (directive, pseudo, or real
+// instruction) into words.
+func encodeItem(mn string, args []string, addr uint64, labels map[string]uint64) ([]uint32, error) {
+	switch mn {
+	case ".word":
+		var ws []uint32
+		for _, a := range args {
+			v, err := resolve(a, labels)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, uint32(v))
+		}
+		return ws, nil
+	case ".dword":
+		var ws []uint32
+		for _, a := range args {
+			v, err := resolve(a, labels)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, uint32(v), uint32(uint64(v)>>32))
+		}
+		return ws, nil
+	case ".zero":
+		n, _ := strconv.Atoi(args[0])
+		return make([]uint32, (n+3)/4), nil
+	case "nop":
+		return []uint32{encI(0, 0, 0b000, 0, opImm)}, nil
+	case "mv":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, rs")
+		}
+		return encodeItem("addi", []string{args[0], args[1], "0"}, addr, labels)
+	case "neg":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, rs")
+		}
+		return encodeItem("sub", []string{args[0], "zero", args[1]}, addr, labels)
+	case "not":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, rs")
+		}
+		return encodeItem("xori", []string{args[0], args[1], "-1"}, addr, labels)
+	case "seqz":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, rs")
+		}
+		return encodeItem("sltiu", []string{args[0], args[1], "1"}, addr, labels)
+	case "snez":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, rs")
+		}
+		return encodeItem("sltu", []string{args[0], "zero", args[1]}, addr, labels)
+	case "j":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want target")
+		}
+		return jalEnc([]string{"zero", args[0]}, addr, labels)
+	case "call":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want target")
+		}
+		return jalEnc([]string{"ra", args[0]}, addr, labels)
+	case "jr":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("want rs")
+		}
+		return jalrEnc([]string{"zero", args[0], "0"}, addr, labels)
+	case "ret":
+		return jalrEnc([]string{"zero", "ra", "0"}, addr, labels)
+	case "beqz":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rs, target")
+		}
+		return encodeItem("beq", []string{args[0], "zero", args[1]}, addr, labels)
+	case "bnez":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rs, target")
+		}
+		return encodeItem("bne", []string{args[0], "zero", args[1]}, addr, labels)
+	case "li":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, imm")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return encodeLI(d, v)
+	case "la":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want rd, symbol")
+		}
+		d, err := parseReg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := resolve(args[1], labels)
+		if err != nil {
+			return nil, err
+		}
+		return encodeLI32(d, v)
+	}
+	enc, ok := encoders[mn]
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return enc(args, addr, labels)
+}
+
+// encodeLI materializes a constant; 12-bit constants take one addi,
+// 32-bit-representable ones take lui+addiw. Larger constants are not
+// needed by the benchmark programs and are rejected.
+func encodeLI(d uint32, v int64) ([]uint32, error) {
+	if fitsI12(v) {
+		return []uint32{encI(v, 0, 0b000, d, opImm)}, nil
+	}
+	return encodeLI32(d, v)
+}
+
+func encodeLI32(d uint32, v int64) ([]uint32, error) {
+	if v != int64(int32(v)) {
+		// Accept positive 32-bit patterns with bit 31 set (e.g. PGAS
+		// global addresses): the register holds the sign-extended
+		// pattern, whose low 32 bits are what address hardware consumes.
+		if uint64(v)>>32 == 0 {
+			v = int64(int32(uint32(v)))
+		} else {
+			return nil, fmt.Errorf("li constant %#x does not fit 32 bits", v)
+		}
+	}
+	lo := int64(int32(v<<20) >> 20) // low 12, sign extended
+	hi := v - lo
+	return []uint32{
+		encU(hi, d, opLUI),
+		encI(lo, d, 0b000, d, opImm32), // addiw keeps 32-bit sign semantics
+	}, nil
+}

@@ -1,0 +1,87 @@
+package riscv
+
+import "fmt"
+
+// Disassemble renders one instruction word at the given address.
+func Disassemble(insn uint32, addr uint64) string {
+	r := func(i uint32) string { return RegNames[i&31] }
+	switch insn & 0x7F {
+	case opLUI:
+		return fmt.Sprintf("lui %s, %#x", r(rd(insn)), uint64(immU(insn))>>12&0xFFFFF)
+	case opAUIPC:
+		return fmt.Sprintf("auipc %s, %#x", r(rd(insn)), uint64(immU(insn))>>12&0xFFFFF)
+	case opJAL:
+		return fmt.Sprintf("jal %s, %#x", r(rd(insn)), addr+uint64(immJ(insn)))
+	case opJALR:
+		return fmt.Sprintf("jalr %s, %d(%s)", r(rd(insn)), immI(insn), r(rs1(insn)))
+	case opBranch:
+		mn := map[uint32]string{0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}[funct3(insn)]
+		if mn == "" {
+			return fmt.Sprintf(".word %#08x", insn)
+		}
+		return fmt.Sprintf("%s %s, %s, %#x", mn, r(rs1(insn)), r(rs2(insn)), addr+uint64(immB(insn)))
+	case opLoad:
+		mn := map[uint32]string{0: "lb", 1: "lh", 2: "lw", 3: "ld", 4: "lbu", 5: "lhu", 6: "lwu"}[funct3(insn)]
+		if mn == "" {
+			return fmt.Sprintf(".word %#08x", insn)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", mn, r(rd(insn)), immI(insn), r(rs1(insn)))
+	case opStore:
+		mn := map[uint32]string{0: "sb", 1: "sh", 2: "sw", 3: "sd"}[funct3(insn)]
+		if mn == "" {
+			return fmt.Sprintf(".word %#08x", insn)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", mn, r(rs2(insn)), immS(insn), r(rs1(insn)))
+	case opImm:
+		switch funct3(insn) {
+		case 0b001:
+			return fmt.Sprintf("slli %s, %s, %d", r(rd(insn)), r(rs1(insn)), (insn>>20)&63)
+		case 0b101:
+			mn := "srli"
+			if insn>>30&1 == 1 {
+				mn = "srai"
+			}
+			return fmt.Sprintf("%s %s, %s, %d", mn, r(rd(insn)), r(rs1(insn)), (insn>>20)&63)
+		}
+		mn := map[uint32]string{0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}[funct3(insn)]
+		return fmt.Sprintf("%s %s, %s, %d", mn, r(rd(insn)), r(rs1(insn)), immI(insn))
+	case opImm32:
+		switch funct3(insn) {
+		case 0b000:
+			return fmt.Sprintf("addiw %s, %s, %d", r(rd(insn)), r(rs1(insn)), immI(insn))
+		case 0b001:
+			return fmt.Sprintf("slliw %s, %s, %d", r(rd(insn)), r(rs1(insn)), (insn>>20)&31)
+		case 0b101:
+			mn := "srliw"
+			if insn>>30&1 == 1 {
+				mn = "sraiw"
+			}
+			return fmt.Sprintf("%s %s, %s, %d", mn, r(rd(insn)), r(rs1(insn)), (insn>>20)&31)
+		}
+		return fmt.Sprintf(".word %#08x", insn)
+	case opReg, opReg32:
+		suffix := ""
+		if insn&0x7F == opReg32 {
+			suffix = "w"
+		}
+		key := funct3(insn)<<8 | funct7(insn)
+		mn := map[uint32]string{
+			0b000<<8 | 0x00: "add", 0b000<<8 | 0x20: "sub",
+			0b001<<8 | 0x00: "sll", 0b010<<8 | 0x00: "slt", 0b011<<8 | 0x00: "sltu",
+			0b100<<8 | 0x00: "xor", 0b101<<8 | 0x00: "srl", 0b101<<8 | 0x20: "sra",
+			0b110<<8 | 0x00: "or", 0b111<<8 | 0x00: "and",
+		}[key]
+		if mn == "" {
+			return fmt.Sprintf(".word %#08x", insn)
+		}
+		return fmt.Sprintf("%s%s %s, %s, %s", mn, suffix, r(rd(insn)), r(rs1(insn)), r(rs2(insn)))
+	case opSystem:
+		if immI(insn) == 1 {
+			return "ebreak"
+		}
+		return "ecall"
+	case opFence:
+		return "fence"
+	}
+	return fmt.Sprintf(".word %#08x", insn)
+}

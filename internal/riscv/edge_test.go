@@ -1,0 +1,171 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleUnknowns(t *testing.T) {
+	cases := []uint32{
+		0x0000007F,                   // unknown opcode
+		encB(0, 1, 2, 2, 0x63),       // bad branch funct3 (010)
+		encI(0, 1, 7, 2, 0x03),       // bad load funct3 (111)
+		encS(0, 1, 2, 7, 0x23),       // bad store funct3
+		encR(0x7F, 1, 2, 0, 3, 0x33), // bad R funct7
+		encI(0, 1, 2, 3, 0x1B),       // bad op-imm-32 funct3
+	}
+	for _, w := range cases {
+		if got := Disassemble(w, 0); !strings.HasPrefix(got, ".word") {
+			t.Errorf("%#08x disassembled to %q, want .word fallback", w, got)
+		}
+	}
+}
+
+func TestDisassembleFullCoverage(t *testing.T) {
+	// Every supported mnemonic disassembles to something containing its
+	// own name.
+	srcs := []string{
+		"lui a0, 1", "auipc a0, 1", "jal ra, 0", "jalr a0, 0(a1)",
+		"beq a0, a1, 0", "bne a0, a1, 0", "blt a0, a1, 0", "bge a0, a1, 0",
+		"bltu a0, a1, 0", "bgeu a0, a1, 0",
+		"lb a0, 0(a1)", "lh a0, 0(a1)", "lw a0, 0(a1)", "ld a0, 0(a1)",
+		"lbu a0, 0(a1)", "lhu a0, 0(a1)", "lwu a0, 0(a1)",
+		"sb a0, 0(a1)", "sh a0, 0(a1)", "sw a0, 0(a1)", "sd a0, 0(a1)",
+		"addi a0, a1, 1", "slti a0, a1, 1", "sltiu a0, a1, 1",
+		"xori a0, a1, 1", "ori a0, a1, 1", "andi a0, a1, 1",
+		"slli a0, a1, 1", "srli a0, a1, 1", "srai a0, a1, 1",
+		"addiw a0, a1, 1", "slliw a0, a1, 1", "srliw a0, a1, 1", "sraiw a0, a1, 1",
+		"add a0, a1, a2", "sub a0, a1, a2", "sll a0, a1, a2",
+		"slt a0, a1, a2", "sltu a0, a1, a2", "xor a0, a1, a2",
+		"srl a0, a1, a2", "sra a0, a1, a2", "or a0, a1, a2", "and a0, a1, a2",
+		"addw a0, a1, a2", "subw a0, a1, a2", "sllw a0, a1, a2",
+		"srlw a0, a1, a2", "sraw a0, a1, a2",
+		"ecall", "ebreak", "fence",
+	}
+	for _, src := range srcs {
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		mn := strings.Fields(src)[0]
+		dis := Disassemble(p.Words[0], 0)
+		if !strings.HasPrefix(dis, mn) {
+			t.Errorf("%q -> %q", src, dis)
+		}
+	}
+}
+
+func TestISSIllegalInstruction(t *testing.T) {
+	mem := make(SliceMemory, 64)
+	mem.Store(0, 4, 0x0000007F)
+	c := NewCPU(mem)
+	if err := c.Step(); err == nil {
+		t.Fatal("want illegal-instruction error")
+	}
+	// Bad sub-encodings.
+	for _, w := range []uint32{
+		encB(0, 1, 2, 2, 0x63),
+		encI(0, 1, 7, 2, 0x03),
+		encR(0x7F, 1, 2, 0, 3, 0x33),
+		encR(0x7F, 1, 2, 0, 3, 0x3B),
+		encI(0, 1, 2, 3, 0x1B),
+	} {
+		mem.Store(0, 4, uint64(w))
+		c := NewCPU(mem)
+		if err := c.Step(); err == nil {
+			t.Errorf("%#08x: want decode error", w)
+		}
+	}
+	// Bad store funct3 (111).
+	mem.Store(0, 4, uint64(encS(0, 1, 2, 7, 0x23)))
+	c2 := NewCPU(mem)
+	if err := c2.Step(); err == nil {
+		t.Error("bad store funct3 accepted")
+	}
+}
+
+func TestISSMemoryFaults(t *testing.T) {
+	mem := make(SliceMemory, 64)
+	// ld from far out of range.
+	p, _ := Assemble("li a0, 0x7000\nld a1, 0(a0)")
+	copy(mem, p.Bytes())
+	c := NewCPU(mem)
+	if err := c.Run(10); err == nil {
+		t.Fatal("want load fault")
+	}
+	// Fetch out of range.
+	c2 := NewCPU(make(SliceMemory, 4))
+	c2.PC = 100
+	if err := c2.Step(); err == nil {
+		t.Fatal("want fetch fault")
+	}
+	// Step after halt is a no-op.
+	c3 := NewCPU(mem)
+	c3.Halted = true
+	if err := c3.Step(); err != nil || c3.PC != 0 {
+		t.Errorf("halted step: %v pc=%d", err, c3.PC)
+	}
+}
+
+func TestISSInstret(t *testing.T) {
+	mem := make(SliceMemory, 64)
+	p, _ := Assemble("nop\nnop\nnop\necall")
+	copy(mem, p.Bytes())
+	c := NewCPU(mem)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Instret != 4 {
+		t.Errorf("instret %d", c.Instret)
+	}
+}
+
+func TestAssembleLabelInDirectives(t *testing.T) {
+	p, err := Assemble("start:\n  j start\ntable:\n  .word start, table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Words[1] != 0 || p.Words[2] != 4 {
+		t.Errorf("label values in .word: %#x %#x", p.Words[1], p.Words[2])
+	}
+	if p.Labels["start"] != 0 || p.Labels["table"] != 4 {
+		t.Errorf("labels %v", p.Labels)
+	}
+}
+
+func TestAssembleMultipleLabelsOneLine(t *testing.T) {
+	p, err := Assemble("a: b: nop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
+		t.Errorf("labels %v", p.Labels)
+	}
+}
+
+func TestPseudoCoverage(t *testing.T) {
+	c := runProg(t, `
+  li a0, 5
+  neg a1, a0        # -5
+  not a2, a0        # ~5
+  seqz a3, a0       # 0
+  li a4, 0
+  seqz a5, a4       # 1
+  snez a6, a0       # 1
+  jr_setup:
+  la t0, target
+  jr t0
+  li a7, 99         # skipped
+target:
+  ecall
+`, 100)
+	if int64(c.Regs[11]) != -5 || c.Regs[12] != ^uint64(5) {
+		t.Errorf("neg/not %x %x", c.Regs[11], c.Regs[12])
+	}
+	if c.Regs[13] != 0 || c.Regs[15] != 1 || c.Regs[16] != 1 {
+		t.Errorf("seqz/snez %d %d %d", c.Regs[13], c.Regs[15], c.Regs[16])
+	}
+	if c.Regs[17] == 99 {
+		t.Error("jr did not jump")
+	}
+}

@@ -1,0 +1,117 @@
+// Package riscv provides the RV64I toolchain substrate the PGAS benchmark
+// needs: an assembler, a disassembler, and a reference instruction-set
+// simulator used as the golden model when co-simulating the LiveHDL core.
+//
+// The paper's evaluation runs real programs on a mesh of 5-stage RV64I
+// cores; reproducing it offline requires building this toolchain from
+// scratch (no external assembler is available to the build).
+package riscv
+
+import "fmt"
+
+// Opcode field values (bits 6:0).
+const (
+	opLUI    = 0b0110111
+	opAUIPC  = 0b0010111
+	opJAL    = 0b1101111
+	opJALR   = 0b1100111
+	opBranch = 0b1100011
+	opLoad   = 0b0000011
+	opStore  = 0b0100011
+	opImm    = 0b0010011
+	opImm32  = 0b0011011
+	opReg    = 0b0110011
+	opReg32  = 0b0111011
+	opSystem = 0b1110011
+	opFence  = 0b0001111
+)
+
+// RegNames lists the ABI register names in x0..x31 order.
+var RegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// regAliases maps every accepted register spelling to its index.
+var regAliases = func() map[string]int {
+	m := make(map[string]int)
+	for i, n := range RegNames {
+		m[n] = i
+		m[fmt.Sprintf("x%d", i)] = i
+	}
+	m["fp"] = 8
+	return m
+}()
+
+// encR builds an R-type instruction.
+func encR(funct7, rs2, rs1, funct3, rd, opcode uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+// encI builds an I-type instruction (imm is the low 12 bits, sign pattern
+// caller's responsibility).
+func encI(imm int64, rs1, funct3, rd, opcode uint32) uint32 {
+	return uint32(imm&0xFFF)<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+// encS builds an S-type instruction.
+func encS(imm int64, rs2, rs1, funct3, opcode uint32) uint32 {
+	lo := uint32(imm & 0x1F)
+	hi := uint32((imm >> 5) & 0x7F)
+	return hi<<25 | rs2<<20 | rs1<<15 | funct3<<12 | lo<<7 | opcode
+}
+
+// encB builds a B-type instruction. imm is a byte offset (must be even).
+func encB(imm int64, rs2, rs1, funct3, opcode uint32) uint32 {
+	u := uint32(imm)
+	return ((u>>12)&1)<<31 | ((u>>5)&0x3F)<<25 | rs2<<20 | rs1<<15 |
+		funct3<<12 | ((u>>1)&0xF)<<8 | ((u>>11)&1)<<7 | opcode
+}
+
+// encU builds a U-type instruction; imm is the value for bits 31:12.
+func encU(imm int64, rd, opcode uint32) uint32 {
+	return uint32(imm)&0xFFFFF000 | rd<<7 | opcode
+}
+
+// encJ builds a J-type instruction. imm is a byte offset.
+func encJ(imm int64, rd, opcode uint32) uint32 {
+	u := uint32(imm)
+	return ((u>>20)&1)<<31 | ((u>>1)&0x3FF)<<21 | ((u>>11)&1)<<20 |
+		((u>>12)&0xFF)<<12 | rd<<7 | opcode
+}
+
+// immI extracts the sign-extended I-type immediate.
+func immI(insn uint32) int64 { return int64(int32(insn)) >> 20 }
+
+// immS extracts the sign-extended S-type immediate.
+func immS(insn uint32) int64 {
+	return (int64(int32(insn))>>25)<<5 | int64((insn>>7)&0x1F)
+}
+
+// immB extracts the sign-extended B-type immediate.
+func immB(insn uint32) int64 {
+	v := (int64(int32(insn))>>31)<<12 |
+		int64((insn>>7)&1)<<11 |
+		int64((insn>>25)&0x3F)<<5 |
+		int64((insn>>8)&0xF)<<1
+	return v
+}
+
+// immU extracts the U-type immediate (already shifted).
+func immU(insn uint32) int64 { return int64(int32(insn & 0xFFFFF000)) }
+
+// immJ extracts the sign-extended J-type immediate.
+func immJ(insn uint32) int64 {
+	return (int64(int32(insn))>>31)<<20 |
+		int64((insn>>12)&0xFF)<<12 |
+		int64((insn>>20)&1)<<11 |
+		int64((insn>>21)&0x3FF)<<1
+}
+
+func rd(insn uint32) uint32     { return (insn >> 7) & 0x1F }
+func rs1(insn uint32) uint32    { return (insn >> 15) & 0x1F }
+func rs2(insn uint32) uint32    { return (insn >> 20) & 0x1F }
+func funct3(insn uint32) uint32 { return (insn >> 12) & 0x7 }
+func funct7(insn uint32) uint32 { return insn >> 25 }

@@ -1,0 +1,284 @@
+package riscv
+
+import "fmt"
+
+// Memory is the ISS's view of the address space. Addresses are byte
+// addresses; size is 1, 2, 4 or 8. Load returns the raw (zero-extended)
+// bytes; the CPU applies sign extension.
+type Memory interface {
+	Load(addr uint64, size int) (uint64, error)
+	Store(addr uint64, size int, val uint64) error
+}
+
+// SliceMemory is a simple byte-backed Memory.
+type SliceMemory []byte
+
+// Load implements Memory.
+func (m SliceMemory) Load(addr uint64, size int) (uint64, error) {
+	if addr+uint64(size) > uint64(len(m)) {
+		return 0, fmt.Errorf("load out of range: %#x+%d", addr, size)
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m[addr+uint64(i)])
+	}
+	return v, nil
+}
+
+// Store implements Memory.
+func (m SliceMemory) Store(addr uint64, size int, val uint64) error {
+	if addr+uint64(size) > uint64(len(m)) {
+		return fmt.Errorf("store out of range: %#x+%d", addr, size)
+	}
+	for i := 0; i < size; i++ {
+		m[addr+uint64(i)] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// CPU is the reference RV64I instruction-set simulator: the golden model
+// the LiveHDL core is co-simulated against.
+type CPU struct {
+	Regs [32]uint64
+	PC   uint64
+	Mem  Memory
+	// Halted is set by ecall/ebreak (the benchmark's stop convention).
+	Halted bool
+	// Instret counts retired instructions.
+	Instret uint64
+}
+
+// NewCPU creates a CPU over mem starting at pc 0.
+func NewCPU(mem Memory) *CPU { return &CPU{Mem: mem} }
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	raw, err := c.Mem.Load(c.PC, 4)
+	if err != nil {
+		return fmt.Errorf("fetch at %#x: %w", c.PC, err)
+	}
+	insn := uint32(raw)
+	next := c.PC + 4
+	wr := func(r uint32, v uint64) {
+		if r != 0 {
+			c.Regs[r] = v
+		}
+	}
+	sext32 := func(v uint64) uint64 { return uint64(int64(int32(uint32(v)))) }
+
+	switch insn & 0x7F {
+	case opLUI:
+		wr(rd(insn), uint64(immU(insn)))
+	case opAUIPC:
+		wr(rd(insn), c.PC+uint64(immU(insn)))
+	case opJAL:
+		wr(rd(insn), next)
+		next = c.PC + uint64(immJ(insn))
+	case opJALR:
+		t := (c.Regs[rs1(insn)] + uint64(immI(insn))) &^ 1
+		wr(rd(insn), next)
+		next = t
+	case opBranch:
+		a, b := c.Regs[rs1(insn)], c.Regs[rs2(insn)]
+		var take bool
+		switch funct3(insn) {
+		case 0b000:
+			take = a == b
+		case 0b001:
+			take = a != b
+		case 0b100:
+			take = int64(a) < int64(b)
+		case 0b101:
+			take = int64(a) >= int64(b)
+		case 0b110:
+			take = a < b
+		case 0b111:
+			take = a >= b
+		default:
+			return fmt.Errorf("bad branch funct3 %d at %#x", funct3(insn), c.PC)
+		}
+		if take {
+			next = c.PC + uint64(immB(insn))
+		}
+	case opLoad:
+		addr := c.Regs[rs1(insn)] + uint64(immI(insn))
+		var v uint64
+		switch funct3(insn) {
+		case 0b000: // lb
+			raw, err := c.Mem.Load(addr, 1)
+			if err != nil {
+				return err
+			}
+			v = uint64(int64(int8(raw)))
+		case 0b001: // lh
+			raw, err := c.Mem.Load(addr, 2)
+			if err != nil {
+				return err
+			}
+			v = uint64(int64(int16(raw)))
+		case 0b010: // lw
+			raw, err := c.Mem.Load(addr, 4)
+			if err != nil {
+				return err
+			}
+			v = uint64(int64(int32(raw)))
+		case 0b011: // ld
+			raw, err := c.Mem.Load(addr, 8)
+			if err != nil {
+				return err
+			}
+			v = raw
+		case 0b100: // lbu
+			raw, err := c.Mem.Load(addr, 1)
+			if err != nil {
+				return err
+			}
+			v = raw
+		case 0b101: // lhu
+			raw, err := c.Mem.Load(addr, 2)
+			if err != nil {
+				return err
+			}
+			v = raw
+		case 0b110: // lwu
+			raw, err := c.Mem.Load(addr, 4)
+			if err != nil {
+				return err
+			}
+			v = raw
+		default:
+			return fmt.Errorf("bad load funct3 %d at %#x", funct3(insn), c.PC)
+		}
+		wr(rd(insn), v)
+	case opStore:
+		addr := c.Regs[rs1(insn)] + uint64(immS(insn))
+		size := []int{1, 2, 4, 8}[funct3(insn)&3]
+		if funct3(insn) > 0b011 {
+			return fmt.Errorf("bad store funct3 %d at %#x", funct3(insn), c.PC)
+		}
+		if err := c.Mem.Store(addr, size, c.Regs[rs2(insn)]); err != nil {
+			return err
+		}
+	case opImm:
+		a := c.Regs[rs1(insn)]
+		imm := uint64(immI(insn))
+		var v uint64
+		switch funct3(insn) {
+		case 0b000:
+			v = a + imm
+		case 0b010:
+			v = b2u(int64(a) < int64(imm))
+		case 0b011:
+			v = b2u(a < imm)
+		case 0b100:
+			v = a ^ imm
+		case 0b110:
+			v = a | imm
+		case 0b111:
+			v = a & imm
+		case 0b001:
+			v = a << (imm & 63)
+		case 0b101:
+			if insn>>30&1 == 1 {
+				v = uint64(int64(a) >> (imm & 63))
+			} else {
+				v = a >> (imm & 63)
+			}
+		}
+		wr(rd(insn), v)
+	case opImm32:
+		a := c.Regs[rs1(insn)]
+		imm := uint64(immI(insn))
+		var v uint64
+		switch funct3(insn) {
+		case 0b000:
+			v = sext32(a + imm)
+		case 0b001:
+			v = sext32(a << (imm & 31))
+		case 0b101:
+			if insn>>30&1 == 1 {
+				v = uint64(int64(int32(uint32(a))) >> (imm & 31))
+			} else {
+				v = sext32(uint64(uint32(a) >> (imm & 31)))
+			}
+		default:
+			return fmt.Errorf("bad op-imm-32 funct3 %d at %#x", funct3(insn), c.PC)
+		}
+		wr(rd(insn), v)
+	case opReg:
+		a, b := c.Regs[rs1(insn)], c.Regs[rs2(insn)]
+		var v uint64
+		switch funct3(insn)<<8 | funct7(insn) {
+		case 0b000<<8 | 0x00:
+			v = a + b
+		case 0b000<<8 | 0x20:
+			v = a - b
+		case 0b001<<8 | 0x00:
+			v = a << (b & 63)
+		case 0b010<<8 | 0x00:
+			v = b2u(int64(a) < int64(b))
+		case 0b011<<8 | 0x00:
+			v = b2u(a < b)
+		case 0b100<<8 | 0x00:
+			v = a ^ b
+		case 0b101<<8 | 0x00:
+			v = a >> (b & 63)
+		case 0b101<<8 | 0x20:
+			v = uint64(int64(a) >> (b & 63))
+		case 0b110<<8 | 0x00:
+			v = a | b
+		case 0b111<<8 | 0x00:
+			v = a & b
+		default:
+			return fmt.Errorf("bad op funct %x at %#x", insn, c.PC)
+		}
+		wr(rd(insn), v)
+	case opReg32:
+		a, b := c.Regs[rs1(insn)], c.Regs[rs2(insn)]
+		var v uint64
+		switch funct3(insn)<<8 | funct7(insn) {
+		case 0b000<<8 | 0x00:
+			v = sext32(a + b)
+		case 0b000<<8 | 0x20:
+			v = sext32(a - b)
+		case 0b001<<8 | 0x00:
+			v = sext32(a << (b & 31))
+		case 0b101<<8 | 0x00:
+			v = sext32(uint64(uint32(a) >> (b & 31)))
+		case 0b101<<8 | 0x20:
+			v = uint64(int64(int32(uint32(a))) >> (b & 31))
+		default:
+			return fmt.Errorf("bad op-32 funct %x at %#x", insn, c.PC)
+		}
+		wr(rd(insn), v)
+	case opSystem:
+		c.Halted = true // ecall/ebreak both halt in this environment
+	case opFence:
+		// no-op
+	default:
+		return fmt.Errorf("illegal instruction %#08x at %#x", insn, c.PC)
+	}
+	c.PC = next
+	c.Instret++
+	return nil
+}
+
+// Run executes up to maxSteps instructions or until halt.
+func (c *CPU) Run(maxSteps int) error {
+	for i := 0; i < maxSteps && !c.Halted; i++ {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,394 @@
+// Package sim is the LiveSim simulation kernel: it instantiates a
+// hierarchy of vm.Objects, evaluates it cycle by cycle, snapshots and
+// restores state, and — the paper's headline mechanism — hot-reloads a
+// recompiled object underneath a running simulation while migrating the
+// architectural state of every affected instance (Section III-D).
+//
+// The kernel keeps the paper's structure: objects are shared, instances
+// hold only state, and module boundaries are preserved at run time (no
+// cross-module inlining). Combinational values that cross module
+// boundaries are settled by fixed-point iteration over the instance tree;
+// within a module the compiler has already levelized, so the loop
+// converges in as many passes as the deepest cross-module comb chain.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"livesim/internal/vm"
+)
+
+// Resolver supplies compiled objects by specialization key. The session's
+// Object Library Table (Table II of the paper) implements this.
+type Resolver interface {
+	Object(key string) (*vm.Object, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(key string) (*vm.Object, error)
+
+// Object calls f.
+func (f ResolverFunc) Object(key string) (*vm.Object, error) { return f(key) }
+
+// MigrateFunc transfers architectural state from an instance of the old
+// object to an instance of the new one during hot reload. A nil MigrateFunc
+// uses name-based matching with the default rules of Table V.
+type MigrateFunc func(oldObj *vm.Object, old *vm.Instance, newObj *vm.Object, nu *vm.Instance) error
+
+// Node is one instance in the hierarchy.
+type Node struct {
+	Name     string // instance name within the parent
+	Path     string // full hierarchical path, "." separated
+	Obj      *vm.Object
+	Inst     *vm.Instance
+	Children []*Node
+	parent   *Node
+
+	// dirty marks that an input or internal state changed since the last
+	// combinational evaluation (event-driven settle).
+	dirty bool
+}
+
+// Sim is a running hierarchical simulation.
+type Sim struct {
+	Root *Node
+
+	// MaxSettle bounds the cross-module fixed-point; exceeding it means a
+	// combinational loop through module boundaries.
+	MaxSettle int
+
+	// Stats accumulates executed-op counters across the whole run.
+	Stats vm.Stats
+
+	cycle    uint64
+	finished bool
+	settled  bool
+	allDirty bool
+	resolver Resolver
+	output   io.Writer
+	nodes    []*Node // pre-order
+
+	codeBase uint64
+	dataBase uint64
+}
+
+// Option configures a Sim.
+type Option func(*Sim)
+
+// WithOutput directs $display text to w.
+func WithOutput(w io.Writer) Option { return func(s *Sim) { s.output = w } }
+
+// New builds the instance hierarchy for topKey.
+func New(r Resolver, topKey string, opts ...Option) (*Sim, error) {
+	s := &Sim{
+		MaxSettle: 64,
+		resolver:  r,
+		codeBase:  0x10000,
+		dataBase:  0x100000000,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	root, err := s.build(topKey, "top", nil)
+	if err != nil {
+		return nil, err
+	}
+	s.Root = root
+	s.rebuildIndex()
+	s.allDirty = true
+	return s, nil
+}
+
+func (s *Sim) build(key, name string, parent *Node) (*Node, error) {
+	obj, err := s.resolver.Object(key)
+	if err != nil {
+		return nil, err
+	}
+	if obj.BaseAddr == 0 {
+		obj.BaseAddr = s.codeBase
+		s.codeBase += uint64(obj.CodeBytes()+4095) &^ 4095
+	}
+	n := &Node{Name: name, Obj: obj, Inst: s.newInstance(obj), parent: parent}
+	if parent != nil {
+		n.Path = parent.Path + "." + name
+	} else {
+		n.Path = name
+	}
+	for _, c := range obj.Children {
+		cn, err := s.build(c.ObjectKey, c.InstName, n)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, cn)
+	}
+	return n, nil
+}
+
+// newInstance creates an instance with modeled data addresses assigned.
+func (s *Sim) newInstance(obj *vm.Object) *vm.Instance {
+	inst := vm.NewInstance(obj)
+	inst.Output = s.output
+	inst.DataBase = s.dataBase
+	s.dataBase += uint64(obj.NumSlots*8+63) &^ 63
+	for i := range inst.Mems {
+		inst.MemBases = append(inst.MemBases, s.dataBase)
+		s.dataBase += uint64(len(inst.Mems[i])*8+63) &^ 63
+	}
+	return inst
+}
+
+func (s *Sim) rebuildIndex() {
+	s.nodes = s.nodes[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		s.nodes = append(s.nodes, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(s.Root)
+}
+
+// Cycle returns the current simulation cycle.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// Finished reports whether any instance executed $finish.
+func (s *Sim) Finished() bool { return s.finished }
+
+// NumInstances returns the number of instances in the hierarchy.
+func (s *Sim) NumInstances() int { return len(s.nodes) }
+
+// Nodes returns the instances in pre-order. The slice is owned by the Sim.
+func (s *Sim) Nodes() []*Node { return s.nodes }
+
+// Settle runs the combinational fixed point. It must be called after
+// changing root inputs if outputs are read before the next Tick.
+func (s *Sim) Settle() error { return s.settle(nil) }
+
+func (s *Sim) settle(prof vm.Profiler) error {
+	if s.settled {
+		return nil
+	}
+	s.settled = true
+	if s.allDirty {
+		for _, n := range s.nodes {
+			n.dirty = true
+		}
+		s.allDirty = false
+	}
+	// Each pass has two phases. Eval: dirty instances re-run their comb
+	// programs. Copy: port values move across module boundaries (parents
+	// first, so downward chains and sibling-to-sibling forwarding traverse
+	// multiple hops per pass); a changed copy dirties the receiving
+	// instance. The fixed point is reached when a copy phase moves nothing
+	// — then every instance's inputs already matched its neighbours'
+	// outputs when it last evaluated.
+	for pass := 0; pass < s.MaxSettle; pass++ {
+		for _, n := range s.nodes {
+			if !n.dirty {
+				continue
+			}
+			n.dirty = false
+			if prof == nil {
+				n.Inst.RunComb(&s.Stats)
+			} else {
+				n.Inst.RunCombProfiled(&s.Stats, prof)
+			}
+		}
+		changed := false
+		for _, n := range s.nodes {
+			for ci, spec := range n.Obj.Children {
+				child := n.Children[ci]
+				for _, b := range spec.Binds {
+					port := child.Obj.Ports[b.ChildPort]
+					if port.Dir == vm.In {
+						v := n.Inst.Slots[b.ParentSlot] & port.Mask
+						if child.Inst.Slots[port.Slot] != v {
+							child.Inst.Slots[port.Slot] = v
+							child.dirty = true
+							changed = true
+						}
+					} else {
+						v := child.Inst.Slots[port.Slot]
+						if n.Inst.Slots[b.ParentSlot] != v {
+							n.Inst.Slots[b.ParentSlot] = v
+							n.dirty = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("combinational settle did not converge after %d passes (cross-module loop?)", s.MaxSettle)
+}
+
+// Tick advances the simulation n cycles.
+func (s *Sim) Tick(n int) error { return s.tick(n, nil) }
+
+// TickProfiled advances n cycles feeding the profiler (host cache model).
+func (s *Sim) TickProfiled(n int, prof vm.Profiler) error { return s.tick(n, prof) }
+
+func (s *Sim) tick(n int, prof vm.Profiler) error {
+	for i := 0; i < n; i++ {
+		if err := s.settle(prof); err != nil {
+			return fmt.Errorf("cycle %d: %w", s.cycle, err)
+		}
+		for _, nd := range s.nodes {
+			if prof == nil {
+				nd.Inst.RunSeq(&s.Stats)
+			} else {
+				nd.Inst.RunSeqProfiled(&s.Stats, prof)
+			}
+		}
+		for _, nd := range s.nodes {
+			if nd.Inst.Commit() {
+				nd.dirty = true
+			}
+			if nd.Inst.FinishReq {
+				s.finished = true
+			}
+		}
+		s.settled = false
+		s.cycle++
+		if s.finished {
+			break
+		}
+	}
+	// Leave the simulation settled so ports and probes reflect the state
+	// after the final clock edge.
+	if err := s.settle(prof); err != nil {
+		return fmt.Errorf("cycle %d: %w", s.cycle, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- access
+
+// SetIn drives a root input port.
+func (s *Sim) SetIn(port string, v uint64) error {
+	i := s.Root.Obj.PortIndex(port)
+	if i < 0 || s.Root.Obj.Ports[i].Dir != vm.In {
+		return fmt.Errorf("no input port %q on %s", port, s.Root.Obj.Key)
+	}
+	p := s.Root.Obj.Ports[i]
+	if s.Root.Inst.Slots[p.Slot] != v&p.Mask {
+		s.Root.Inst.Slots[p.Slot] = v & p.Mask
+		s.settled = false
+		s.Root.dirty = true
+	}
+	return nil
+}
+
+// Out reads a root output port (after Settle or Tick).
+func (s *Sim) Out(port string) (uint64, error) {
+	i := s.Root.Obj.PortIndex(port)
+	if i < 0 {
+		return 0, fmt.Errorf("no port %q on %s", port, s.Root.Obj.Key)
+	}
+	return s.Root.Inst.Slots[s.Root.Obj.Ports[i].Slot], nil
+}
+
+// FindNode resolves a hierarchical instance path relative to the root,
+// e.g. "top.core0.ex". "top" alone returns the root.
+func (s *Sim) FindNode(path string) (*Node, error) {
+	parts := strings.Split(path, ".")
+	if len(parts) == 0 || parts[0] != s.Root.Name {
+		return nil, fmt.Errorf("path %q must start with %q", path, s.Root.Name)
+	}
+	n := s.Root
+outer:
+	for _, p := range parts[1:] {
+		for _, c := range n.Children {
+			if c.Name == p {
+				n = c
+				continue outer
+			}
+		}
+		return nil, fmt.Errorf("no instance %q under %q", p, n.Path)
+	}
+	return n, nil
+}
+
+// Peek reads a named signal at a hierarchical path "inst.path.signal".
+func (s *Sim) Peek(path string) (uint64, error) {
+	node, sig, err := s.splitSignalPath(path)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range node.Obj.Debug {
+		if d.Name == sig {
+			return node.Inst.Slots[d.Slot], nil
+		}
+	}
+	return 0, fmt.Errorf("no signal %q in %s", sig, node.Path)
+}
+
+// Poke writes a named register or wire at a hierarchical path.
+func (s *Sim) Poke(path string, v uint64) error {
+	node, sig, err := s.splitSignalPath(path)
+	if err != nil {
+		return err
+	}
+	for _, d := range node.Obj.Debug {
+		if d.Name == sig {
+			node.Inst.Slots[d.Slot] = v & vm.Mask(d.Bits)
+			s.settled = false
+			node.dirty = true
+			return nil
+		}
+	}
+	return fmt.Errorf("no signal %q in %s", sig, node.Path)
+}
+
+// PeekMem reads one memory word.
+func (s *Sim) PeekMem(path string, addr uint64) (uint64, error) {
+	node, name, err := s.splitSignalPath(path)
+	if err != nil {
+		return 0, err
+	}
+	m := node.Obj.MemByName(name)
+	if m == nil {
+		return 0, fmt.Errorf("no memory %q in %s", name, node.Path)
+	}
+	if addr >= uint64(m.Depth) {
+		return 0, fmt.Errorf("address %d out of range for %s (depth %d)", addr, path, m.Depth)
+	}
+	return node.Inst.Mems[m.Index][addr], nil
+}
+
+// PokeMem writes one memory word (used by testbenches to load programs).
+func (s *Sim) PokeMem(path string, addr, v uint64) error {
+	node, name, err := s.splitSignalPath(path)
+	if err != nil {
+		return err
+	}
+	m := node.Obj.MemByName(name)
+	if m == nil {
+		return fmt.Errorf("no memory %q in %s", name, node.Path)
+	}
+	if addr >= uint64(m.Depth) {
+		return fmt.Errorf("address %d out of range for %s (depth %d)", addr, path, m.Depth)
+	}
+	node.Inst.Mems[m.Index][addr] = v & m.Mask
+	s.settled = false
+	node.dirty = true
+	return nil
+}
+
+func (s *Sim) splitSignalPath(path string) (*Node, string, error) {
+	i := strings.LastIndex(path, ".")
+	if i < 0 {
+		return nil, "", fmt.Errorf("signal path %q must be instance.signal", path)
+	}
+	node, err := s.FindNode(path[:i])
+	if err != nil {
+		return nil, "", err
+	}
+	return node, path[i+1:], nil
+}

@@ -1,0 +1,206 @@
+// Package trace records simulation waveforms in the Value Change Dump
+// (VCD) format of IEEE 1364, viewable in GTKWave and every commercial
+// waveform browser. LiveSim's debugging story (Section III-A) revolves
+// around jumping to checkpoints near a failure; dumping a window of
+// signal activity around that point is the natural companion.
+//
+// The tracer attaches to a running sim.Sim, watches a chosen set of
+// hierarchical signals (or everything), and emits changes per cycle:
+//
+//	tr, _ := trace.New(w, s, trace.All())
+//	for i := 0; i < n; i++ {
+//	    s.Tick(1)
+//	    tr.Sample()
+//	}
+//	tr.Close()
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"livesim/internal/sim"
+)
+
+// probe is one watched signal.
+type probe struct {
+	node *sim.Node
+	name string // signal name within the node
+	slot uint32
+	bits int
+	id   string // VCD identifier code
+	last uint64
+	init bool
+}
+
+// Tracer streams VCD to a writer.
+type Tracer struct {
+	w      *bufio.Writer
+	s      *sim.Sim
+	probes []*probe
+	closed bool
+}
+
+// Filter selects which signals to trace. It receives the instance path
+// and signal name and reports whether to include the signal.
+type Filter func(path, signal string) bool
+
+// All traces every named signal in the hierarchy.
+func All() Filter { return func(string, string) bool { return true } }
+
+// Under traces every signal beneath the given instance path prefix.
+func Under(prefix string) Filter {
+	return func(path, _ string) bool {
+		return path == prefix || strings.HasPrefix(path, prefix+".")
+	}
+}
+
+// Signals traces an explicit set of "path.signal" names.
+func Signals(names ...string) Filter {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(path, signal string) bool { return set[path+"."+signal] }
+}
+
+// New builds a tracer over the simulation's current hierarchy and writes
+// the VCD header. Signals are matched by filter; the identifier space
+// supports any design size.
+func New(w io.Writer, s *sim.Sim, filter Filter) (*Tracer, error) {
+	t := &Tracer{w: bufio.NewWriter(w), s: s}
+	for _, n := range s.Nodes() {
+		for _, d := range n.Obj.SortedDebug() {
+			if !filter(n.Path, d.Name) {
+				continue
+			}
+			t.probes = append(t.probes, &probe{
+				node: n, name: d.Name, slot: d.Slot, bits: d.Bits,
+			})
+		}
+	}
+	if len(t.probes) == 0 {
+		return nil, fmt.Errorf("trace: no signals matched")
+	}
+	for i, p := range t.probes {
+		p.id = idCode(i)
+	}
+	if err := t.header(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// idCode generates compact VCD identifier codes (printable ASCII 33-126).
+func idCode(i int) string {
+	const lo, hi = 33, 127
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(lo + i%(hi-lo)))
+		i /= hi - lo
+		if i == 0 {
+			return sb.String()
+		}
+		i--
+	}
+}
+
+func (t *Tracer) header() error {
+	fmt.Fprintf(t.w, "$date %s $end\n", time.Unix(0, 0).UTC().Format("2006-01-02"))
+	fmt.Fprintln(t.w, "$version livesim $end")
+	fmt.Fprintln(t.w, "$timescale 1ns $end")
+
+	// Group probes into the module hierarchy.
+	byPath := map[string][]*probe{}
+	var paths []string
+	for _, p := range t.probes {
+		if _, ok := byPath[p.node.Path]; !ok {
+			paths = append(paths, p.node.Path)
+		}
+		byPath[p.node.Path] = append(byPath[p.node.Path], p)
+	}
+	sort.Strings(paths)
+
+	open := []string{}
+	common := func(a, b []string) int {
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		return n
+	}
+	for _, path := range paths {
+		parts := strings.Split(path, ".")
+		keep := common(open, parts)
+		for i := len(open); i > keep; i-- {
+			fmt.Fprintln(t.w, "$upscope $end")
+		}
+		for _, part := range parts[keep:] {
+			fmt.Fprintf(t.w, "$scope module %s $end\n", part)
+		}
+		open = parts
+		for _, p := range byPath[path] {
+			fmt.Fprintf(t.w, "$var wire %d %s %s $end\n", p.bits, p.id, p.name)
+		}
+	}
+	for range open {
+		fmt.Fprintln(t.w, "$upscope $end")
+	}
+	fmt.Fprintln(t.w, "$enddefinitions $end")
+	fmt.Fprintln(t.w, "$dumpvars")
+	for _, p := range t.probes {
+		t.emit(p, p.node.Inst.Slots[p.slot])
+		p.last = p.node.Inst.Slots[p.slot]
+		p.init = true
+	}
+	fmt.Fprintln(t.w, "$end")
+	return t.w.Flush()
+}
+
+// Sample records changed values at the simulation's current cycle. Call
+// it after each Tick (the simulation is left settled).
+func (t *Tracer) Sample() error {
+	if t.closed {
+		return fmt.Errorf("trace: closed")
+	}
+	wroteTime := false
+	for _, p := range t.probes {
+		v := p.node.Inst.Slots[p.slot]
+		if p.init && v == p.last {
+			continue
+		}
+		if !wroteTime {
+			fmt.Fprintf(t.w, "#%d\n", t.s.Cycle())
+			wroteTime = true
+		}
+		t.emit(p, v)
+		p.last = v
+		p.init = true
+	}
+	return nil
+}
+
+// emit writes one value change.
+func (t *Tracer) emit(p *probe, v uint64) {
+	if p.bits == 1 {
+		fmt.Fprintf(t.w, "%d%s\n", v&1, p.id)
+		return
+	}
+	fmt.Fprintf(t.w, "b%b %s\n", v, p.id)
+}
+
+// Close flushes the stream. The tracer cannot be used afterwards.
+func (t *Tracer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	return t.w.Flush()
+}
+
+// NumProbes reports how many signals are being traced.
+func (t *Tracer) NumProbes() int { return len(t.probes) }

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"livesim/internal/codegen"
+	"livesim/internal/hdl/ast"
+	"livesim/internal/hdl/elab"
+	"livesim/internal/hdl/parser"
+	"livesim/internal/sim"
+	"livesim/internal/vm"
+)
+
+func buildSim(t *testing.T, src, top string) *sim.Sim {
+	t.Helper()
+	srcs := map[string]*ast.Module{}
+	sf, err := parser.ParseFile("t.v", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sf.Modules {
+		srcs[m.Name] = m
+	}
+	d, err := elab.Elaborate(srcs, top, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := map[string]*vm.Object{}
+	for _, key := range d.Order {
+		obj, err := codegen.Compile(d.Modules[key], codegen.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[key] = obj
+	}
+	s, err := sim.New(sim.ResolverFunc(func(k string) (*vm.Object, error) {
+		if o, ok := objs[k]; ok {
+			return o, nil
+		}
+		return nil, fmt.Errorf("no %q", k)
+	}), d.TopKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const counterSrc = `
+module cnt (input clk, input en, output reg [3:0] q, output tick);
+  always @(posedge clk) if (en) q <= q + 1;
+  assign tick = q == 4'd15;
+endmodule
+module root (input clk, input en, output [3:0] q, output tick);
+  cnt u0 (.clk(clk), .en(en), .q(q), .tick(tick));
+endmodule
+`
+
+func TestVCDHeaderAndChanges(t *testing.T) {
+	s := buildSim(t, counterSrc, "root")
+	s.SetIn("en", 1)
+	var buf bytes.Buffer
+	tr, err := New(&buf, s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"$timescale", "$enddefinitions $end", "$dumpvars",
+		"$scope module top $end", "$scope module u0 $end",
+		"$var wire 4", "$var wire 1", "$upscope $end",
+		"#1\n", "#16\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out[:min(len(out), 800)])
+		}
+	}
+	// q counts: value b101 (5) must appear at time #5.
+	if !strings.Contains(out, "#5\nb101 ") {
+		t.Errorf("missing q=5 at #5:\n%s", out)
+	}
+	// tick is 1 exactly when q==15; the scalar change "1<id>" appears.
+	if !strings.Contains(out, "#15\n") {
+		t.Error("missing timestamp 15")
+	}
+}
+
+func TestVCDNoChangeNoTimestamp(t *testing.T) {
+	s := buildSim(t, counterSrc, "root")
+	// en=0: nothing changes after dumpvars.
+	var buf bytes.Buffer
+	tr, err := New(&buf, s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Tick(1)
+		tr.Sample()
+	}
+	tr.Close()
+	if strings.Contains(buf.String(), "#3") {
+		t.Errorf("idle design emitted changes:\n%s", buf.String())
+	}
+}
+
+func TestVCDFilters(t *testing.T) {
+	s := buildSim(t, counterSrc, "root")
+	var buf bytes.Buffer
+	tr, err := New(&buf, s, Signals("top.u0.q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumProbes() != 1 {
+		t.Errorf("probes %d", tr.NumProbes())
+	}
+	tr2, err := New(&buf, s, Under("top.u0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumProbes() < 2 {
+		t.Errorf("Under probes %d", tr2.NumProbes())
+	}
+	if _, err := New(&buf, s, Signals("nothing.matches")); err == nil {
+		t.Error("want error for empty probe set")
+	}
+}
+
+func TestVCDAfterClose(t *testing.T) {
+	s := buildSim(t, counterSrc, "root")
+	var buf bytes.Buffer
+	tr, err := New(&buf, s, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := tr.Sample(); err == nil {
+		t.Error("sample after close should fail")
+	}
+}
+
+func TestIDCodeUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 20000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, c := range []byte(id) {
+			if c < 33 || c > 126 {
+				t.Fatalf("id %q has non-printable byte %d", id, c)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,347 @@
+// Package xform implements the Register Transform History of the paper
+// (Section III-E, Tables V and VI): the machinery that lets a checkpoint
+// taken under one version of the design be loaded into a patched version
+// whose register topology changed.
+//
+// A History is a tree of versions (branching is explicitly supported —
+// "designed to support branching so that developers are not limited to a
+// linear sequence of changes"). Each version carries the operations that
+// translate the previous version's register state into its own:
+//
+//	create R        new register, initialized to a constant (default 0)
+//	delete R        register removed; checkpoint data dropped
+//	rename A, B     register A's data loads into B
+//
+// When LiveSim cannot unambiguously infer the mapping it "makes its best
+// guess based on the similarities of names and types" — implemented here
+// by BestGuess — and the user may edit the history manually.
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"livesim/internal/vm"
+)
+
+// OpKind enumerates transform operations.
+type OpKind uint8
+
+// Transform operation kinds (Table VI "Operations" column).
+const (
+	Create OpKind = iota
+	Delete
+	Rename
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case Create:
+		return "create"
+	case Delete:
+		return "delete"
+	default:
+		return "rename"
+	}
+}
+
+// Op is one register transform operation.
+type Op struct {
+	Kind OpKind
+	// Name is the register affected (for Rename: the old name).
+	Name string
+	// NewName is the post-rename name (Rename only).
+	NewName string
+	// Init is the initial value of a created register (Table V allows "0
+	// or other value").
+	Init uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Rename:
+		return fmt.Sprintf("rename %s, %s", o.Name, o.NewName)
+	case Create:
+		if o.Init != 0 {
+			return fmt.Sprintf("create %s = %#x", o.Name, o.Init)
+		}
+		return "create " + o.Name
+	default:
+		return "delete " + o.Name
+	}
+}
+
+// Version is one node in the transform history tree.
+type Version struct {
+	ID     string
+	Parent string // "" for the root
+	Ops    []Op
+}
+
+// History is the Register Transform History table.
+type History struct {
+	versions map[string]*Version
+	order    []string // insertion order, for deterministic listing
+}
+
+// NewHistory creates a history whose root version is id (no ops).
+func NewHistory(rootID string) *History {
+	h := &History{versions: make(map[string]*Version)}
+	h.versions[rootID] = &Version{ID: rootID}
+	h.order = append(h.order, rootID)
+	return h
+}
+
+// Root returns the root version id.
+func (h *History) Root() string { return h.order[0] }
+
+// Add records a new version derived from parent with the given ops.
+func (h *History) Add(id, parent string, ops []Op) error {
+	if _, dup := h.versions[id]; dup {
+		return fmt.Errorf("version %q already exists", id)
+	}
+	if _, ok := h.versions[parent]; !ok {
+		return fmt.Errorf("parent version %q not found", parent)
+	}
+	h.versions[id] = &Version{ID: id, Parent: parent, Ops: ops}
+	h.order = append(h.order, id)
+	return nil
+}
+
+// Version returns a version by id.
+func (h *History) Version(id string) (*Version, bool) {
+	v, ok := h.versions[id]
+	return v, ok
+}
+
+// Versions lists all versions in insertion order.
+func (h *History) Versions() []*Version {
+	out := make([]*Version, len(h.order))
+	for i, id := range h.order {
+		out[i] = h.versions[id]
+	}
+	return out
+}
+
+// EditOps replaces the ops of an existing version — the manual override
+// the paper allows when the automatic guess is wrong ("the user can
+// manually edit the Register Transform History").
+func (h *History) EditOps(id string, ops []Op) error {
+	v, ok := h.versions[id]
+	if !ok {
+		return fmt.Errorf("version %q not found", id)
+	}
+	v.Ops = ops
+	return nil
+}
+
+// PathOps returns the operations translating state at version from into
+// state at version to. to must be a descendant of from (the common case:
+// loading an old checkpoint into a newer version). Branching histories are
+// trees, so the path is unique.
+func (h *History) PathOps(from, to string) ([]Op, error) {
+	if _, ok := h.versions[from]; !ok {
+		return nil, fmt.Errorf("version %q not found", from)
+	}
+	var chain []*Version
+	cur, ok := h.versions[to]
+	if !ok {
+		return nil, fmt.Errorf("version %q not found", to)
+	}
+	for {
+		if cur.ID == from {
+			break
+		}
+		chain = append(chain, cur)
+		if cur.Parent == "" {
+			return nil, fmt.Errorf("version %q is not an ancestor of %q", from, to)
+		}
+		next, ok := h.versions[cur.Parent]
+		if !ok {
+			return nil, fmt.Errorf("history corrupt: missing parent %q", cur.Parent)
+		}
+		cur = next
+	}
+	// chain is to..child-of-from; apply oldest first.
+	var ops []Op
+	for i := len(chain) - 1; i >= 0; i-- {
+		ops = append(ops, chain[i].Ops...)
+	}
+	return ops, nil
+}
+
+// ApplyOps translates a register-name → value map through a sequence of
+// transform operations, implementing the rules of Table V.
+func ApplyOps(values map[string]uint64, ops []Op) map[string]uint64 {
+	out := make(map[string]uint64, len(values))
+	for k, v := range values {
+		out[k] = v
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case Create:
+			out[op.Name] = op.Init
+		case Delete:
+			delete(out, op.Name)
+		case Rename:
+			if v, ok := out[op.Name]; ok {
+				delete(out, op.Name)
+				out[op.NewName] = v
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- guess
+
+// BestGuess infers the transform ops between two compiled versions of a
+// module by comparing their register tables. Exact name matches map
+// directly; remaining registers are paired by name/width similarity
+// (renames); leftovers become deletes and creates. The result is the
+// "best guess based on the similarities of names and types" the paper
+// describes; it is meant to be reviewed and editable.
+func BestGuess(oldObj, newObj *vm.Object) []Op {
+	oldRegs := make(map[string]vm.Reg)
+	for _, r := range oldObj.Regs {
+		oldRegs[r.Name] = r
+	}
+	newRegs := make(map[string]vm.Reg)
+	for _, r := range newObj.Regs {
+		newRegs[r.Name] = r
+	}
+
+	// Pass 1: exact matches drop out.
+	var oldOnly, newOnly []vm.Reg
+	for _, r := range oldObj.Regs {
+		if _, ok := newRegs[r.Name]; !ok {
+			oldOnly = append(oldOnly, r)
+		}
+	}
+	for _, r := range newObj.Regs {
+		if _, ok := oldRegs[r.Name]; !ok {
+			newOnly = append(newOnly, r)
+		}
+	}
+	sort.Slice(oldOnly, func(i, j int) bool { return oldOnly[i].Name < oldOnly[j].Name })
+	sort.Slice(newOnly, func(i, j int) bool { return newOnly[i].Name < newOnly[j].Name })
+
+	// Pass 2: greedy similarity pairing for renames.
+	var ops []Op
+	usedNew := make([]bool, len(newOnly))
+	for _, or := range oldOnly {
+		best, bestScore := -1, 0.0
+		for ni, nr := range newOnly {
+			if usedNew[ni] {
+				continue
+			}
+			score := similarity(or.Name, nr.Name)
+			if or.Mask == nr.Mask {
+				score += 0.25 // same type/width is strong evidence
+			}
+			if score > bestScore {
+				best, bestScore = ni, score
+			}
+		}
+		if best >= 0 && bestScore >= 0.6 {
+			usedNew[best] = true
+			ops = append(ops, Op{Kind: Rename, Name: or.Name, NewName: newOnly[best].Name})
+			continue
+		}
+		ops = append(ops, Op{Kind: Delete, Name: or.Name})
+	}
+	for ni, nr := range newOnly {
+		if !usedNew[ni] {
+			ops = append(ops, Op{Kind: Create, Name: nr.Name})
+		}
+	}
+	return ops
+}
+
+// similarity scores two identifiers in [0,1] using normalized edit
+// distance.
+func similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	d := editDistance(a, b)
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(d)/float64(max)
+}
+
+func editDistance(a, b string) int {
+	la, lb := len(a), len(b)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// ---------------------------------------------------------------- migrate
+
+// Migrator builds a state-migration function for hot reloads that honors
+// a transform-op list: register values flow old→new through the ops, then
+// land by name. Memories and input ports migrate as in the default rules.
+func Migrator(ops []Op) func(oldObj *vm.Object, old *vm.Instance, newObj *vm.Object, nu *vm.Instance) error {
+	return func(oldObj *vm.Object, old *vm.Instance, newObj *vm.Object, nu *vm.Instance) error {
+		vals := make(map[string]uint64, len(oldObj.Regs))
+		for _, r := range oldObj.Regs {
+			vals[r.Name] = old.Slots[r.Cur]
+		}
+		vals = ApplyOps(vals, ops)
+		for _, r := range newObj.Regs {
+			if v, ok := vals[r.Name]; ok {
+				nu.Slots[r.Cur] = v & r.Mask
+			}
+		}
+		for _, m := range newObj.Mems {
+			om := oldObj.MemByName(m.Name)
+			if om == nil {
+				continue
+			}
+			dst, src := nu.Mems[m.Index], old.Mems[om.Index]
+			n := len(dst)
+			if len(src) < n {
+				n = len(src)
+			}
+			for i := 0; i < n; i++ {
+				dst[i] = src[i] & m.Mask
+			}
+		}
+		for _, p := range newObj.Ports {
+			if p.Dir != vm.In {
+				continue
+			}
+			if oi := oldObj.PortIndex(p.Name); oi >= 0 && oldObj.Ports[oi].Dir == vm.In {
+				nu.Slots[p.Slot] = old.Slots[oldObj.Ports[oi].Slot] & p.Mask
+			}
+		}
+		return nil
+	}
+}

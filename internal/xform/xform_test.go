@@ -1,0 +1,272 @@
+package xform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"livesim/internal/vm"
+)
+
+func TestHistoryLinearPath(t *testing.T) {
+	h := NewHistory("1.0")
+	if err := h.Add("1.1", "1.0", []Op{{Kind: Create, Name: "newR"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Add("1.2", "1.1", []Op{{Kind: Rename, Name: "someR", NewName: "newR2"}}); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := h.PathOps("1.0", "1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Kind != Create || ops[1].Kind != Rename {
+		t.Fatalf("ops %v", ops)
+	}
+	// Self path is empty.
+	ops, err = h.PathOps("1.2", "1.2")
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("self path %v %v", ops, err)
+	}
+}
+
+// TestHistoryBranching reproduces Table VI: 1.2 has two children, 1.3 and
+// 1.3a, with different transforms.
+func TestHistoryBranching(t *testing.T) {
+	h := NewHistory("1.1")
+	h.Add("1.2", "1.1", []Op{{Kind: Create, Name: "newR1"}})
+	h.Add("1.3", "1.2", []Op{{Kind: Rename, Name: "someR", NewName: "newR"}, {Kind: Delete, Name: "otherR"}})
+	h.Add("1.3a", "1.2", []Op{{Kind: Rename, Name: "newR1", NewName: "myR1"}, {Kind: Delete, Name: "newR"}})
+
+	opsA, err := h.PathOps("1.1", "1.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsB, err := h.PathOps("1.1", "1.3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]uint64{"someR": 7, "otherR": 9, "newR": 5}
+	a := ApplyOps(vals, opsA)
+	if a["newR"] != 7 || a["newR1"] != 0 {
+		t.Errorf("branch A: %v", a)
+	}
+	if _, ok := a["otherR"]; ok {
+		t.Errorf("otherR should be deleted: %v", a)
+	}
+	b := ApplyOps(vals, opsB)
+	if b["myR1"] != 0 {
+		t.Errorf("branch B myR1: %v", b)
+	}
+	if _, ok := b["newR"]; ok {
+		t.Errorf("newR should be deleted on branch B: %v", b)
+	}
+	// Sibling is not an ancestor.
+	if _, err := h.PathOps("1.3", "1.3a"); err == nil {
+		t.Error("want error for cross-branch path")
+	}
+}
+
+func TestHistoryErrors(t *testing.T) {
+	h := NewHistory("r")
+	if err := h.Add("r", "r", nil); err == nil {
+		t.Error("duplicate version")
+	}
+	if err := h.Add("x", "nope", nil); err == nil {
+		t.Error("missing parent")
+	}
+	if _, err := h.PathOps("nope", "r"); err == nil {
+		t.Error("missing from")
+	}
+	if _, err := h.PathOps("r", "nope"); err == nil {
+		t.Error("missing to")
+	}
+	if err := h.EditOps("nope", nil); err == nil {
+		t.Error("edit missing version")
+	}
+	if err := h.EditOps("r", []Op{{Kind: Create, Name: "a"}}); err != nil {
+		t.Error(err)
+	}
+	if len(h.Versions()) != 1 || h.Root() != "r" {
+		t.Error("versions/root wrong")
+	}
+}
+
+func TestApplyOpsRules(t *testing.T) {
+	vals := map[string]uint64{"a": 1, "b": 2}
+	out := ApplyOps(vals, []Op{
+		{Kind: Create, Name: "c", Init: 42},
+		{Kind: Delete, Name: "a"},
+		{Kind: Rename, Name: "b", NewName: "bb"},
+		{Kind: Rename, Name: "ghost", NewName: "gg"}, // rename of absent: no-op
+	})
+	if out["c"] != 42 || out["bb"] != 2 {
+		t.Errorf("out %v", out)
+	}
+	if _, ok := out["a"]; ok {
+		t.Error("a survived delete")
+	}
+	if _, ok := out["gg"]; ok {
+		t.Error("ghost rename materialized")
+	}
+	// Input map untouched.
+	if vals["a"] != 1 || len(vals) != 2 {
+		t.Errorf("input mutated: %v", vals)
+	}
+}
+
+func regObj(names ...string) *vm.Object {
+	obj := &vm.Object{Key: "t", ModName: "t"}
+	for i, n := range names {
+		obj.Regs = append(obj.Regs, vm.Reg{Name: n, Cur: uint32(2 * i), Next: uint32(2*i + 1), Mask: vm.Mask(8)})
+	}
+	obj.NumSlots = uint32(2 * len(names))
+	return obj
+}
+
+func TestBestGuessExactAndRename(t *testing.T) {
+	oldObj := regObj("pc", "instr_reg", "valid")
+	newObj := regObj("pc", "instr_r", "valid")
+	ops := BestGuess(oldObj, newObj)
+	if len(ops) != 1 || ops[0].Kind != Rename || ops[0].Name != "instr_reg" || ops[0].NewName != "instr_r" {
+		t.Fatalf("ops %v", ops)
+	}
+}
+
+func TestBestGuessCreateDelete(t *testing.T) {
+	oldObj := regObj("alpha", "beta")
+	newObj := regObj("alpha", "completely_different_thing")
+	ops := BestGuess(oldObj, newObj)
+	var kinds []OpKind
+	for _, op := range ops {
+		kinds = append(kinds, op.Kind)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("ops %v", ops)
+	}
+	hasDel, hasCre := false, false
+	for _, op := range ops {
+		if op.Kind == Delete && op.Name == "beta" {
+			hasDel = true
+		}
+		if op.Kind == Create && op.Name == "completely_different_thing" {
+			hasCre = true
+		}
+	}
+	if !hasDel || !hasCre {
+		t.Errorf("ops %v kinds %v", ops, kinds)
+	}
+}
+
+func TestBestGuessIdentical(t *testing.T) {
+	a := regObj("x", "y", "z")
+	b := regObj("x", "y", "z")
+	if ops := BestGuess(a, b); len(ops) != 0 {
+		t.Errorf("ops %v", ops)
+	}
+}
+
+func TestMigratorAppliesRename(t *testing.T) {
+	oldObj := regObj("old_name")
+	newObj := regObj("new_name")
+	oldInst := vm.NewInstance(oldObj)
+	newInst := vm.NewInstance(newObj)
+	oldInst.Slots[oldObj.Regs[0].Cur] = 0x5A
+	mig := Migrator([]Op{{Kind: Rename, Name: "old_name", NewName: "new_name"}})
+	if err := mig(oldObj, oldInst, newObj, newInst); err != nil {
+		t.Fatal(err)
+	}
+	if newInst.Slots[newObj.Regs[0].Cur] != 0x5A {
+		t.Errorf("value not migrated: %x", newInst.Slots[newObj.Regs[0].Cur])
+	}
+}
+
+func TestMigratorCreateInit(t *testing.T) {
+	oldObj := regObj()
+	newObj := regObj("fresh")
+	oldInst := vm.NewInstance(oldObj)
+	newInst := vm.NewInstance(newObj)
+	mig := Migrator([]Op{{Kind: Create, Name: "fresh", Init: 0x33}})
+	if err := mig(oldObj, oldInst, newObj, newInst); err != nil {
+		t.Fatal(err)
+	}
+	if newInst.Slots[newObj.Regs[0].Cur] != 0x33 {
+		t.Errorf("create init not applied: %x", newInst.Slots[newObj.Regs[0].Cur])
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if similarity("abc", "abc") != 1 {
+		t.Error("identical")
+	}
+	if s := similarity("instr_reg", "instr_r"); s < 0.7 {
+		t.Errorf("close names score %v", s)
+	}
+	if s := similarity("alpha", "zzzzz"); s > 0.3 {
+		t.Errorf("far names score %v", s)
+	}
+}
+
+func TestEditDistanceProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d := editDistance(a, b)
+		if d != editDistance(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		return d <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ApplyOps with only renames is invertible.
+func TestRenameInvertibleProperty(t *testing.T) {
+	f := func(v1, v2, v3 uint64) bool {
+		vals := map[string]uint64{"a": v1, "b": v2, "c": v3}
+		fwd := []Op{{Kind: Rename, Name: "a", NewName: "x"}, {Kind: Rename, Name: "b", NewName: "y"}}
+		bwd := []Op{{Kind: Rename, Name: "x", NewName: "a"}, {Kind: Rename, Name: "y", NewName: "b"}}
+		out := ApplyOps(ApplyOps(vals, fwd), bwd)
+		if len(out) != len(vals) {
+			return false
+		}
+		for k, v := range vals {
+			if out[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[string]Op{
+		"create r":       {Kind: Create, Name: "r"},
+		"create r = 0x5": {Kind: Create, Name: "r", Init: 5},
+		"delete r":       {Kind: Delete, Name: "r"},
+		"rename a, b":    {Kind: Rename, Name: "a", NewName: "b"},
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("got %q want %q", got, want)
+		}
+	}
+	if Create.String() != "create" || Delete.String() != "delete" || Rename.String() != "rename" {
+		t.Error("kind strings")
+	}
+}

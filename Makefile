@@ -1,0 +1,28 @@
+# Tier-1 verification plus the race-enabled run this repo treats as the
+# pre-merge bar. `make check` is what CI (and every PR) should run.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Tier-1 as recorded in ROADMAP.md.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# The documented pre-merge bar: tier-1 plus the race detector, which
+# exercises the background checkpoint writers, verification workers and
+# the concurrent metrics registry.
+race:
+	$(GO) test -race ./...
+
+# Small-configuration benchmarks (cmd/lsbench runs the full sweeps).
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

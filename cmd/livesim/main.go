@@ -26,15 +26,18 @@ import (
 )
 
 var (
-	flagDir  = flag.String("dir", "", "directory of .v source files")
-	flagTop  = flag.String("top", "top", "top-level module")
-	flagPGAS = flag.Int("pgas", 0, "load the built-in n-node PGAS demo instead of -dir")
-	flagCkpt = flag.Uint64("ckpt-every", 10_000, "checkpoint interval in cycles")
-	flagObjs = flag.String("objdir", "", "directory for persistent compiled objects (.lso)")
+	flagDir     = flag.String("dir", "", "directory of .v source files")
+	flagTop     = flag.String("top", "top", "top-level module")
+	flagPGAS    = flag.Int("pgas", 0, "load the built-in n-node PGAS demo instead of -dir")
+	flagCkpt    = flag.Uint64("ckpt-every", 10_000, "checkpoint interval in cycles")
+	flagObjs    = flag.String("objdir", "", "directory for persistent compiled objects (.lso)")
+	flagMetrics = flag.Bool("metrics", false, "collect session metrics; print a summary at exit (also enables the stats command)")
+	flagTrace   = flag.String("trace-out", "", "write live-loop span events to this JSONL file")
 )
 
 type shell struct {
 	session *livesim.Session
+	metrics *livesim.Registry
 	dir     string
 	pgasN   int
 }
@@ -42,11 +45,26 @@ type shell struct {
 func main() {
 	flag.Parse()
 	sh := &shell{}
+	var reg *livesim.Registry
+	if *flagMetrics {
+		reg = livesim.NewRegistry()
+	}
+	sh.metrics = reg
+	var traceOut *os.File
+	if *flagTrace != "" {
+		f, err := os.Create(*flagTrace)
+		if err != nil {
+			fail(err)
+		}
+		traceOut = f
+		defer f.Close()
+	}
 	switch {
 	case *flagPGAS > 0:
 		sh.pgasN = *flagPGAS
 		sh.session = livesim.NewSession(pgas.TopName(*flagPGAS), livesim.Config{
 			CheckpointEvery: *flagCkpt, Output: os.Stdout,
+			Metrics: reg, TraceOut: traceOut,
 		})
 		if _, err := sh.session.LoadDesign(pgas.Source(*flagPGAS)); err != nil {
 			fail(err)
@@ -61,6 +79,7 @@ func main() {
 		sh.dir = *flagDir
 		sh.session = livesim.NewSession(*flagTop, livesim.Config{
 			CheckpointEvery: *flagCkpt, Output: os.Stdout, ObjectDir: *flagObjs,
+			Metrics: reg, TraceOut: traceOut,
 		})
 		src, err := readDir(*flagDir)
 		if err != nil {
@@ -90,6 +109,12 @@ func main() {
 			}
 		}
 		fmt.Print("livesim> ")
+	}
+	if reg != nil {
+		fmt.Println("\n-- session metrics --")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
 	}
 }
 
@@ -136,9 +161,22 @@ func (sh *shell) exec(line string) error {
                                 run while dumping a VCD waveform
   checkpoints <pipe>            list the pipe's checkpoints
   cycle <pipe>                  show the pipe's cycle
+  stats [json]                  dump the metrics registry (needs -metrics);
+                                shows compile cache effectiveness, VM ops,
+                                checkpoint and verification counters
   exit
 `)
 		return nil
+
+	case "stats", ":stats":
+		if sh.metrics == nil {
+			return fmt.Errorf("metrics are disabled; restart with -metrics")
+		}
+		if len(rest) == 1 && rest[0] == "json" {
+			fmt.Printf("%s\n", sh.metrics.Snapshot().JSON())
+			return nil
+		}
+		return sh.metrics.WriteText(os.Stdout)
 
 	case "ldlib":
 		for _, e := range sh.session.Library() {

@@ -30,6 +30,7 @@ import (
 	"livesim/internal/hdl/parser"
 	"livesim/internal/hostmodel"
 	"livesim/internal/livecompiler"
+	"livesim/internal/obs"
 	"livesim/internal/pgas"
 	"livesim/internal/sim"
 	"livesim/internal/verify"
@@ -48,7 +49,26 @@ var (
 	flagAblate  = flag.Bool("ablation", false, "codegen-style ablation (grouped vs mux)")
 	flagBudget  = flag.Duration("budget", 3*time.Second, "time budget per speed measurement")
 	flagProfCyc = flag.Int("profcycles", 300, "profiled cycles for Table VII")
+	flagMetrics = flag.Bool("metrics", false, "attach a metrics registry to session-based experiments and embed its JSON snapshot in the output")
 )
+
+// benchRegistry returns a registry for one experiment run, or nil when
+// -metrics is off (nil disables collection at zero cost).
+func benchRegistry() *obs.Registry {
+	if !*flagMetrics {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// printSnapshot embeds one registry snapshot in the bench output as a
+// single labeled JSON line, so runs can be diffed across PRs.
+func printSnapshot(label string, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Printf("metrics[%s]: %s\n", label, reg.Snapshot().JSON())
+}
 
 func main() {
 	flag.Parse()
@@ -376,8 +396,10 @@ func fig8(sizes []int) {
 	fmt.Printf("%-8s %-22s %10s %10s %10s %10s %12s %8s\n",
 		"PGAS", "change", "parse+comp", "swap", "reload", "re-exec", "total (ms)", "swaps")
 	for _, n := range sizes {
+		reg := benchRegistry()
 		s := core.NewSession(pgas.TopName(n), core.Config{
 			Style: codegen.StyleGrouped, CheckpointEvery: 500, Lookback: 500,
+			Metrics: reg,
 		})
 		if _, err := s.LoadDesign(pgas.Source(n)); err != nil {
 			fatal(err)
@@ -433,6 +455,7 @@ func fig8(sizes []int) {
 			}
 		}
 		_ = p
+		printSnapshot("fig8 "+meshLabel(n), reg)
 	}
 	fmt.Println()
 }
@@ -451,9 +474,10 @@ func ckptOverhead(sizes []int) {
 	fmt.Println("== Section V-B: checkpointing overhead ==")
 	fmt.Printf("%-8s %14s %14s %10s %12s\n", "PGAS", "KHz (off)", "KHz (on)", "overhead", "ckpt bytes")
 	for _, n := range sizes {
-		run := func(every uint64) (float64, int) {
+		run := func(every uint64, reg *obs.Registry) (float64, int) {
 			s := core.NewSession(pgas.TopName(n), core.Config{
 				Style: codegen.StyleGrouped, CheckpointEvery: every,
+				Metrics: reg,
 			})
 			if _, err := s.LoadDesign(pgas.Source(n)); err != nil {
 				fatal(err)
@@ -486,10 +510,12 @@ func ckptOverhead(sizes []int) {
 			}
 			return khz, bytes
 		}
-		off, _ := run(0)
-		on, bytes := run(1000)
+		off, _ := run(0, nil)
+		reg := benchRegistry()
+		on, bytes := run(1000, reg)
 		fmt.Printf("%-8s %14.1f %14.1f %9.1f%% %12d\n",
 			meshLabel(n), off, on, 100*(off-on)/off, bytes)
+		printSnapshot("ckpt "+meshLabel(n), reg)
 	}
 	fmt.Println()
 }

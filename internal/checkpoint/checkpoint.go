@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"livesim/internal/obs"
 	"livesim/internal/sim"
 )
 
@@ -65,11 +67,24 @@ type Store struct {
 
 	// Deleted counts checkpoints removed by GC (observability).
 	Deleted int
+
+	// metrics, when set, receives checkpoint_* counters and encode
+	// latency (all on the background writer, never the hot path).
+	metrics *obs.Registry
 }
 
 // NewStore returns a store with the paper's defaults.
 func NewStore() *Store {
 	return &Store{KeepLatest: 100, MaxTotal: 400}
+}
+
+// SetMetrics points the store at a metrics registry (nil = off):
+// checkpoint_takes, checkpoint_encoded_bytes, checkpoint_gc_deleted and
+// the checkpoint_encode_seconds histogram.
+func (s *Store) SetMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	s.metrics = reg
+	s.mu.Unlock()
 }
 
 // Add captures st as a new checkpoint. The call does only cheap work; the
@@ -88,13 +103,20 @@ func (s *Store) Add(st *sim.State, version string, historyPos int) *Checkpoint {
 	s.nextID++
 	s.cps = append(s.cps, cp)
 	s.gcLocked()
+	reg := s.metrics
 	s.mu.Unlock()
 
+	reg.Counter("checkpoint_takes").Inc()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		t0 := time.Now()
 		cp.encoded = encodeState(st)
 		close(cp.ready)
+		if reg != nil {
+			reg.Histogram("checkpoint_encode_seconds", nil).Observe(time.Since(t0).Seconds())
+			reg.Counter("checkpoint_encoded_bytes").Add(uint64(len(cp.encoded)))
+		}
 	}()
 	return cp
 }
@@ -186,6 +208,7 @@ func (s *Store) DropOtherVersions(v string) int {
 	}
 	s.cps = kept
 	s.Deleted += dropped
+	s.metrics.Counter("checkpoint_gc_deleted").Add(uint64(dropped))
 	return dropped
 }
 
@@ -206,6 +229,7 @@ func (s *Store) DropVersionAfter(version string, cycle uint64) int {
 	}
 	s.cps = kept
 	s.Deleted += dropped
+	s.metrics.Counter("checkpoint_gc_deleted").Add(uint64(dropped))
 	return dropped
 }
 
@@ -255,6 +279,7 @@ func (s *Store) gcLocked() {
 		}
 		s.cps = append(s.cps[:bestIdx], s.cps[bestIdx+1:]...)
 		s.Deleted++
+		s.metrics.Counter("checkpoint_gc_deleted").Inc()
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"livesim/internal/checkpoint"
 	"livesim/internal/livecompiler"
 	"livesim/internal/liveparser"
+	"livesim/internal/obs"
 	"livesim/internal/sim"
 	"livesim/internal/verify"
 	"livesim/internal/vm"
@@ -25,7 +26,10 @@ type ChangeReport struct {
 	// NoChange is set when the edit had no behavioural effect.
 	NoChange bool
 
-	// Timing breakdown of the loop.
+	// Timing breakdown of the loop. All four fields are derived from the
+	// session's span tracer (the swap/reload/reexec spans and the
+	// apply_change root span), so a JSONL trace and this report can
+	// never disagree.
 	CompileStats livecompiler.Stats
 	SwapTime     time.Duration
 	ReloadTime   time.Duration // checkpoint selection + transformed restore
@@ -73,14 +77,26 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 	// Serialize with any in-flight background verification/refinement.
 	s.verifyWG.Wait()
 
-	t0 := time.Now()
 	rep := &ChangeReport{}
+	root := s.tracer.Start("apply_change")
+	defer func() {
+		root.End()
+		rep.Total = root.Dur()
+	}()
+	// Exactly one of changes_applied / changes_nochange / changes_failed
+	// counts each call, so the three always sum to total invocations.
+	fail := func(err error) error {
+		s.metrics.Counter("changes_failed").Inc()
+		return err
+	}
 
 	s.mu.Lock()
-	build, err := s.compiler.Build(newSrc)
+	compileSpan := root.Child("compile")
+	build, err := s.compiler.BuildSpan(newSrc, compileSpan)
+	compileSpan.End()
 	if err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return nil, fail(err)
 	}
 	rep.Diff = build.Diff
 	rep.CompileStats = build.Stats
@@ -89,7 +105,8 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 
 	if len(build.Swapped) == 0 && len(build.Removed) == 0 {
 		rep.NoChange = true
-		rep.Total = time.Since(t0)
+		root.Annotate(obs.Bool("no_change", true))
+		s.metrics.Counter("changes_nochange").Inc()
 		s.mu.Unlock()
 		return rep, nil
 	}
@@ -110,13 +127,15 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 	}
 	if err := s.versions.Add(newVersion, oldVersion, ops); err != nil {
 		s.mu.Unlock()
-		return nil, err
+		return nil, fail(err)
 	}
 	s.version = newVersion
 	s.versionObjects[newVersion] = build.Objects
 	s.objects = build.Objects
 	s.topKey = build.TopKey
 	rep.NewVersion = newVersion
+	root.Annotate(obs.Str("version", newVersion), obs.U64("swapped", uint64(len(build.Swapped))))
+	s.metrics.Counter("objects_swapped").Add(uint64(len(build.Swapped)))
 
 	pipes := make([]*Pipe, 0, len(s.pipes))
 	for _, name := range s.pipeOrder {
@@ -131,43 +150,55 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 			// The top-level specialization itself changed identity (e.g. a
 			// parameter default edit). The pipe's hierarchy must be
 			// rebuilt; hot reload cannot express it.
-			return nil, fmt.Errorf("pipe %s: top-level specialization changed (%s -> %s); re-instantiate the pipe",
-				p.Name, p.TopKey, build.TopKey)
+			return nil, fail(fmt.Errorf("pipe %s: top-level specialization changed (%s -> %s); re-instantiate the pipe",
+				p.Name, p.TopKey, build.TopKey))
 		}
 		target := p.Sim.Cycle()
+		pipeAttrs := []obs.Attr{obs.Str("pipe", p.Name), obs.U64("cycle", target), obs.Str("version", newVersion)}
 
-		tSwap := time.Now()
+		sp := root.Child("swap", pipeAttrs...)
 		for _, key := range build.Swapped {
 			mig := sim.MigrateFunc(nil)
 			if o := ops[key]; o != nil {
 				mig = xform.Migrator(o)
 			}
 			if _, err := p.Sim.Reload(key, mig); err != nil {
-				return nil, fmt.Errorf("pipe %s: reload %s: %w", p.Name, key, err)
+				return nil, fail(fmt.Errorf("pipe %s: reload %s: %w", p.Name, key, err))
 			}
 		}
-		rep.SwapTime += time.Since(tSwap)
+		sp.End()
+		rep.SwapTime += sp.Dur()
 
-		tReload := time.Now()
+		sp = root.Child("reload", pipeAttrs...)
 		cp := p.Checkpoints.Select(target, s.cfg.Lookback)
+		if cp != nil {
+			sp.Annotate(obs.U64("from_cycle", cp.Cycle))
+		}
 		if err := s.restoreFromCheckpoint(p, cp); err != nil {
-			return nil, fmt.Errorf("pipe %s: %w", p.Name, err)
+			return nil, fail(fmt.Errorf("pipe %s: %w", p.Name, err))
 		}
-		rep.ReloadTime += time.Since(tReload)
+		sp.End()
+		rep.ReloadTime += sp.Dur()
 
-		tRe := time.Now()
+		sp = root.Child("reexec", pipeAttrs...)
 		if err := s.replayTo(p, target); err != nil {
-			return nil, fmt.Errorf("pipe %s: replay: %w", p.Name, err)
+			return nil, fail(fmt.Errorf("pipe %s: replay: %w", p.Name, err))
 		}
-		rep.ReExecTime += time.Since(tRe)
+		sp.End()
+		rep.ReExecTime += sp.Dur()
+		// Under s.mu: an earlier pipe's background verification may be
+		// reading every pipe's Version through PruneVersions already.
+		s.mu.Lock()
 		p.Version = newVersion
+		s.mu.Unlock()
 
 		// Background: verify the old checkpoints against the new code
 		// and refine the estimate if they diverge (Sections III-D, III-F).
-		rep.Verifications = append(rep.Verifications, s.startVerification(p, oldVersion, target))
+		vsp := root.Child("verify", pipeAttrs...)
+		rep.Verifications = append(rep.Verifications, s.startVerification(p, oldVersion, target, vsp))
 	}
 
-	rep.Total = time.Since(t0)
+	s.metrics.Counter("changes_applied").Inc()
 	return rep, nil
 }
 
@@ -312,8 +343,9 @@ func activeOp(history []RunOp, cycle uint64) *RunOp {
 // for one pipe and returns its handle. On divergence the pipe's estimate
 // is refined: stale checkpoints are dropped and the state is recomputed
 // from the last consistent point.
-func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64) *VerificationHandle {
+func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64, span *obs.Span) *VerificationHandle {
 	h := &VerificationHandle{done: make(chan struct{})}
+	s.metrics.Counter("verify_runs").Inc()
 
 	var oldCps []*checkpoint.Checkpoint
 	for _, cp := range p.Checkpoints.Before(target) {
@@ -324,6 +356,9 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64) *
 	if len(oldCps) < 2 {
 		close(h.done)
 		h.Result = &verify.Result{FirstDivergence: -1}
+		s.metrics.Counter("verify_consistent").Inc()
+		span.Annotate(obs.Bool("consistent", true), obs.U64("segments", 0))
+		span.End()
 		return h
 	}
 
@@ -331,6 +366,14 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64) *
 	go func() {
 		defer s.verifyWG.Done()
 		defer close(h.done)
+		defer func() {
+			if h.Result != nil {
+				span.Annotate(obs.Bool("consistent", h.Result.Consistent()),
+					obs.U64("segments", uint64(len(h.Result.Segments))),
+					obs.Bool("refined", h.Refined))
+			}
+			span.End()
+		}()
 
 		replay := func(from *checkpoint.Checkpoint, toCycle uint64) (*sim.State, error) {
 			return s.verifyReplay(p, from, toCycle)
@@ -344,9 +387,13 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64) *
 		})
 		h.Result, h.Err = res, err
 		if err != nil || res.Consistent() {
+			if err == nil {
+				s.metrics.Counter("verify_consistent").Inc()
+			}
 			s.PruneVersions()
 			return
 		}
+		s.metrics.Counter("verify_divergent").Inc()
 		// Divergence: drop unreachable checkpoints and refine the live
 		// estimate from the last consistent point (Section III-D: "if so,
 		// update the final results as necessary").
@@ -363,6 +410,7 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64) *
 			return
 		}
 		h.Refined = true
+		s.metrics.Counter("verify_refined").Inc()
 		s.PruneVersions()
 	}()
 	return h

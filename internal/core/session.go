@@ -14,11 +14,13 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"livesim/internal/checkpoint"
 	"livesim/internal/codegen"
 	"livesim/internal/livecompiler"
 	"livesim/internal/liveparser"
+	"livesim/internal/obs"
 	"livesim/internal/sim"
 	"livesim/internal/vm"
 	"livesim/internal/xform"
@@ -143,6 +145,13 @@ type Config struct {
 	Output io.Writer
 	// VerifyWorkers sizes the background consistency pool (0 = NumCPU).
 	VerifyWorkers int
+	// Metrics, when set, is the registry every layer of the session
+	// reports into: the compiler, the kernel, the checkpoint stores and
+	// the session itself. Nil disables metrics at zero hot-path cost.
+	Metrics *obs.Registry
+	// TraceOut, when set, receives one JSON line per completed live-loop
+	// span (parse, elab, codegen, swap, reload, reexec, verify, ...).
+	TraceOut io.Writer
 }
 
 // Session is the LiveSim environment.
@@ -168,6 +177,12 @@ type Session struct {
 	tbFactory map[string]TestbenchFactory
 
 	verifyWG sync.WaitGroup
+
+	// metrics is cfg.Metrics (possibly nil: all uses are nil-safe);
+	// tracer is never nil — with no TraceOut it emits nothing but still
+	// times spans, which ApplyChange's ChangeReport is derived from.
+	metrics *obs.Registry
+	tracer  *obs.Tracer
 }
 
 // NewSession creates an empty session for the given top module.
@@ -179,14 +194,46 @@ func NewSession(top string, cfg Config) *Session {
 	if cfg.ObjectDir != "" {
 		comp.SetObjectDir(cfg.ObjectDir)
 	}
-	return &Session{
+	comp.SetMetrics(cfg.Metrics)
+	s := &Session{
 		cfg:            cfg,
 		top:            top,
 		compiler:       comp,
 		pipes:          make(map[string]*Pipe),
 		tbFactory:      make(map[string]TestbenchFactory),
 		versionObjects: make(map[string]map[string]*vm.Object),
+		metrics:        cfg.Metrics,
+		tracer:         obs.NewTracer(cfg.TraceOut),
 	}
+	// Bridge: the VM/kernel hot loop keeps its existing Stats fast path;
+	// its counters are published into the registry only when a snapshot
+	// is taken.
+	s.metrics.OnSnapshot(s.publishVMStats)
+	return s
+}
+
+// Metrics returns the session's registry (nil when metrics are off).
+func (s *Session) Metrics() *obs.Registry { return s.metrics }
+
+// publishVMStats copies the per-pipe kernel op counters (vm.Stats, the
+// paper's Table VII raw material) into registry gauges. Runs as an
+// OnSnapshot hook so the hot loop is never touched.
+func (s *Session) publishVMStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var agg vm.Stats
+	cpLive := 0
+	for _, p := range s.pipes {
+		agg.Add(p.Sim.Stats)
+		cpLive += p.Checkpoints.Len()
+	}
+	s.metrics.Gauge("vm_ops").Set(agg.Ops)
+	s.metrics.Gauge("vm_branches").Set(agg.Branches)
+	s.metrics.Gauge("vm_branches_taken").Set(agg.Taken)
+	s.metrics.Gauge("vm_mem_ops").Set(agg.MemOps)
+	s.metrics.Gauge("session_pipes").Set(uint64(len(s.pipes)))
+	s.metrics.Gauge("checkpoints_live").Set(uint64(cpLive))
+	s.metrics.Gauge("versions_retained").Set(uint64(len(s.versionObjects)))
 }
 
 // LoadDesign performs the initial full build (the session's ldLib for the
@@ -194,7 +241,9 @@ func NewSession(top string, cfg Config) *Session {
 func (s *Session) LoadDesign(src liveparser.Source) (*livecompiler.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := s.compiler.Build(src)
+	sp := s.tracer.Start("load_design")
+	defer sp.End()
+	res, err := s.compiler.BuildSpan(src, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +312,7 @@ func (s *Session) InstPipe(name string) (*Pipe, error) {
 	if s.cfg.Output != nil {
 		opts = append(opts, sim.WithOutput(s.cfg.Output))
 	}
+	opts = append(opts, sim.WithMetrics(s.metrics))
 	sm, err := sim.New(s.resolverLocked(), s.topKey, opts...)
 	if err != nil {
 		return nil, err
@@ -275,6 +325,7 @@ func (s *Session) InstPipe(name string) (*Pipe, error) {
 		Checkpoints: checkpoint.NewStore(),
 		tbs:         make(map[string]Testbench),
 	}
+	p.Checkpoints.SetMetrics(s.metrics)
 	s.pipes[name] = p
 	s.pipeOrder = append(s.pipeOrder, name)
 	return p, nil
@@ -295,6 +346,7 @@ func (s *Session) CopyPipe(newName, oldName string) (*Pipe, error) {
 	if s.cfg.Output != nil {
 		opts = append(opts, sim.WithOutput(s.cfg.Output))
 	}
+	opts = append(opts, sim.WithMetrics(s.metrics))
 	sm, err := sim.New(s.resolverForVersionLocked(old.Version), old.TopKey, opts...)
 	if err != nil {
 		return nil, err
@@ -311,6 +363,7 @@ func (s *Session) CopyPipe(newName, oldName string) (*Pipe, error) {
 		History:     append([]RunOp(nil), old.History...),
 		tbs:         make(map[string]Testbench),
 	}
+	p.Checkpoints.SetMetrics(s.metrics)
 	for h, tb := range old.tbs {
 		f, ok := s.tbFactory[h]
 		if !ok {
@@ -394,10 +447,14 @@ func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
 		tb = f()
 		p.tbs[tbHandle] = tb
 	}
-	p.History = append(p.History, RunOp{TB: tbHandle, Cycles: cycles, StartCycle: p.Sim.Cycle()})
+	start := p.Sim.Cycle()
+	p.History = append(p.History, RunOp{TB: tbHandle, Cycles: cycles, StartCycle: start})
 	s.mu.Unlock()
 
-	return s.runChunked(p, tb, cycles)
+	err := s.runChunked(p, tb, cycles)
+	s.metrics.Counter("session_runs").Inc()
+	s.metrics.Counter("session_cycles_run").Add(p.Sim.Cycle() - start)
+	return err
 }
 
 // runChunked advances the testbench, pausing at checkpoint boundaries.
@@ -438,6 +495,10 @@ func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
 // takeCheckpoint captures pipe state plus testbench snapshots. Only the
 // state copy happens here; serialization is asynchronous (Figure 2(a)).
 func (s *Session) takeCheckpoint(p *Pipe) *checkpoint.Checkpoint {
+	var t0 time.Time
+	if s.metrics != nil {
+		t0 = time.Now()
+	}
 	st := p.Sim.Snapshot()
 	aux := make(map[string][]byte, len(p.tbs))
 	for h, tb := range p.tbs {
@@ -446,6 +507,11 @@ func (s *Session) takeCheckpoint(p *Pipe) *checkpoint.Checkpoint {
 	cp := p.Checkpoints.Add(st, p.Version, len(p.History))
 	cp.Aux = aux
 	p.lastCheckpoint = st.Cycle
+	if s.metrics != nil {
+		// The stop-the-world part only — serialization is async and
+		// measured by the store as checkpoint_encode_seconds.
+		s.metrics.Histogram("checkpoint_capture_seconds", nil).Observe(time.Since(t0).Seconds())
+	}
 	return cp
 }
 
@@ -470,7 +536,15 @@ func (s *Session) SaveCheckpoint(pipeName, path string) error {
 	}
 	cp := s.takeCheckpoint(p)
 	s.mu.Unlock()
-	return os.WriteFile(path, cp.Bytes(), 0o644)
+	t0 := time.Now()
+	data := cp.Bytes()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	s.metrics.Counter("checkpoint_saves").Inc()
+	s.metrics.Counter("checkpoint_saved_bytes").Add(uint64(len(data)))
+	s.metrics.Histogram("checkpoint_save_seconds", nil).Observe(time.Since(t0).Seconds())
+	return nil
 }
 
 // LoadCheckpoint restores a pipe from a checkpoint file (Table I ldch).
@@ -481,6 +555,7 @@ func (s *Session) LoadCheckpoint(pipeName, path string) error {
 	if !ok {
 		return fmt.Errorf("no pipe %q", pipeName)
 	}
+	t0 := time.Now()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -489,7 +564,12 @@ func (s *Session) LoadCheckpoint(pipeName, path string) error {
 	if err != nil {
 		return err
 	}
-	return p.Sim.Restore(st)
+	if err := p.Sim.Restore(st); err != nil {
+		return err
+	}
+	s.metrics.Counter("checkpoint_loads").Inc()
+	s.metrics.Histogram("checkpoint_load_seconds", nil).Observe(time.Since(t0).Seconds())
+	return nil
 }
 
 // SwapStage hot-swaps one stage object in one pipe (Table I swapStage).

@@ -25,6 +25,7 @@ import (
 	"livesim/internal/hdl/ast"
 	"livesim/internal/hdl/elab"
 	"livesim/internal/liveparser"
+	"livesim/internal/obs"
 	"livesim/internal/vm"
 )
 
@@ -72,6 +73,10 @@ type Compiler struct {
 	// objDir, when set, persists compiled objects as .lso files — the
 	// on-disk shared-library analog of Table II's Object-Path column.
 	objDir string
+
+	// metrics, when set, receives per-build counters and phase latency
+	// histograms (compile_* names). Nil disables at zero cost.
+	metrics *obs.Registry
 }
 
 // New creates a compiler for the module named top, using the given
@@ -89,6 +94,12 @@ func New(top string, style codegen.Style, overrides map[string]uint64) *Compiler
 // written to dir as .lso files and reloaded on cache misses, so a fresh
 // session reuses a previous session's compilation work.
 func (c *Compiler) SetObjectDir(dir string) { c.objDir = dir }
+
+// SetMetrics points the compiler at a metrics registry (nil = off). Each
+// build updates compile_builds, compile_cache_hits/compile_disk_hits,
+// compile_compiled, and the compile_{parse,elab,codegen}_seconds
+// latency histograms.
+func (c *Compiler) SetMetrics(reg *obs.Registry) { c.metrics = reg }
 
 // ObjectFile returns the on-disk path an object with the given content
 // key would use ("" when no object directory is configured).
@@ -118,14 +129,23 @@ func (c *Compiler) Resolver() func(key string) (*vm.Object, error) {
 // calls are incremental: only dirty modules recompile, and Swapped lists
 // exactly the objects whose code changed.
 func (c *Compiler) Build(src liveparser.Source) (*Result, error) {
+	return c.BuildSpan(src, nil)
+}
+
+// BuildSpan is Build with trace-span context: when parent is non-nil the
+// parse, elab and codegen phases are recorded as child spans, so a traced
+// live loop shows where build time went.
+func (c *Compiler) BuildSpan(src liveparser.Source, parent *obs.Span) (*Result, error) {
 	res := &Result{Objects: make(map[string]*vm.Object)}
 
+	sp := parent.Child("parse")
 	t0 := time.Now()
 	analysis, err := liveparser.Analyze(src)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.ParseTime = time.Since(t0)
+	sp.End()
 
 	if c.prevAnalysis != nil {
 		res.Diff = liveparser.Compare(c.prevAnalysis, analysis)
@@ -135,14 +155,17 @@ func (c *Compiler) Build(src liveparser.Source) (*Result, error) {
 	for name, mi := range analysis.Modules {
 		srcs[name] = mi.AST
 	}
+	sp = parent.Child("elab")
 	t1 := time.Now()
 	design, err := elab.Elaborate(srcs, c.top, c.overrides)
 	if err != nil {
 		return nil, err
 	}
 	res.Stats.ElabTime = time.Since(t1)
+	sp.End()
 	res.TopKey = design.TopKey
 
+	sp = parent.Child("codegen")
 	t2 := time.Now()
 	for _, key := range design.Order {
 		em := design.Modules[key]
@@ -179,6 +202,19 @@ func (c *Compiler) Build(src liveparser.Source) (*Result, error) {
 		}
 	}
 	res.Stats.CompileTime = time.Since(t2)
+	sp.Annotate(obs.U64("compiled", uint64(res.Stats.Compiled)),
+		obs.U64("cache_hits", uint64(res.Stats.CacheHits)))
+	sp.End()
+
+	if c.metrics != nil {
+		c.metrics.Counter("compile_builds").Inc()
+		c.metrics.Counter("compile_cache_hits").Add(uint64(res.Stats.CacheHits))
+		c.metrics.Counter("compile_disk_hits").Add(uint64(res.Stats.DiskHits))
+		c.metrics.Counter("compile_compiled").Add(uint64(res.Stats.Compiled))
+		c.metrics.Histogram("compile_parse_seconds", nil).Observe(res.Stats.ParseTime.Seconds())
+		c.metrics.Histogram("compile_elab_seconds", nil).Observe(res.Stats.ElabTime.Seconds())
+		c.metrics.Histogram("compile_codegen_seconds", nil).Observe(res.Stats.CompileTime.Seconds())
+	}
 
 	// Swap decision: hash-compare against the previous build.
 	for key, obj := range res.Objects {

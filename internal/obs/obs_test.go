@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the increments go through a cached handle, half
+			// through repeated name lookup — both paths must be safe.
+			c := r.Counter("ops")
+			for i := 0; i < perWorker/2; i++ {
+				c.Inc()
+				r.Counter("ops").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != workers*perWorker {
+		t.Errorf("ops = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	// Every call on a nil registry and its nil instruments must no-op.
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(7)
+	r.Histogram("c", nil).Observe(0.5)
+	r.OnSnapshot(func() { t.Error("hook ran on nil registry") })
+	if r.Counter("a").Value() != 0 || r.Gauge("b").Value() != 0 || r.Histogram("c", nil).Count() != 0 {
+		t.Error("nil instruments returned nonzero values")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	// On-the-bound observations land in the bucket they bound; beyond
+	// the last bound lands in the overflow bucket.
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 100, 100.5, 1e9} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []uint64{2, 2, 1, 2} // (≤1)=0.5,1  (≤10)=1.0000001,10  (≤100)=100  (>100)=100.5,1e9
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Errorf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 7 {
+		t.Errorf("count = %d, want 7", s.Count)
+	}
+}
+
+func TestHistogramSumConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Sum(); got != 1000 {
+		t.Errorf("sum = %g, want 1000", got)
+	}
+	if h.Count() != 4000 {
+		t.Errorf("count = %d, want 4000", h.Count())
+	}
+}
+
+func TestSnapshotDeterministicJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_last").Add(1)
+	r.Counter("a_first").Add(2)
+	r.Gauge("mid").Set(42)
+	r.Histogram("h", []float64{0.1, 1}).Observe(0.05)
+
+	j1 := r.Snapshot().JSON()
+	j2 := r.Snapshot().JSON()
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, r.Snapshot()) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, r.Snapshot())
+	}
+	// Key order in the marshaled form must be sorted (encoding/json
+	// sorts map keys), so diffs across runs are stable.
+	if bytes.Index(j1, []byte("a_first")) > bytes.Index(j1, []byte("z_last")) {
+		t.Errorf("counter keys not sorted in %s", j1)
+	}
+}
+
+func TestSnapshotHook(t *testing.T) {
+	r := NewRegistry()
+	ran := 0
+	r.OnSnapshot(func() {
+		ran++
+		r.Gauge("bridge").Set(uint64(ran))
+	})
+	if got := r.Snapshot().Gauges["bridge"]; got != 1 {
+		t.Errorf("bridge = %d after first snapshot, want 1", got)
+	}
+	if got := r.Snapshot().Gauges["bridge"]; got != 2 {
+		t.Errorf("bridge = %d after second snapshot, want 2", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(3)
+	r.Gauge("cycle").Set(99)
+	r.Histogram("lat", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"runs 3\n", "cycle 99\n", "lat count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted: "cycle" before "runs".
+	if strings.Index(out, "cycle") > strings.Index(out, "runs") {
+		t.Errorf("text dump not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records nested timed spans — one tree per trip around the live
+// loop — and emits each completed span as one JSON line on its sink:
+//
+//	{"ev":"span","id":4,"parent":1,"name":"codegen",
+//	 "start_us":182,"dur_us":913,"attrs":{"version":"v1","cycle":2000}}
+//
+// start_us is microseconds since the tracer was created, so a trace file
+// is self-contained and diffable. A Tracer with a nil sink still times
+// spans (the session derives its ChangeReport breakdown from them); a
+// nil *Tracer hands out nil spans, and every Span method is a no-op on a
+// nil receiver.
+type Tracer struct {
+	mu     sync.Mutex
+	sink   io.Writer
+	nextID atomic.Uint64
+	epoch  time.Time
+}
+
+// NewTracer returns a tracer writing JSONL span events to sink (nil sink
+// = time spans but emit nothing).
+func NewTracer(sink io.Writer) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Str, U64 and Bool build span attributes.
+func Str(k, v string) Attr        { return Attr{k, v} }
+func U64(k string, v uint64) Attr { return Attr{k, v} }
+func Bool(k string, v bool) Attr  { return Attr{k, v} }
+
+// Span is one timed phase. Spans are owned by one goroutine at a time;
+// End may happen on a different goroutine than Start as long as the
+// handoff happens-before.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64 // 0 = root
+	name   string
+	start  time.Time
+	dur    time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// Start begins a root span (a nil tracer returns a nil span).
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	return t.start(name, 0, attrs)
+}
+
+func (t *Tracer) start(name string, parent uint64, attrs []Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+}
+
+// Child begins a span nested under s (nil-safe: a nil span yields nil).
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(name, s.id, attrs)
+}
+
+// Annotate attaches attributes to a not-yet-ended span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || s.ended {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span, fixing its duration and emitting its JSONL
+// event. End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.tr.emit(s)
+}
+
+// Dur returns the span's duration (zero until End, zero on nil).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// spanEvent is the JSONL wire form of one completed span.
+type spanEvent struct {
+	Ev      string         `json:"ev"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+func (t *Tracer) emit(s *Span) {
+	if t.sink == nil {
+		return
+	}
+	ev := spanEvent{
+		Ev:      "span",
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(t.epoch).Microseconds(),
+		DurUS:   s.dur.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		ev.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			ev.Attrs[a.Key] = a.Val
+		}
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return // attrs are caller-supplied scalars; never happens in-tree
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	t.sink.Write(line)
+	t.mu.Unlock()
+}

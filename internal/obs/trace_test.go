@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeSpans parses a JSONL trace back into events.
+func decodeSpans(t *testing.T, data []byte) []spanEvent {
+	t.Helper()
+	var evs []spanEvent
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev spanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+func TestTracerSpanTree(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("apply_change", Str("version", "v1"))
+	child := root.Child("compile")
+	grand := child.Child("parse", U64("cycle", 2000))
+	grand.End()
+	child.End()
+	root.Annotate(Bool("no_change", false))
+	root.End()
+
+	evs := decodeSpans(t, buf.Bytes())
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(evs), evs)
+	}
+	// Spans emit at End, so leaf-first order.
+	byName := map[string]spanEvent{}
+	for _, ev := range evs {
+		if ev.Ev != "span" {
+			t.Errorf("event type %q", ev.Ev)
+		}
+		byName[ev.Name] = ev
+	}
+	if byName["parse"].Parent != byName["compile"].ID {
+		t.Errorf("parse parent = %d, compile id = %d", byName["parse"].Parent, byName["compile"].ID)
+	}
+	if byName["compile"].Parent != byName["apply_change"].ID {
+		t.Errorf("compile parent = %d", byName["compile"].Parent)
+	}
+	if byName["apply_change"].Parent != 0 {
+		t.Errorf("root has parent %d", byName["apply_change"].Parent)
+	}
+	if v := byName["parse"].Attrs["cycle"]; v != float64(2000) {
+		t.Errorf("parse cycle attr = %v", v)
+	}
+	if v := byName["apply_change"].Attrs["no_change"]; v != false {
+		t.Errorf("annotated attr = %v", v)
+	}
+}
+
+func TestTracerNilSinkStillTimes(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.Start("work")
+	sp.End()
+	if sp.Dur() < 0 {
+		t.Errorf("negative duration %v", sp.Dur())
+	}
+	// End is idempotent.
+	d := sp.Dur()
+	sp.End()
+	if sp.Dur() != d {
+		t.Errorf("second End changed duration")
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// All span ops must no-op on nil.
+	sp.Annotate(Str("k", "v"))
+	sp.End()
+	if sp.Dur() != 0 {
+		t.Error("nil span duration nonzero")
+	}
+	if c := sp.Child("y"); c != nil {
+		t.Error("nil span child non-nil")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"strings"
 
+	"livesim/internal/obs"
 	"livesim/internal/vm"
 )
 
@@ -72,6 +73,15 @@ type Sim struct {
 
 	codeBase uint64
 	dataBase uint64
+
+	// Cached registry instruments (nil when metrics are disabled; every
+	// method on a nil instrument is a no-op, so the hot path below pays
+	// exactly one predictable branch per batch update).
+	cTicks        *obs.Counter
+	cSettleCalls  *obs.Counter
+	cSettlePasses *obs.Counter
+	cReloads      *obs.Counter
+	cSwappedInsts *obs.Counter
 }
 
 // Option configures a Sim.
@@ -79,6 +89,22 @@ type Option func(*Sim)
 
 // WithOutput directs $display text to w.
 func WithOutput(w io.Writer) Option { return func(s *Sim) { s.output = w } }
+
+// WithMetrics reports kernel activity (sim_ticks, sim_settle_calls,
+// sim_settle_passes, sim_reloads, sim_swapped_instances) into reg. A nil
+// registry keeps the hot path at its uninstrumented cost.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Sim) {
+		if reg == nil {
+			return
+		}
+		s.cTicks = reg.Counter("sim_ticks")
+		s.cSettleCalls = reg.Counter("sim_settle_calls")
+		s.cSettlePasses = reg.Counter("sim_settle_passes")
+		s.cReloads = reg.Counter("sim_reloads")
+		s.cSwappedInsts = reg.Counter("sim_swapped_instances")
+	}
+}
 
 // New builds the instance hierarchy for topKey.
 func New(r Resolver, topKey string, opts ...Option) (*Sim, error) {
@@ -172,6 +198,7 @@ func (s *Sim) settle(prof vm.Profiler) error {
 		return nil
 	}
 	s.settled = true
+	s.cSettleCalls.Inc()
 	if s.allDirty {
 		for _, n := range s.nodes {
 			n.dirty = true
@@ -222,6 +249,7 @@ func (s *Sim) settle(prof vm.Profiler) error {
 			}
 		}
 		if !changed {
+			s.cSettlePasses.Add(uint64(pass + 1))
 			return nil
 		}
 	}
@@ -235,6 +263,8 @@ func (s *Sim) Tick(n int) error { return s.tick(n, nil) }
 func (s *Sim) TickProfiled(n int, prof vm.Profiler) error { return s.tick(n, prof) }
 
 func (s *Sim) tick(n int, prof vm.Profiler) error {
+	start := s.cycle
+	defer func() { s.cTicks.Add(s.cycle - start) }()
 	for i := 0; i < n; i++ {
 		if err := s.settle(prof); err != nil {
 			return fmt.Errorf("cycle %d: %w", s.cycle, err)

@@ -162,6 +162,8 @@ func (s *Sim) Reload(key string, migrate MigrateFunc) (int, error) {
 	s.rebuildIndex()
 	s.settled = false
 	s.allDirty = true
+	s.cReloads.Inc()
+	s.cSwappedInsts.Add(uint64(count))
 	return count, nil
 }
 

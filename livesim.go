@@ -32,6 +32,7 @@ import (
 	"livesim/internal/codegen"
 	"livesim/internal/core"
 	"livesim/internal/liveparser"
+	"livesim/internal/obs"
 	"livesim/internal/trace"
 )
 
@@ -78,6 +79,18 @@ const (
 	StyleGrouped = codegen.StyleGrouped
 	StyleMux     = codegen.StyleMux
 )
+
+// Registry is the unified metrics registry every session layer reports
+// into (compiler cache hits, checkpoint latencies, VM op counters,
+// verification outcomes). Pass one in Config.Metrics, read it back with
+// Session.Metrics, export it with Snapshot or WriteText.
+type Registry = obs.Registry
+
+// MetricsSnapshot is a point-in-time JSON-exportable registry capture.
+type MetricsSnapshot = obs.Snapshot
+
+// NewRegistry creates an empty metrics registry for Config.Metrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // NewSession creates a session for the named top-level module.
 func NewSession(top string, cfg Config) *Session { return core.NewSession(top, cfg) }

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench fuzz-smoke
 
-check: vet build race
+check: vet build race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,3 +26,11 @@ race:
 # Small-configuration benchmarks (cmd/lsbench runs the full sweeps).
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Short fuzz runs over the checkpoint decoders (Go allows one -fuzz
+# target per invocation). ~10s each keeps this viable in CI while still
+# churning hundreds of thousands of corrupted inputs.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeState -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeFile -fuzztime=$(FUZZTIME) ./internal/checkpoint/

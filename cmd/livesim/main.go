@@ -161,6 +161,8 @@ func (sh *shell) exec(line string) error {
                                 run while dumping a VCD waveform
   checkpoints <pipe>            list the pipe's checkpoints
   cycle <pipe>                  show the pipe's cycle
+  health                        show the session's robustness summary
+                                (rollbacks, verify errors, recovered panics)
   stats [json]                  dump the metrics registry (needs -metrics);
                                 shows compile cache effectiveness, VM ops,
                                 checkpoint and verification counters
@@ -256,6 +258,10 @@ func (sh *shell) exec(line string) error {
 		}
 		rep, err := sh.session.ApplyChange(src)
 		if err != nil {
+			if rep != nil && rep.RolledBack {
+				fmt.Printf("  change failed on pipe %s and was rolled back; still on version %s\n",
+					rep.FailedPipe, sh.session.Version())
+			}
 			return err
 		}
 		if rep.NoChange {
@@ -358,6 +364,10 @@ func (sh *shell) exec(line string) error {
 		}
 		return nil
 
+	case "health":
+		fmt.Println(indent(sh.session.Health().String()))
+		return nil
+
 	case "cycle":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: cycle <pipe>")
@@ -370,6 +380,10 @@ func (sh *shell) exec(line string) error {
 		return nil
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }
 
 func fail(err error) {

@@ -24,6 +24,7 @@ import (
 	"livesim/internal/checkpoint"
 	"livesim/internal/codegen"
 	"livesim/internal/core"
+	"livesim/internal/faultinject"
 	"livesim/internal/flatsim"
 	"livesim/internal/hdl/ast"
 	"livesim/internal/hdl/elab"
@@ -47,6 +48,7 @@ var (
 	flagCkpt    = flag.Bool("ckpt", false, "Section V-B: checkpointing overhead")
 	flagFig6    = flag.Bool("fig6", false, "Figure 6: parallel consistency verification")
 	flagAblate  = flag.Bool("ablation", false, "codegen-style ablation (grouped vs mux)")
+	flagRollbck = flag.Bool("rollback", false, "robustness: rollback latency after an injected hot-reload failure")
 	flagBudget  = flag.Duration("budget", 3*time.Second, "time budget per speed measurement")
 	flagProfCyc = flag.Int("profcycles", 300, "profiled cycles for Table VII")
 	flagMetrics = flag.Bool("metrics", false, "attach a metrics registry to session-based experiments and embed its JSON snapshot in the output")
@@ -73,10 +75,10 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
-		*flagCkpt, *flagFig6, *flagAblate = true, true, true
+		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck = true, true, true, true
 	}
 	fmt.Printf("lsbench: sizes=%v budget=%v GOMAXPROCS=%d\n\n", sizes, *flagBudget, runtime.GOMAXPROCS(0))
 
@@ -100,6 +102,9 @@ func main() {
 	}
 	if *flagAblate {
 		ablation()
+	}
+	if *flagRollbck {
+		rollbackBench(sizes)
 	}
 }
 
@@ -635,6 +640,96 @@ func ablation() {
 		}
 		fmt.Printf("%-10s %10.1f %8.2f %10.2f %10.2f %10.2f %12d\n",
 			style, khz, m.IPC, m.IMPKI, m.DMPKI, m.BRMPKI, code)
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------- rollback
+
+// rollbackBench measures the cost of the transactional live loop's failure
+// path: a hot reload is made to fail mid-commit by a deterministic fault
+// plan, and the session rolls every pipe back to the pre-change state. The
+// rollback column is the wall time of the failed ApplyChange (prepare +
+// partial commit + full restore); the apply column is the same change
+// succeeding, for scale.
+func rollbackBench(sizes []int) {
+	fmt.Println("== Robustness: rollback latency after an injected hot-reload failure ==")
+	fmt.Printf("%-8s %-22s %12s %14s %10s\n",
+		"PGAS", "change", "apply (ms)", "rollback (ms)", "retry")
+	for _, n := range sizes {
+		fp := faultinject.New()
+		s := core.NewSession(pgas.TopName(n), core.Config{
+			Style: codegen.StyleGrouped, CheckpointEvery: 500, Lookback: 500,
+			Faults: fp,
+		})
+		if _, err := s.LoadDesign(pgas.Source(n)); err != nil {
+			fatal(err)
+		}
+		images, err := pgas.ComputeImages(n, 1<<30)
+		if err != nil {
+			fatal(err)
+		}
+		s.RegisterTestbench("tb0", pgas.NewTestbench(n, images))
+		if _, err := s.InstPipe("p0"); err != nil {
+			fatal(err)
+		}
+		if err := s.Run("tb0", "p0", 2000); err != nil {
+			fatal(err)
+		}
+
+		ch := pgas.Changes[0]
+		for _, c := range pgas.Changes {
+			if c.Behavioral {
+				ch = c
+				break
+			}
+		}
+		edited, err := ch.Apply(pgas.Source(n))
+		if err != nil {
+			fatal(err)
+		}
+
+		// Clean apply first: learn which object gets hot-swapped and what a
+		// successful trip costs, then revert to the baseline.
+		rep, err := s.ApplyChange(edited)
+		if err != nil {
+			fatal(err)
+		}
+		rep.WaitVerification()
+		if len(rep.Swapped) == 0 {
+			fmt.Printf("%-8s %-22s %12s\n", meshLabel(n), ch.Name, "(no swap)")
+			continue
+		}
+		key := rep.Swapped[0]
+		reverted, err := ch.Revert(edited)
+		if err != nil {
+			fatal(err)
+		}
+		if rep2, err := s.ApplyChange(reverted); err != nil {
+			fatal(err)
+		} else {
+			rep2.WaitVerification()
+		}
+
+		// Arm the fault: the next reload of the swapped object fails, the
+		// commit aborts, and the session rolls back to the reverted version.
+		fp.FailReload(key, 1)
+		t0 := time.Now()
+		frep, ferr := s.ApplyChange(edited)
+		rollbackD := time.Since(t0)
+		if ferr == nil || frep == nil || !frep.RolledBack {
+			fatal(fmt.Errorf("injected reload fault did not roll back (err=%v)", ferr))
+		}
+
+		// The same edit must succeed on the rolled-back session.
+		retry := "ok"
+		if rep3, err := s.ApplyChange(edited); err != nil {
+			retry = "FAILED"
+		} else {
+			rep3.WaitVerification()
+		}
+		fmt.Printf("%-8s %-22s %12.1f %14.1f %10s\n",
+			meshLabel(n), ch.Name, ms(rep.Total), ms(rollbackD), retry)
 	}
 	fmt.Println()
 }

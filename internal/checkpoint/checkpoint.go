@@ -233,6 +233,57 @@ func (s *Store) DropVersionAfter(version string, cycle uint64) int {
 	return dropped
 }
 
+// Mark returns a watermark: the ID the next added checkpoint will get.
+// Pass it to DropSince to undo everything added after this point.
+func (s *Store) Mark() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
+}
+
+// DropSince removes every checkpoint whose ID is at or beyond the given
+// Mark watermark — the transactional-rollback cleanup: checkpoints taken
+// while re-executing under a change that later failed describe states the
+// restored session never reached.
+func (s *Store) DropSince(mark int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.cps[:0]
+	dropped := 0
+	for _, cp := range s.cps {
+		if cp.ID >= mark {
+			dropped++
+			continue
+		}
+		kept = append(kept, cp)
+	}
+	s.cps = kept
+	s.Deleted += dropped
+	s.metrics.Counter("checkpoint_gc_deleted").Add(uint64(dropped))
+	return dropped
+}
+
+// DropAfterCycle removes checkpoints beyond the given cycle — the cleanup
+// after restoring an external checkpoint file: later checkpoints describe
+// a future the restored session may never revisit.
+func (s *Store) DropAfterCycle(cycle uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.cps[:0]
+	dropped := 0
+	for _, cp := range s.cps {
+		if cp.Cycle > cycle {
+			dropped++
+			continue
+		}
+		kept = append(kept, cp)
+	}
+	s.cps = kept
+	s.Deleted += dropped
+	s.metrics.Counter("checkpoint_gc_deleted").Add(uint64(dropped))
+	return dropped
+}
+
 // RelabelVersion rewrites the version tag on checkpoints — used after the
 // verifier proves old-version checkpoints remain consistent under the new
 // code, making them loadable as new-version checkpoints.
@@ -353,8 +404,10 @@ func DecodeState(buf []byte) (*sim.State, error) {
 		if err != nil {
 			return "", err
 		}
-		if err := need(int(n)); err != nil {
-			return "", err
+		// Hard bound against the buffer, not int(n): a corrupt 64-bit
+		// length must not overflow int or drive a huge allocation.
+		if n > uint64(len(buf)-off) {
+			return "", fmt.Errorf("checkpoint corrupt: %d-byte string at offset %d exceeds buffer", n, off)
 		}
 		s := string(buf[off : off+int(n)])
 		off += int(n)
@@ -376,8 +429,11 @@ func DecodeState(buf []byte) (*sim.State, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nNodes > 1<<24 {
-		return nil, fmt.Errorf("checkpoint corrupt: %d nodes", nNodes)
+	// Every node costs at least four 8-byte length fields, so a count
+	// beyond remaining/32 cannot be satisfied by the buffer — reject it
+	// before allocating.
+	if nNodes > uint64(len(buf)-off)/32 {
+		return nil, fmt.Errorf("checkpoint corrupt: %d nodes in %d remaining bytes", nNodes, len(buf)-off)
 	}
 	st.Nodes = make([]sim.NodeState, nNodes)
 	for i := range st.Nodes {
@@ -392,8 +448,8 @@ func DecodeState(buf []byte) (*sim.State, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := need(int(nSlots) * 8); err != nil {
-			return nil, err
+		if nSlots > uint64(len(buf)-off)/8 {
+			return nil, fmt.Errorf("checkpoint corrupt: %d slots in %d remaining bytes", nSlots, len(buf)-off)
 		}
 		if nSlots > 0 {
 			n.Slots = make([]uint64, nSlots)
@@ -406,8 +462,9 @@ func DecodeState(buf []byte) (*sim.State, error) {
 		if err != nil {
 			return nil, err
 		}
-		if nMems > 1<<20 {
-			return nil, fmt.Errorf("checkpoint corrupt: %d memories", nMems)
+		// Each memory costs at least its 8-byte depth field.
+		if nMems > uint64(len(buf)-off)/8 {
+			return nil, fmt.Errorf("checkpoint corrupt: %d memories in %d remaining bytes", nMems, len(buf)-off)
 		}
 		if nMems > 0 {
 			n.Mems = make([][]uint64, nMems)
@@ -417,8 +474,8 @@ func DecodeState(buf []byte) (*sim.State, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := need(int(depth) * 8); err != nil {
-				return nil, err
+			if depth > uint64(len(buf)-off)/8 {
+				return nil, fmt.Errorf("checkpoint corrupt: memory depth %d in %d remaining bytes", depth, len(buf)-off)
 			}
 			m := make([]uint64, depth)
 			for j := range m {

@@ -1,0 +1,153 @@
+package core
+
+import "fmt"
+
+// healthState holds the session-local robustness counters. They live
+// outside the metrics registry so Health() works even when metrics are
+// disabled, and outside s.mu so background verification goroutines can
+// record errors without contending with the live loop.
+type healthState struct {
+	verifyErrors    uint64
+	lastVerifyError string
+	rolledBack      uint64
+	lastRollback    string
+	lastRollbackErr string
+	tbPanics        uint64
+	lastTBPanic     string
+	changesApplied  uint64
+	changesFailed   uint64
+}
+
+// Health is a point-in-time summary of the session's robustness state —
+// the answer to "is this REPL still trustworthy after that last edit?".
+type Health struct {
+	// ChangesApplied / ChangesFailed count ApplyChange outcomes.
+	ChangesApplied uint64
+	ChangesFailed  uint64
+	// RolledBack counts changes that failed mid-commit and were rolled
+	// back to the pre-change version; LastRollback describes the newest.
+	RolledBack   uint64
+	LastRollback string
+	// RollbackDegraded is set when the newest rollback could not fully
+	// restore testbench state (the RTL state is always restored).
+	RollbackDegraded string
+	// VerifyErrors counts background consistency verifications that ended
+	// in an error (as opposed to a clean consistent/divergent verdict);
+	// LastVerifyError describes the newest.
+	VerifyErrors    uint64
+	LastVerifyError string
+	// TestbenchPanics counts panics recovered from user testbench code.
+	TestbenchPanics uint64
+	LastPanic       string
+}
+
+// Ok reports whether nothing has gone wrong since the session started.
+func (h Health) Ok() bool {
+	return h.ChangesFailed == 0 && h.VerifyErrors == 0 && h.TestbenchPanics == 0
+}
+
+// String renders the summary for the REPL's health command.
+func (h Health) String() string {
+	out := fmt.Sprintf("changes: %d applied, %d failed (%d rolled back)\nverify errors: %d\ntestbench panics: %d",
+		h.ChangesApplied, h.ChangesFailed, h.RolledBack, h.VerifyErrors, h.TestbenchPanics)
+	if h.LastRollback != "" {
+		out += "\nlast rollback: " + h.LastRollback
+	}
+	if h.RollbackDegraded != "" {
+		out += "\nrollback degraded: " + h.RollbackDegraded
+	}
+	if h.LastVerifyError != "" {
+		out += "\nlast verify error: " + h.LastVerifyError
+	}
+	if h.LastPanic != "" {
+		out += "\nlast panic: " + h.LastPanic
+	}
+	if h.Ok() {
+		out += "\nstatus: ok"
+	}
+	return out
+}
+
+// Health returns the current robustness summary.
+func (s *Session) Health() Health {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return Health{
+		ChangesApplied:   s.health.changesApplied,
+		ChangesFailed:    s.health.changesFailed,
+		RolledBack:       s.health.rolledBack,
+		LastRollback:     s.health.lastRollback,
+		RollbackDegraded: s.health.lastRollbackErr,
+		VerifyErrors:     s.health.verifyErrors,
+		LastVerifyError:  s.health.lastVerifyError,
+		TestbenchPanics:  s.health.tbPanics,
+		LastPanic:        s.health.lastTBPanic,
+	}
+}
+
+// noteHealthLocked applies fn to the health counters under healthMu.
+func (s *Session) noteHealthLocked(fn func(h *healthState)) {
+	s.healthMu.Lock()
+	fn(&s.health)
+	s.healthMu.Unlock()
+}
+
+// noteVerifyError records a background-verification error — previously
+// these were only visible to callers that kept the VerificationHandle.
+func (s *Session) noteVerifyError(err error) {
+	if err == nil {
+		return
+	}
+	s.metrics.Counter("verify_errors").Inc()
+	s.noteHealthLocked(func(h *healthState) {
+		h.verifyErrors++
+		h.lastVerifyError = err.Error()
+	})
+}
+
+// noteTBPanic records a recovered testbench panic.
+func (s *Session) noteTBPanic(v any) {
+	s.metrics.Counter("testbench_panics").Inc()
+	s.noteHealthLocked(func(h *healthState) {
+		h.tbPanics++
+		h.lastTBPanic = fmt.Sprint(v)
+	})
+}
+
+// safeRun invokes tb.Run — user code — with panic recovery, converting a
+// panic into an error so the session's transactional machinery (rollback,
+// verification error reporting) can handle it like any other failure. The
+// fault-injection testbench hook fires inside the recovery scope, so an
+// injected panic exercises exactly the production recovery path.
+func (s *Session) safeRun(tb Testbench, d *Driver, cycles int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.noteTBPanic(r)
+			err = fmt.Errorf("testbench panic: %v", r)
+		}
+	}()
+	s.cfg.Faults.TestbenchStep(d.Cycle())
+	return tb.Run(d, cycles)
+}
+
+// safeRestore invokes tb.Restore with panic recovery.
+func (s *Session) safeRestore(tb Testbench, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.noteTBPanic(r)
+			err = fmt.Errorf("testbench panic in Restore: %v", r)
+		}
+	}()
+	return tb.Restore(data)
+}
+
+// safeSnapshot invokes tb.Snapshot with panic recovery.
+func (s *Session) safeSnapshot(tb Testbench) (data []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.noteTBPanic(r)
+			err = fmt.Errorf("testbench panic in Snapshot: %v", r)
+		}
+	}()
+	return tb.Snapshot(), nil
+}

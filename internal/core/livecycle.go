@@ -25,6 +25,13 @@ type ChangeReport struct {
 	Swapped []string
 	// NoChange is set when the edit had no behavioural effect.
 	NoChange bool
+	// RolledBack is set when the change failed mid-commit and the session
+	// was restored, bit-identical, to the pre-change version. NewVersion
+	// then names the version that was attempted and discarded.
+	RolledBack bool
+	// FailedPipe names the pipe whose swap/reload/re-execution failed
+	// ("" unless RolledBack).
+	FailedPipe string
 
 	// Timing breakdown of the loop. All four fields are derived from the
 	// session's span tracer (the swap/reload/reexec spans and the
@@ -73,6 +80,16 @@ func (h *VerificationHandle) Wait() {
 // every pipe, checkpoint-based fast re-execution to each pipe's previous
 // cycle, and a background parallel verification of the surviving
 // checkpoints. The returned report carries the timing breakdown.
+//
+// The call is transactional. A prepare phase compiles the edit, checks
+// every pipe's preconditions and snapshots every pipe before anything
+// live is touched; the commit phase then swaps pipe by pipe. Any commit
+// failure — a reload error, a testbench panic during re-execution, an
+// injected fault — rolls every pipe, the version table and the compiler's
+// diff baseline back to the pre-change state bit-for-bit, so the session
+// keeps running on the old version and a corrected edit can follow. The
+// report is returned alongside the error in that case, with RolledBack
+// and FailedPipe set.
 func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 	// Serialize with any in-flight background verification/refinement.
 	s.verifyWG.Wait()
@@ -84,26 +101,35 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		rep.Total = root.Dur()
 	}()
 	// Exactly one of changes_applied / changes_nochange / changes_failed
-	// counts each call, so the three always sum to total invocations.
+	// counts each call, so the three always sum to total invocations
+	// (rolled-back changes count as failed; changes_rolled_back tracks
+	// the subset that needed state restoration).
 	fail := func(err error) error {
 		s.metrics.Counter("changes_failed").Inc()
+		s.noteHealthLocked(func(h *healthState) { h.changesFailed++ })
 		return err
 	}
 
+	// ---- Prepare phase: nothing live is touched until it cannot fail ----
+
 	s.mu.Lock()
+	preCompiler := s.compiler.State()
 	compileSpan := root.Child("compile")
 	build, err := s.compiler.BuildSpan(newSrc, compileSpan)
 	compileSpan.End()
 	if err != nil {
+		// A failed build must not shift the diff baseline: the next edit
+		// still diffs against the code actually running in the pipes.
+		s.compiler.Rollback(preCompiler)
 		s.mu.Unlock()
 		return nil, fail(err)
 	}
 	rep.Diff = build.Diff
 	rep.CompileStats = build.Stats
 	rep.Swapped = build.Swapped
-	s.source = newSrc
 
 	if len(build.Swapped) == 0 && len(build.Removed) == 0 {
+		s.source = newSrc
 		rep.NoChange = true
 		root.Annotate(obs.Bool("no_change", true))
 		s.metrics.Counter("changes_nochange").Inc()
@@ -111,10 +137,45 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		return rep, nil
 	}
 
-	// New design version: infer per-object transform ops (best guess,
-	// Section III-E) for every swapped object that has a predecessor.
+	// Precondition: hot reload cannot express a change of the top-level
+	// specialization's identity (e.g. a parameter default edit). Checked
+	// for every pipe before any pipe is mutated.
+	for _, name := range s.pipeOrder {
+		if p := s.pipes[name]; p.TopKey != build.TopKey {
+			s.compiler.Rollback(preCompiler)
+			s.mu.Unlock()
+			return nil, fail(fmt.Errorf("pipe %s: top-level specialization changed (%s -> %s); re-instantiate the pipe",
+				p.Name, p.TopKey, build.TopKey))
+		}
+	}
+
 	oldVersion := s.version
 	oldObjects := s.objects
+	txn := &changeTxn{
+		oldVersion:  oldVersion,
+		oldObjects:  oldObjects,
+		oldTopKey:   s.topKey,
+		oldSource:   s.source,
+		preCompiler: preCompiler,
+	}
+
+	// Snapshot every pipe — simulation state, testbenches, journal and
+	// checkpoint watermark — while still untouched.
+	snapSpan := root.Child("snapshot")
+	for _, name := range s.pipeOrder {
+		snap, err := s.snapshotPipe(s.pipes[name])
+		if err != nil {
+			snapSpan.End()
+			s.compiler.Rollback(preCompiler)
+			s.mu.Unlock()
+			return nil, fail(err)
+		}
+		txn.snaps = append(txn.snaps, snap)
+	}
+	snapSpan.End()
+
+	// New design version: infer per-object transform ops (best guess,
+	// Section III-E) for every swapped object that has a predecessor.
 	s.versionSeq++
 	newVersion := fmt.Sprintf("v%d", s.versionSeq)
 	ops := make(map[string][]xform.Op)
@@ -126,16 +187,19 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		}
 	}
 	if err := s.versions.Add(newVersion, oldVersion, ops); err != nil {
+		s.versionSeq--
+		s.compiler.Rollback(preCompiler)
 		s.mu.Unlock()
 		return nil, fail(err)
 	}
+	txn.newVersion = newVersion
 	s.version = newVersion
 	s.versionObjects[newVersion] = build.Objects
 	s.objects = build.Objects
 	s.topKey = build.TopKey
+	s.source = newSrc
 	rep.NewVersion = newVersion
 	root.Annotate(obs.Str("version", newVersion), obs.U64("swapped", uint64(len(build.Swapped))))
-	s.metrics.Counter("objects_swapped").Add(uint64(len(build.Swapped)))
 
 	pipes := make([]*Pipe, 0, len(s.pipes))
 	for _, name := range s.pipeOrder {
@@ -143,16 +207,25 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 	}
 	s.mu.Unlock()
 
-	// Hot reload every affected pipe, then fast re-execute from a
-	// checkpoint to where each pipe was.
+	// ---- Commit phase: swap pipe by pipe, roll everything back on any
+	// failure. Verifications start only after every pipe has committed, so
+	// no background goroutine ever observes (or replays over) a state that
+	// rollback is about to discard.
+
+	abort := func(p *Pipe, err error) (*ChangeReport, error) {
+		s.rollback(txn, p.Name, err, root)
+		rep.RolledBack = true
+		rep.FailedPipe = p.Name
+		return rep, fail(err)
+	}
+
+	type pendingVerify struct {
+		p      *Pipe
+		target uint64
+	}
+	var pending []pendingVerify
+
 	for _, p := range pipes {
-		if p.TopKey != build.TopKey {
-			// The top-level specialization itself changed identity (e.g. a
-			// parameter default edit). The pipe's hierarchy must be
-			// rebuilt; hot reload cannot express it.
-			return nil, fail(fmt.Errorf("pipe %s: top-level specialization changed (%s -> %s); re-instantiate the pipe",
-				p.Name, p.TopKey, build.TopKey))
-		}
 		target := p.Sim.Cycle()
 		pipeAttrs := []obs.Attr{obs.Str("pipe", p.Name), obs.U64("cycle", target), obs.Str("version", newVersion)}
 
@@ -162,8 +235,13 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 			if o := ops[key]; o != nil {
 				mig = xform.Migrator(o)
 			}
+			if err := s.cfg.Faults.ReloadFault(key); err != nil {
+				sp.End()
+				return abort(p, fmt.Errorf("pipe %s: reload %s: %w", p.Name, key, err))
+			}
 			if _, err := p.Sim.Reload(key, mig); err != nil {
-				return nil, fail(fmt.Errorf("pipe %s: reload %s: %w", p.Name, key, err))
+				sp.End()
+				return abort(p, fmt.Errorf("pipe %s: reload %s: %w", p.Name, key, err))
 			}
 		}
 		sp.End()
@@ -175,14 +253,16 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 			sp.Annotate(obs.U64("from_cycle", cp.Cycle))
 		}
 		if err := s.restoreFromCheckpoint(p, cp); err != nil {
-			return nil, fail(fmt.Errorf("pipe %s: %w", p.Name, err))
+			sp.End()
+			return abort(p, fmt.Errorf("pipe %s: %w", p.Name, err))
 		}
 		sp.End()
 		rep.ReloadTime += sp.Dur()
 
 		sp = root.Child("reexec", pipeAttrs...)
 		if err := s.replayTo(p, target); err != nil {
-			return nil, fail(fmt.Errorf("pipe %s: replay: %w", p.Name, err))
+			sp.End()
+			return abort(p, fmt.Errorf("pipe %s: replay: %w", p.Name, err))
 		}
 		sp.End()
 		rep.ReExecTime += sp.Dur()
@@ -191,14 +271,20 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		s.mu.Lock()
 		p.Version = newVersion
 		s.mu.Unlock()
-
-		// Background: verify the old checkpoints against the new code
-		// and refine the estimate if they diverge (Sections III-D, III-F).
-		vsp := root.Child("verify", pipeAttrs...)
-		rep.Verifications = append(rep.Verifications, s.startVerification(p, oldVersion, target, vsp))
+		pending = append(pending, pendingVerify{p, target})
 	}
 
+	// Every pipe committed: the change is durable. Start the background
+	// consistency verifications (Sections III-D, III-F).
+	for _, pv := range pending {
+		vsp := root.Child("verify",
+			obs.Str("pipe", pv.p.Name), obs.U64("cycle", pv.target), obs.Str("version", newVersion))
+		rep.Verifications = append(rep.Verifications, s.startVerification(pv.p, oldVersion, pv.target, vsp))
+	}
+
+	s.metrics.Counter("objects_swapped").Add(uint64(len(build.Swapped)))
 	s.metrics.Counter("changes_applied").Inc()
+	s.noteHealthLocked(func(h *healthState) { h.changesApplied++ })
 	return rep, nil
 }
 
@@ -220,7 +306,7 @@ func (s *Session) restoreFromCheckpoint(p *Pipe, cp *checkpoint.Checkpoint) erro
 	}
 	for h, tb := range p.tbs {
 		if data, ok := cp.Aux[h]; ok {
-			if err := tb.Restore(data); err != nil {
+			if err := s.safeRestore(tb, data); err != nil {
 				return fmt.Errorf("testbench %s: %w", h, err)
 			}
 		} else {
@@ -367,6 +453,9 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64, s
 		defer s.verifyWG.Done()
 		defer close(h.done)
 		defer func() {
+			// Verification errors were previously only visible to callers
+			// holding the handle; route them into Health()/verify_errors.
+			s.noteVerifyError(h.Err)
 			if h.Result != nil {
 				span.Annotate(obs.Bool("consistent", h.Result.Consistent()),
 					obs.U64("segments", uint64(len(h.Result.Segments))),
@@ -442,7 +531,7 @@ func (s *Session) verifyReplay(p *Pipe, from *checkpoint.Checkpoint, toCycle uin
 			return nil, fmt.Errorf("testbench %q not registered", h)
 		}
 		tb := f()
-		if err := tb.Restore(data); err != nil {
+		if err := s.safeRestore(tb, data); err != nil {
 			return nil, err
 		}
 		tbs[h] = tb
@@ -463,7 +552,7 @@ func (s *Session) verifyReplay(p *Pipe, from *checkpoint.Checkpoint, toCycle uin
 			tb = factories[op.TB]()
 			tbs[op.TB] = tb
 		}
-		if err := tb.Run(d, int(runTo-cur)); err != nil {
+		if err := s.safeRun(tb, d, int(runTo-cur)); err != nil {
 			return nil, err
 		}
 		if sm.Cycle() <= cur {

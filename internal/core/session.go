@@ -11,13 +11,13 @@ package core
 import (
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"livesim/internal/checkpoint"
 	"livesim/internal/codegen"
+	"livesim/internal/faultinject"
 	"livesim/internal/livecompiler"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
@@ -152,6 +152,11 @@ type Config struct {
 	// TraceOut, when set, receives one JSON line per completed live-loop
 	// span (parse, elab, codegen, swap, reload, reexec, verify, ...).
 	TraceOut io.Writer
+	// Faults, when set, injects deterministic one-shot failures (compile
+	// phase errors, reload errors, checkpoint corruption, testbench
+	// panics) for robustness testing. Nil — the normal case — costs
+	// nothing: every hook is nil-safe.
+	Faults *faultinject.Plan
 }
 
 // Session is the LiveSim environment.
@@ -178,6 +183,11 @@ type Session struct {
 
 	verifyWG sync.WaitGroup
 
+	// healthMu guards health — the robustness counters behind Health().
+	// A separate mutex keeps background goroutines off s.mu.
+	healthMu sync.Mutex
+	health   healthState
+
 	// metrics is cfg.Metrics (possibly nil: all uses are nil-safe);
 	// tracer is never nil — with no TraceOut it emits nothing but still
 	// times spans, which ApplyChange's ChangeReport is derived from.
@@ -195,6 +205,9 @@ func NewSession(top string, cfg Config) *Session {
 		comp.SetObjectDir(cfg.ObjectDir)
 	}
 	comp.SetMetrics(cfg.Metrics)
+	if cfg.Faults != nil {
+		comp.SetPhaseHook(cfg.Faults.CompileFault)
+	}
 	s := &Session{
 		cfg:            cfg,
 		top:            top,
@@ -449,9 +462,25 @@ func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
 	}
 	start := p.Sim.Cycle()
 	p.History = append(p.History, RunOp{TB: tbHandle, Cycles: cycles, StartCycle: start})
+	opIdx := len(p.History) - 1
 	s.mu.Unlock()
 
 	err := s.runChunked(p, tb, cycles)
+
+	// The journal must record what actually happened, not what was asked:
+	// on early stop ($finish, an error, a panic) the op is truncated to the
+	// cycles really advanced, so a later replay of the history reproduces
+	// this run exactly instead of over-running past the stop point.
+	advanced := int(p.Sim.Cycle() - start)
+	if advanced != cycles {
+		s.mu.Lock()
+		if advanced <= 0 {
+			p.History = append(p.History[:opIdx], p.History[opIdx+1:]...)
+		} else {
+			p.History[opIdx].Cycles = advanced
+		}
+		s.mu.Unlock()
+	}
 	s.metrics.Counter("session_runs").Inc()
 	s.metrics.Counter("session_cycles_run").Add(p.Sim.Cycle() - start)
 	return err
@@ -477,7 +506,7 @@ func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
 			}
 		}
 		before := p.Sim.Cycle()
-		if err := tb.Run(d, chunk); err != nil {
+		if err := s.safeRun(tb, d, chunk); err != nil {
 			return err
 		}
 		advanced := int(p.Sim.Cycle() - before)
@@ -526,7 +555,11 @@ func (s *Session) Checkpoint(pipeName string) (*checkpoint.Checkpoint, error) {
 	return s.takeCheckpoint(p), nil
 }
 
-// SaveCheckpoint writes the pipe's current state to a file (Table I chkp).
+// SaveCheckpoint writes the pipe's current state to a file (Table I chkp)
+// in the versioned container format: design version, history position and
+// testbench snapshots travel with the state, CRC-protected, written
+// atomically (temp file + fsync + rename) with a one-deep .bak of any
+// previous file — a crash at any point leaves a loadable checkpoint.
 func (s *Session) SaveCheckpoint(pipeName, path string) error {
 	s.mu.Lock()
 	p, ok := s.pipes[pipeName]
@@ -537,8 +570,13 @@ func (s *Session) SaveCheckpoint(pipeName, path string) error {
 	cp := s.takeCheckpoint(p)
 	s.mu.Unlock()
 	t0 := time.Now()
-	data := cp.Bytes()
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	data := checkpoint.EncodeFile(cp)
+	data = s.cfg.Faults.Corrupt(data)
+	var hook func(stage string) error
+	if s.cfg.Faults != nil {
+		hook = s.cfg.Faults.SaveStage
+	}
+	if err := checkpoint.WriteFileAtomic(path, data, hook); err != nil {
 		return err
 	}
 	s.metrics.Counter("checkpoint_saves").Inc()
@@ -547,7 +585,12 @@ func (s *Session) SaveCheckpoint(pipeName, path string) error {
 	return nil
 }
 
-// LoadCheckpoint restores a pipe from a checkpoint file (Table I ldch).
+// LoadCheckpoint restores a pipe from a checkpoint file (Table I ldch):
+// simulation state, testbench snapshots and history position all come
+// from the file, and stale in-memory leftovers (checkpoints beyond the
+// restored cycle, the lastCheckpoint watermark) are cleared so the next
+// run continues from a consistent picture. A corrupt primary file falls
+// back to its .bak sibling; legacy headerless files restore state only.
 func (s *Session) LoadCheckpoint(pipeName, path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -556,16 +599,49 @@ func (s *Session) LoadCheckpoint(pipeName, path string) error {
 		return fmt.Errorf("no pipe %q", pipeName)
 	}
 	t0 := time.Now()
-	data, err := os.ReadFile(path)
+	fc, fromBackup, err := checkpoint.LoadFile(path)
 	if err != nil {
 		return err
 	}
-	st, err := checkpoint.DecodeState(data)
-	if err != nil {
+
+	// Prepare the testbench set before touching the pipe, so a bad
+	// snapshot fails the load with the pipe untouched.
+	var tbs map[string]Testbench
+	if fc.Aux != nil {
+		tbs = make(map[string]Testbench, len(fc.Aux))
+		for h, data := range fc.Aux {
+			f, ok := s.tbFactory[h]
+			if !ok {
+				return fmt.Errorf("checkpoint references unregistered testbench %q", h)
+			}
+			tb := f()
+			if err := s.safeRestore(tb, data); err != nil {
+				return fmt.Errorf("testbench %s: %w", h, err)
+			}
+			tbs[h] = tb
+		}
+	}
+
+	if err := p.Sim.Restore(fc.State); err != nil {
 		return err
 	}
-	if err := p.Sim.Restore(st); err != nil {
-		return err
+	if tbs != nil {
+		p.tbs = tbs
+	}
+	if fc.Version != "" {
+		if _, retained := s.versionObjects[fc.Version]; retained {
+			p.Version = fc.Version
+		} else {
+			p.Version = s.version
+		}
+	}
+	if fc.HistoryPos >= 0 && fc.HistoryPos <= len(p.History) {
+		p.History = p.History[:fc.HistoryPos]
+	}
+	p.lastCheckpoint = fc.State.Cycle
+	p.Checkpoints.DropAfterCycle(fc.State.Cycle)
+	if fromBackup {
+		s.metrics.Counter("checkpoint_backup_loads").Inc()
 	}
 	s.metrics.Counter("checkpoint_loads").Inc()
 	s.metrics.Histogram("checkpoint_load_seconds", nil).Observe(time.Since(t0).Seconds())

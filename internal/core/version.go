@@ -89,6 +89,33 @@ func (g *VersionGraph) PathOps(module, from, to string) ([]xform.Op, error) {
 	return out, nil
 }
 
+// Remove deletes a childless non-root version from the graph — the
+// version-table half of transactional rollback: a version created for a
+// change that failed to commit must not survive as a phantom branch.
+func (g *VersionGraph) Remove(id string) error {
+	parent, ok := g.parents[id]
+	if !ok {
+		return fmt.Errorf("version %q not found", id)
+	}
+	if parent == "" {
+		return fmt.Errorf("cannot remove root version %q", id)
+	}
+	for v, p := range g.parents {
+		if p == id {
+			return fmt.Errorf("version %q still has child %q", id, v)
+		}
+	}
+	delete(g.parents, id)
+	delete(g.ops, id)
+	for i, v := range g.order {
+		if v == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
 // Versions lists version ids in creation order.
 func (g *VersionGraph) Versions() []string {
 	return append([]string(nil), g.order...)

@@ -1,0 +1,210 @@
+// Package faultinject is a deterministic fault plan for exercising the
+// session's failure paths: compile failures at a chosen phase, hot-reload
+// failures on the nth attempt for a chosen object, checkpoint-file
+// corruption at a chosen byte offset, testbench panics at a chosen cycle,
+// and a simulated crash between a checkpoint file's temp write and its
+// rename. The live loop (internal/core) and the checkpoint store consult
+// the plan through nil-safe hook methods, so an unset plan costs one nil
+// check and no allocation on every path it guards.
+//
+// Faults fire exactly once and record themselves in Fired(), which makes
+// table-driven recovery tests deterministic: the first ApplyChange hits
+// the fault and must roll back, the retry finds the fault consumed and
+// must succeed.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so tests
+// can assert a returned error came from the plan and not from real code.
+var ErrInjected = errors.New("injected fault")
+
+// Plan is a deterministic set of faults to inject. The zero value (and a
+// nil *Plan) injects nothing. All methods are safe for concurrent use —
+// background verification replays consult the plan from worker
+// goroutines.
+type Plan struct {
+	mu sync.Mutex
+
+	compilePhases map[string]bool // phase -> armed
+	reloadNth     map[string]int  // object key -> fail on this attempt (1-based)
+	reloadSeen    map[string]int  // object key -> attempts observed
+	corruptAt     int             // byte offset to flip, -1 = unarmed
+	panicCycle    int64           // testbench panic cycle, -1 = unarmed
+	crashStage    string          // checkpoint-save stage to "crash" at
+
+	fired []string
+}
+
+// New returns an empty plan.
+func New() *Plan {
+	return &Plan{corruptAt: -1, panicCycle: -1}
+}
+
+// FailCompileAt arms a one-shot failure at the named compiler phase
+// ("parse", "elab" or "codegen").
+func (p *Plan) FailCompileAt(phase string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.compilePhases == nil {
+		p.compilePhases = make(map[string]bool)
+	}
+	p.compilePhases[phase] = true
+	return p
+}
+
+// FailReload arms a one-shot failure on the nth (1-based) hot-reload
+// attempt of the given object key, counted across ApplyChange calls and
+// pipes.
+func (p *Plan) FailReload(key string, nth int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reloadNth == nil {
+		p.reloadNth = make(map[string]int)
+		p.reloadSeen = make(map[string]int)
+	}
+	p.reloadNth[key] = nth
+	return p
+}
+
+// CorruptCheckpoint arms a one-shot bit flip at the given byte offset of
+// the next checkpoint file written (offsets past the end wrap, so any
+// non-negative offset corrupts something).
+func (p *Plan) CorruptCheckpoint(byteOffset int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corruptAt = byteOffset
+	return p
+}
+
+// PanicTestbenchAt arms a one-shot panic in the next testbench step that
+// starts exactly at the given cycle. Steps begin at checkpoint-interval
+// boundaries, so the armed cycle selects precisely which execution path
+// hits the fault — e.g. a boundary only background verification replays
+// ever start from.
+func (p *Plan) PanicTestbenchAt(cycle uint64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.panicCycle = int64(cycle)
+	return p
+}
+
+// CrashSaveAt arms a one-shot simulated crash during the atomic
+// checkpoint-file write at the named stage: "after-temp" (temp file
+// written and synced, rename never happens) or "after-backup" (previous
+// file moved to .bak, new file never renamed into place).
+func (p *Plan) CrashSaveAt(stage string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashStage = stage
+	return p
+}
+
+// Fired returns the faults that have fired, in order.
+func (p *Plan) Fired() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.fired...)
+}
+
+// ---------------------------------------------------------------- hooks
+
+// CompileFault is consulted by the compiler at the start of each build
+// phase. Nil-safe; returns a wrapped ErrInjected when the phase is armed.
+func (p *Plan) CompileFault(phase string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.compilePhases[phase] {
+		return nil
+	}
+	delete(p.compilePhases, phase)
+	p.fired = append(p.fired, "compile:"+phase)
+	return fmt.Errorf("faultinject: compile phase %s: %w", phase, ErrInjected)
+}
+
+// ReloadFault is consulted before every hot-reload of an object into a
+// pipe. Nil-safe; fails the armed attempt exactly once.
+func (p *Plan) ReloadFault(key string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nth, armed := p.reloadNth[key]
+	if !armed {
+		return nil
+	}
+	p.reloadSeen[key]++
+	if p.reloadSeen[key] != nth {
+		return nil
+	}
+	delete(p.reloadNth, key)
+	p.fired = append(p.fired, fmt.Sprintf("reload:%s#%d", key, nth))
+	return fmt.Errorf("faultinject: reload %s (attempt %d): %w", key, nth, ErrInjected)
+}
+
+// Corrupt applies the armed checkpoint corruption to data (in place) and
+// returns it. Nil-safe; with no corruption armed data passes through
+// untouched.
+func (p *Plan) Corrupt(data []byte) []byte {
+	if p == nil {
+		return data
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.corruptAt < 0 || len(data) == 0 {
+		return data
+	}
+	off := p.corruptAt % len(data)
+	data[off] ^= 0xff
+	p.fired = append(p.fired, fmt.Sprintf("corrupt:%d", off))
+	p.corruptAt = -1
+	return data
+}
+
+// TestbenchStep is consulted before each testbench run chunk with the
+// pipe's current cycle; it panics (exactly once) when the chunk starts at
+// the armed cycle. The session's panic recovery converts this into an
+// error on the rollback path. Nil-safe.
+func (p *Plan) TestbenchStep(cycle uint64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	armed := p.panicCycle >= 0 && int64(cycle) == p.panicCycle
+	if armed {
+		p.panicCycle = -1
+		p.fired = append(p.fired, fmt.Sprintf("tb-panic:%d", cycle))
+	}
+	p.mu.Unlock()
+	if armed {
+		panic(fmt.Sprintf("faultinject: testbench panic at cycle %d", cycle))
+	}
+}
+
+// SaveStage is consulted by the atomic checkpoint-file writer at each
+// stage of its write protocol. Nil-safe; returns a wrapped ErrInjected at
+// the armed stage exactly once, simulating a crash at that point.
+func (p *Plan) SaveStage(stage string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashStage == "" || p.crashStage != stage {
+		return nil
+	}
+	p.crashStage = ""
+	p.fired = append(p.fired, "crash-save:"+stage)
+	return fmt.Errorf("faultinject: crash during checkpoint save at %s: %w", stage, ErrInjected)
+}

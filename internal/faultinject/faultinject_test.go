@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if err := p.CompileFault("parse"); err != nil {
+		t.Error(err)
+	}
+	if err := p.ReloadFault("k"); err != nil {
+		t.Error(err)
+	}
+	if err := p.SaveStage("after-temp"); err != nil {
+		t.Error(err)
+	}
+	data := []byte{1, 2, 3}
+	if got := p.Corrupt(data); &got[0] != &data[0] || got[0] != 1 {
+		t.Error("nil Corrupt must pass data through")
+	}
+	p.TestbenchStep(100) // must not panic
+	if f := p.Fired(); f != nil {
+		t.Errorf("fired %v", f)
+	}
+}
+
+func TestCompileFaultFiresOnce(t *testing.T) {
+	p := New().FailCompileAt("elab")
+	if err := p.CompileFault("parse"); err != nil {
+		t.Error("wrong phase fired")
+	}
+	err := p.CompileFault("elab")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := p.CompileFault("elab"); err != nil {
+		t.Error("fault fired twice")
+	}
+	if f := p.Fired(); len(f) != 1 || f[0] != "compile:elab" {
+		t.Errorf("fired %v", f)
+	}
+}
+
+func TestReloadFaultNth(t *testing.T) {
+	p := New().FailReload("stage", 2)
+	if err := p.ReloadFault("stage"); err != nil {
+		t.Error("attempt 1 must pass")
+	}
+	if err := p.ReloadFault("other"); err != nil {
+		t.Error("other key must pass")
+	}
+	if err := p.ReloadFault("stage"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 2 must fail, got %v", err)
+	}
+	if err := p.ReloadFault("stage"); err != nil {
+		t.Error("attempt 3 must pass (fault consumed)")
+	}
+}
+
+func TestCorruptOnce(t *testing.T) {
+	p := New().CorruptCheckpoint(1)
+	data := []byte{0, 0, 0}
+	p.Corrupt(data)
+	if data[1] != 0xff {
+		t.Errorf("data %v", data)
+	}
+	data2 := []byte{0, 0, 0}
+	p.Corrupt(data2)
+	if data2[1] != 0 {
+		t.Error("corruption fired twice")
+	}
+	// Offsets wrap so any non-negative offset lands in range.
+	p2 := New().CorruptCheckpoint(7)
+	d := []byte{0, 0, 0}
+	p2.Corrupt(d)
+	if d[1] != 0xff {
+		t.Errorf("wrapped offset: %v", d)
+	}
+}
+
+func TestTestbenchPanicOnce(t *testing.T) {
+	p := New().PanicTestbenchAt(50)
+	p.TestbenchStep(49) // not the armed cycle
+	p.TestbenchStep(55) // exact match only: must not panic
+	fired := func() (fired bool) {
+		defer func() { fired = recover() != nil }()
+		p.TestbenchStep(50)
+		return false
+	}()
+	if !fired {
+		t.Fatal("no panic at armed cycle")
+	}
+	p.TestbenchStep(50) // consumed: must not panic
+}
+
+func TestSaveStage(t *testing.T) {
+	p := New().CrashSaveAt("after-temp")
+	if err := p.SaveStage("after-backup"); err != nil {
+		t.Error("wrong stage fired")
+	}
+	if err := p.SaveStage("after-temp"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := p.SaveStage("after-temp"); err != nil {
+		t.Error("fired twice")
+	}
+}

@@ -77,6 +77,20 @@ type Compiler struct {
 	// metrics, when set, receives per-build counters and phase latency
 	// histograms (compile_* names). Nil disables at zero cost.
 	metrics *obs.Registry
+
+	// phaseHook, when set, is consulted at the start of each build phase
+	// ("parse", "elab", "codegen"); an error aborts the build before the
+	// phase runs. Fault-injection harnesses use it to fail a build at a
+	// chosen point without touching compiler state.
+	phaseHook func(phase string) error
+}
+
+// BuildState is an opaque capture of the compiler's last-successful-build
+// identity, used by transactional callers: capture before a build, hand
+// it back to Rollback if the built objects could not be swapped in.
+type BuildState struct {
+	analysis *liveparser.Analysis
+	objects  map[string]*vm.Object
 }
 
 // New creates a compiler for the module named top, using the given
@@ -100,6 +114,24 @@ func (c *Compiler) SetObjectDir(dir string) { c.objDir = dir }
 // compile_compiled, and the compile_{parse,elab,codegen}_seconds
 // latency histograms.
 func (c *Compiler) SetMetrics(reg *obs.Registry) { c.metrics = reg }
+
+// SetPhaseHook installs (or clears, with nil) the per-phase build hook.
+func (c *Compiler) SetPhaseHook(fn func(phase string) error) { c.phaseHook = fn }
+
+// State captures the last-build identity (diff baseline + object table)
+// for a later Rollback.
+func (c *Compiler) State() BuildState {
+	return BuildState{analysis: c.prevAnalysis, objects: c.prevObjects}
+}
+
+// Rollback restores a previously captured build state, so the next Build
+// diffs against the objects actually live in the simulation rather than
+// against a build whose swap failed. The content-addressed object cache
+// is deliberately kept: a corrected retry still reuses compiled objects.
+func (c *Compiler) Rollback(st BuildState) {
+	c.prevAnalysis = st.analysis
+	c.prevObjects = st.objects
+}
 
 // ObjectFile returns the on-disk path an object with the given content
 // key would use ("" when no object directory is configured).
@@ -138,7 +170,17 @@ func (c *Compiler) Build(src liveparser.Source) (*Result, error) {
 func (c *Compiler) BuildSpan(src liveparser.Source, parent *obs.Span) (*Result, error) {
 	res := &Result{Objects: make(map[string]*vm.Object)}
 
+	phase := func(name string) error {
+		if c.phaseHook == nil {
+			return nil
+		}
+		return c.phaseHook(name)
+	}
+
 	sp := parent.Child("parse")
+	if err := phase("parse"); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
 	analysis, err := liveparser.Analyze(src)
 	if err != nil {
@@ -156,6 +198,9 @@ func (c *Compiler) BuildSpan(src liveparser.Source, parent *obs.Span) (*Result, 
 		srcs[name] = mi.AST
 	}
 	sp = parent.Child("elab")
+	if err := phase("elab"); err != nil {
+		return nil, err
+	}
 	t1 := time.Now()
 	design, err := elab.Elaborate(srcs, c.top, c.overrides)
 	if err != nil {
@@ -166,6 +211,9 @@ func (c *Compiler) BuildSpan(src liveparser.Source, parent *obs.Span) (*Result, 
 	res.TopKey = design.TopKey
 
 	sp = parent.Child("codegen")
+	if err := phase("codegen"); err != nil {
+		return nil, err
+	}
 	t2 := time.Now()
 	for _, key := range design.Order {
 		em := design.Modules[key]

@@ -31,6 +31,7 @@ import (
 
 	"livesim/internal/codegen"
 	"livesim/internal/core"
+	"livesim/internal/faultinject"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
 	"livesim/internal/trace"
@@ -59,6 +60,23 @@ type ChangeReport = core.ChangeReport
 
 // VerificationHandle tracks a background checkpoint-consistency check.
 type VerificationHandle = core.VerificationHandle
+
+// Health summarizes the session's robustness state: rollbacks, recovered
+// testbench panics and background verification errors. Read it with
+// Session.Health.
+type Health = core.Health
+
+// FaultPlan injects deterministic one-shot failures (compile errors, hot
+// reload errors, checkpoint corruption, testbench panics) for robustness
+// testing; pass one in Config.Faults. ErrInjected is the sentinel every
+// injected failure wraps.
+type FaultPlan = faultinject.Plan
+
+// NewFaultPlan creates an empty fault plan (injects nothing until armed).
+func NewFaultPlan() *FaultPlan { return faultinject.New() }
+
+// ErrInjected marks errors produced by a FaultPlan.
+var ErrInjected = faultinject.ErrInjected
 
 // Source is a snapshot of design source text.
 type Source = liveparser.Source

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke
 
-check: vet build race fuzz-smoke
+check: vet build race fuzz-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,3 +34,8 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeState -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFile -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+
+# End-to-end server smoke: scripted livesim session against a livesimd
+# on a unix socket, then a SIGTERM graceful-drain assertion.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh

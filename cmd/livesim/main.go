@@ -7,8 +7,11 @@
 //
 //	livesim -dir ./mydesign -top top        # load *.v from a directory
 //	livesim -pgas 4                         # built-in 2x2 PGAS demo
+//	livesim -connect unix:/run/ls.sock      # drive a remote livesimd
 //
-// Then type `help` at the prompt.
+// Then type `help` at the prompt. The command dispatch is shared with
+// livesimd's wire protocol (internal/command), so local and remote
+// vocabularies are the same implementation.
 package main
 
 import (
@@ -22,7 +25,9 @@ import (
 	"strings"
 
 	"livesim"
-	"livesim/internal/pgas"
+	"livesim/internal/command"
+	"livesim/internal/server"
+	"livesim/internal/server/client"
 )
 
 var (
@@ -33,67 +38,77 @@ var (
 	flagObjs    = flag.String("objdir", "", "directory for persistent compiled objects (.lso)")
 	flagMetrics = flag.Bool("metrics", false, "collect session metrics; print a summary at exit (also enables the stats command)")
 	flagTrace   = flag.String("trace-out", "", "write live-loop span events to this JSONL file")
+	flagConnect = flag.String("connect", "", "connect to a livesimd at this address (unix:/path or tcp:host:port) instead of hosting a session in-process")
+	flagSession = flag.String("session", "s0", "session name used in -connect mode")
 )
 
-type shell struct {
-	session *livesim.Session
-	metrics *livesim.Registry
-	dir     string
-	pgasN   int
+func main() {
+	os.Exit(run())
 }
 
-func main() {
+// run keeps every exit on one path, so the deferred -trace-out close and
+// the metrics exit summary execute on error paths too (fatal errors used
+// to os.Exit past them).
+func run() int {
 	flag.Parse()
-	sh := &shell{}
+
+	if *flagConnect != "" {
+		return runRemote()
+	}
+
 	var reg *livesim.Registry
 	if *flagMetrics {
 		reg = livesim.NewRegistry()
+		defer func() {
+			fmt.Println("\n-- session metrics --")
+			reg.WriteText(os.Stdout)
+		}()
 	}
-	sh.metrics = reg
 	var traceOut *os.File
 	if *flagTrace != "" {
 		f, err := os.Create(*flagTrace)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		traceOut = f
 		defer f.Close()
+		traceOut = f
 	}
+
+	cfg := livesim.Config{
+		CheckpointEvery: *flagCkpt, Output: os.Stdout, ObjectDir: *flagObjs,
+		Metrics: reg, TraceOut: traceOut,
+	}
+	env := &command.Env{Metrics: reg, Out: os.Stdout}
 	switch {
 	case *flagPGAS > 0:
-		sh.pgasN = *flagPGAS
-		sh.session = livesim.NewSession(pgas.TopName(*flagPGAS), livesim.Config{
-			CheckpointEvery: *flagCkpt, Output: os.Stdout,
-			Metrics: reg, TraceOut: traceOut,
-		})
-		if _, err := sh.session.LoadDesign(pgas.Source(*flagPGAS)); err != nil {
-			fail(err)
-		}
-		images, err := pgas.ComputeImages(*flagPGAS, 1<<30)
+		sess, err := command.BootPGAS(*flagPGAS, cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		sh.session.RegisterTestbench("tb0", pgas.NewTestbench(*flagPGAS, images))
+		env.Session = sess
 		fmt.Printf("loaded built-in PGAS %d-node mesh (testbench tb0 registered)\n", *flagPGAS)
 	case *flagDir != "":
-		sh.dir = *flagDir
-		sh.session = livesim.NewSession(*flagTop, livesim.Config{
-			CheckpointEvery: *flagCkpt, Output: os.Stdout, ObjectDir: *flagObjs,
-			Metrics: reg, TraceOut: traceOut,
-		})
-		src, err := readDir(*flagDir)
+		files, err := readDir(*flagDir)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		if _, err := sh.session.LoadDesign(src); err != nil {
-			fail(err)
+		sess, err := command.BootSource(*flagTop, files, cfg)
+		if err != nil {
+			return fail(err)
 		}
-		// A do-nothing clock testbench is always available.
-		sh.session.RegisterTestbench("clock", livesim.NewStatelessTB(nil))
+		env.Session = sess
+		dir := *flagDir
+		env.ApplySource = func() (livesim.Source, error) {
+			f, err := readDir(dir)
+			if err != nil {
+				return livesim.Source{}, err
+			}
+			return livesim.Source{Files: f}, nil
+		}
 		fmt.Printf("loaded %s (top %s); testbench \"clock\" registered\n", *flagDir, *flagTop)
 	default:
-		fmt.Fprintln(os.Stderr, "need -dir or -pgas; see -help")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "need -dir, -pgas or -connect; see -help")
+		return 2
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -103,290 +118,141 @@ func main() {
 		if line == "exit" || line == "quit" {
 			break
 		}
-		if line != "" {
-			if err := sh.exec(line); err != nil {
+		switch {
+		case line == "help":
+			printHelp()
+		case line != "":
+			if err := command.DispatchLine(env, line); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
 		fmt.Print("livesim> ")
 	}
-	if reg != nil {
-		fmt.Println("\n-- session metrics --")
-		if err := reg.WriteText(os.Stdout); err != nil {
-			fail(err)
-		}
-	}
+	return 0
 }
 
-func readDir(dir string) (livesim.Source, error) {
+func printHelp() {
+	fmt.Print("commands (paper Table I plus inspection):\n")
+	fmt.Print(command.HelpText())
+	fmt.Print("  help                          this text\n  exit\n")
+}
+
+func readDir(dir string) (map[string]string, error) {
 	files := map[string]string{}
 	entries, err := filepath.Glob(filepath.Join(dir, "*.v"))
 	if err != nil {
-		return livesim.Source{}, err
+		return nil, err
 	}
 	sort.Strings(entries)
 	for _, path := range entries {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return livesim.Source{}, err
+			return nil, err
 		}
 		files[filepath.Base(path)] = string(data)
 	}
 	if len(files) == 0 {
-		return livesim.Source{}, fmt.Errorf("no .v files in %s", dir)
+		return nil, fmt.Errorf("no .v files in %s", dir)
 	}
-	return livesim.Source{Files: files}, nil
+	return files, nil
 }
 
-func (sh *shell) exec(line string) error {
+// ---------------------------------------------------------- remote mode
+
+// runRemote drives a livesimd over the wire: lines from stdin become
+// protocol requests against -session, plus client-side conveniences
+// (`create pgas N` / `create dir PATH [TOP]` ship the design, `apply
+// DIR` ships an edited snapshot, `subscribe` streams span events).
+func runRemote() int {
+	c, err := client.Dial(*flagConnect)
+	if err != nil {
+		return fail(err)
+	}
+	defer c.Close()
+	go func() {
+		for ev := range c.Events() {
+			fmt.Printf("event: %s\n", ev)
+		}
+	}()
+	fmt.Printf("connected to %s (session %s)\n", *flagConnect, *flagSession)
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Print("livesim> ")
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "exit" || line == "quit" {
+			break
+		}
+		if line != "" {
+			if err := remoteExec(c, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("livesim> ")
+	}
+	return 0
+}
+
+func remoteExec(c *client.Client, line string) error {
 	args := strings.Fields(line)
-	cmd := strings.ToLower(args[0])
+	verb := strings.ToLower(args[0])
 	rest := args[1:]
-	switch cmd {
-	case "help":
-		fmt.Print(`commands (paper Table I plus inspection):
-  ldlib                         list the Object Library Table
-  instpipe <name>               instantiate a pipeline
-  copypipe <new> <old>          copy a pipeline including state
-  pipes                         list the Pipeline Table
-  stages <pipe>                 list the Stage Table
-  run <tb> <pipe> <cycles>      run a testbench
-  chkp <pipe> <path>            save a checkpoint file
-  ldch <pipe> <path>            load a checkpoint file
-  apply                         re-read sources and hot reload (ERD loop)
-  history                       show the register transform history
-  peek <pipe> <hier.signal>     read a signal
-  poke <pipe> <hier.signal> <v> write a signal
-  trace <tb> <pipe> <cycles> <file.vcd> [scope]
-                                run while dumping a VCD waveform
-  checkpoints <pipe>            list the pipe's checkpoints
-  cycle <pipe>                  show the pipe's cycle
-  health                        show the session's robustness summary
-                                (rollbacks, verify errors, recovered panics)
-  stats [json]                  dump the metrics registry (needs -metrics);
-                                shows compile cache effectiveness, VM ops,
-                                checkpoint and verification counters
-  exit
-`)
-		return nil
+	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest}
 
-	case "stats", ":stats":
-		if sh.metrics == nil {
-			return fmt.Errorf("metrics are disabled; restart with -metrics")
+	switch verb {
+	case "create":
+		// create pgas <n> | create dir <path> [top]
+		switch {
+		case len(rest) == 2 && rest[0] == "pgas":
+			n, err := strconv.Atoi(rest[1])
+			if err != nil {
+				return err
+			}
+			req.Args, req.PGAS = nil, n
+		case (len(rest) == 2 || len(rest) == 3) && rest[0] == "dir":
+			files, err := readDir(rest[1])
+			if err != nil {
+				return err
+			}
+			req.Args, req.Files = nil, files
+			if len(rest) == 3 {
+				req.Top = rest[2]
+			}
+		default:
+			return fmt.Errorf("usage: create pgas <n> | create dir <path> [top]")
 		}
-		if len(rest) == 1 && rest[0] == "json" {
-			fmt.Printf("%s\n", sh.metrics.Snapshot().JSON())
-			return nil
-		}
-		return sh.metrics.WriteText(os.Stdout)
-
-	case "ldlib":
-		for _, e := range sh.session.Library() {
-			fmt.Printf("  %-10s %-10s %-30s %s\n", e.Handle, e.Type, e.CodePath, e.ObjectPath)
-		}
-		return nil
-
-	case "instpipe":
-		if len(rest) != 1 {
-			return fmt.Errorf("usage: instpipe <name>")
-		}
-		_, err := sh.session.InstPipe(rest[0])
-		return err
-
-	case "copypipe":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: copypipe <new> <old>")
-		}
-		_, err := sh.session.CopyPipe(rest[0], rest[1])
-		return err
-
-	case "pipes":
-		for _, r := range sh.session.Pipes() {
-			fmt.Printf("  %-10s %-12s %s\n", r.Name, r.Handle, r.Pointer)
-		}
-		return nil
-
-	case "stages":
-		if len(rest) != 1 {
-			return fmt.Errorf("usage: stages <pipe>")
-		}
-		rows, err := sh.session.Stages(rest[0])
-		if err != nil {
-			return err
-		}
-		for _, r := range rows {
-			fmt.Printf("  %-28s %-14s %s\n", r.StageName, r.Handle, r.Pointer)
-		}
-		return nil
-
-	case "run":
-		if len(rest) != 3 {
-			return fmt.Errorf("usage: run <tb> <pipe> <cycles>")
-		}
-		cycles, err := strconv.Atoi(rest[2])
-		if err != nil {
-			return err
-		}
-		if err := sh.session.Run(rest[0], rest[1], cycles); err != nil {
-			return err
-		}
-		p, _ := sh.session.Pipe(rest[1])
-		fmt.Printf("  pipe %s at cycle %d\n", rest[1], p.Sim.Cycle())
-		return nil
-
-	case "chkp":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: chkp <pipe> <path>")
-		}
-		return sh.session.SaveCheckpoint(rest[0], rest[1])
-
-	case "ldch":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: ldch <pipe> <path>")
-		}
-		return sh.session.LoadCheckpoint(rest[0], rest[1])
-
+		req.CheckpointEvery = *flagCkpt
 	case "apply":
-		var src livesim.Source
-		var err error
-		if sh.pgasN > 0 {
-			return fmt.Errorf("apply requires -dir mode (edit the .v files, then apply)")
-		}
-		src, err = readDir(sh.dir)
-		if err != nil {
-			return err
-		}
-		rep, err := sh.session.ApplyChange(src)
-		if err != nil {
-			if rep != nil && rep.RolledBack {
-				fmt.Printf("  change failed on pipe %s and was rolled back; still on version %s\n",
-					rep.FailedPipe, sh.session.Version())
-			}
-			return err
-		}
-		if rep.NoChange {
-			fmt.Println("  no behavioural change")
-			return nil
-		}
-		fmt.Printf("  swapped %v in %v (compile %v, swap %v, reload %v, re-exec %v)\n",
-			rep.Swapped, rep.Total,
-			rep.CompileStats.CompileTime, rep.SwapTime, rep.ReloadTime, rep.ReExecTime)
-		rep.WaitVerification()
-		for _, h := range rep.Verifications {
-			if h.Err != nil {
-				return h.Err
-			}
-			fmt.Printf("  verification: consistent=%v refined=%v\n", h.Result.Consistent(), h.Refined)
-		}
-		return nil
-
-	case "history":
-		fmt.Print(sh.session.TransformOps().Describe())
-		return nil
-
-	case "peek":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: peek <pipe> <hier.signal>")
-		}
-		p, ok := sh.session.Pipe(rest[0])
-		if !ok {
-			return fmt.Errorf("no pipe %q", rest[0])
-		}
-		v, err := p.Sim.Peek(rest[1])
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %s = %d (%#x)\n", rest[1], v, v)
-		return nil
-
-	case "poke":
-		if len(rest) != 3 {
-			return fmt.Errorf("usage: poke <pipe> <hier.signal> <value>")
-		}
-		p, ok := sh.session.Pipe(rest[0])
-		if !ok {
-			return fmt.Errorf("no pipe %q", rest[0])
-		}
-		v, err := strconv.ParseUint(rest[2], 0, 64)
-		if err != nil {
-			return err
-		}
-		return p.Sim.Poke(rest[1], v)
-
-	case "trace":
-		if len(rest) < 4 {
-			return fmt.Errorf("usage: trace <tb> <pipe> <cycles> <file.vcd> [scope]")
-		}
-		cycles, err := strconv.Atoi(rest[2])
-		if err != nil {
-			return err
-		}
-		p, ok := sh.session.Pipe(rest[1])
-		if !ok {
-			return fmt.Errorf("no pipe %q", rest[1])
-		}
-		f, err := os.Create(rest[3])
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		filter := livesim.TraceAll()
-		if len(rest) >= 5 {
-			filter = livesim.TraceUnder(rest[4])
-		}
-		tr, err := livesim.NewTracer(f, p, filter)
-		if err != nil {
-			return err
-		}
-		defer tr.Close()
-		for i := 0; i < cycles; i++ {
-			if err := sh.session.Run(rest[0], rest[1], 1); err != nil {
-				return err
-			}
-			if err := tr.Sample(); err != nil {
-				return err
-			}
-		}
-		fmt.Printf("  wrote %s (%d signals, %d cycles)\n", rest[3], tr.NumProbes(), cycles)
-		return nil
-
-	case "checkpoints":
+		// apply <dir>: read the edited sources client-side and ship them.
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: checkpoints <pipe>")
+			return fmt.Errorf("usage: apply <dir> (remote mode ships the edited sources)")
 		}
-		p, ok := sh.session.Pipe(rest[0])
-		if !ok {
-			return fmt.Errorf("no pipe %q", rest[0])
+		files, err := readDir(rest[0])
+		if err != nil {
+			return err
 		}
-		for _, cp := range p.Checkpoints.All() {
-			fmt.Printf("  #%-4d cycle %-10d version %-4s %8d bytes\n",
-				cp.ID, cp.Cycle, cp.Version, cp.State.Bytes())
-		}
-		return nil
-
-	case "health":
-		fmt.Println(indent(sh.session.Health().String()))
-		return nil
-
-	case "cycle":
-		if len(rest) != 1 {
-			return fmt.Errorf("usage: cycle <pipe>")
-		}
-		p, ok := sh.session.Pipe(rest[0])
-		if !ok {
-			return fmt.Errorf("no pipe %q", rest[0])
-		}
-		fmt.Printf("  %d (version %s)\n", p.Sim.Cycle(), sh.session.Version())
-		return nil
+		req.Args, req.Files = nil, files
 	}
-	return fmt.Errorf("unknown command %q (try help)", cmd)
+
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.Output != "" {
+		fmt.Print(resp.Output)
+	}
+	if len(resp.Data) > 0 {
+		fmt.Printf("  data: %s\n", resp.Data)
+	}
+	if !resp.OK {
+		return fmt.Errorf("%s (%s)", resp.Error, resp.Code)
+	}
+	return nil
 }
 
-func indent(s string) string {
-	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
-}
-
-func fail(err error) {
+// fail reports a fatal error and returns the exit code, leaving actual
+// process exit (and deferred cleanup) to run()'s single path.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "livesim:", err)
-	os.Exit(1)
+	return 1
 }

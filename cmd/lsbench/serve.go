@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livesim/internal/server"
+	"livesim/internal/server/client"
+)
+
+// serveBench measures livesimd wire-protocol throughput: an in-process
+// server on a unix socket, N concurrent clients each driving a disjoint
+// 1-node PGAS session with `run` requests for the time budget. Reported
+// req/s counts completed OK responses; any non-OK response (there should
+// be none at this queue depth) is reported in its own column.
+func serveBench() {
+	fmt.Println("== Server throughput: req/s vs concurrent clients (in-process livesimd) ==")
+	fmt.Println("   workload: run tb0 p0 4 against a per-client 1-node PGAS session,")
+	fmt.Printf("   unix socket transport, %v per point\n", *flagBudget)
+
+	dir, err := os.MkdirTemp("", "lsb")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "d.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		fatal(err)
+	}
+	reg := benchRegistry()
+	srv := server.New(server.Config{QueueDepth: 64, Metrics: reg})
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := shutdownCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "clients", "requests", "req/s", "cycles/s", "errors")
+	for round, nClients := range []int{1, 4, 16} {
+		var ok, bad atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		stop := start.Add(*flagBudget)
+		for i := 0; i < nClients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := client.Dial("unix:" + sock)
+				if err != nil {
+					fatal(err)
+				}
+				defer c.Close()
+				name := fmt.Sprintf("b%d_%d", round, i)
+				mustResp(c.Do(&server.Request{Session: name, Verb: "create", PGAS: 1, CheckpointEvery: 100_000}))
+				mustResp(c.Do(&server.Request{Session: name, Verb: "instpipe", Args: []string{"p0"}}))
+				req := &server.Request{Session: name, Verb: "run", Args: []string{"tb0", "p0", "4"}}
+				for time.Now().Before(stop) {
+					resp, err := c.Do(req)
+					if err != nil {
+						fatal(err)
+					}
+					if resp.OK {
+						ok.Add(1)
+					} else {
+						bad.Add(1)
+					}
+				}
+				mustResp(c.Do(&server.Request{Session: name, Verb: "close"}))
+			}(i)
+		}
+		wg.Wait()
+		el := time.Since(start).Seconds()
+		n := ok.Load()
+		fmt.Printf("%-10d %12d %12.0f %12.0f %10d\n",
+			nClients, n, float64(n)/el, float64(n*4)/el, bad.Load())
+	}
+	printSnapshot("serve", reg)
+	fmt.Println()
+}
+
+func shutdownCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+func mustResp(resp *server.Response, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	if !resp.OK {
+		fatal(fmt.Errorf("%s (%s)", resp.Error, resp.Code))
+	}
+}

@@ -1,0 +1,44 @@
+package command
+
+import (
+	"fmt"
+
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+	"livesim/internal/pgas"
+)
+
+// BootPGAS builds a ready session hosting the built-in n-node PGAS mesh
+// demo, with its deterministic testbench registered as "tb0" — the same
+// bring-up the shell's -pgas flag performs, shared so the server's
+// `create` verb cannot drift from it.
+func BootPGAS(n int, cfg core.Config) (*core.Session, error) {
+	s := core.NewSession(pgas.TopName(n), cfg)
+	if _, err := s.LoadDesign(pgas.Source(n)); err != nil {
+		return nil, err
+	}
+	images, err := pgas.ComputeImages(n, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	s.RegisterTestbench("tb0", pgas.NewTestbench(n, images))
+	return s, nil
+}
+
+// BootSource builds a ready session from user-supplied source files with
+// the do-nothing "clock" testbench registered — the shell's -dir
+// bring-up and the server's files-based `create`.
+func BootSource(top string, files map[string]string, cfg core.Config) (*core.Session, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no source files supplied")
+	}
+	if top == "" {
+		top = "top"
+	}
+	s := core.NewSession(top, cfg)
+	if _, err := s.LoadDesign(liveparser.Source{Files: files}); err != nil {
+		return nil, err
+	}
+	s.RegisterTestbench("clock", core.NewStatelessTB(nil))
+	return s, nil
+}

@@ -1,0 +1,373 @@
+// Package command is the single implementation of LiveSim's user-facing
+// command vocabulary (the paper's Table I plus inspection commands).
+// Both frontends dispatch into this table — the interactive shell in
+// cmd/livesim and the livesimd wire protocol in internal/server — so the
+// `help` text, the argument validation and the behaviour of every verb
+// cannot drift between the two.
+package command
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+	"livesim/internal/obs"
+	"livesim/internal/trace"
+)
+
+// Env is everything a command needs to run. Out receives the command's
+// human-readable output (the shell points it at stdout; the server
+// captures it into the response). ApplySource supplies the full design
+// source for `apply` — the shell re-reads its -dir, the server takes the
+// files shipped in the request — and nil disables the verb.
+type Env struct {
+	Session *core.Session
+	// Metrics backs the `stats` command; nil reports metrics as disabled.
+	Metrics *obs.Registry
+	// ApplySource returns the edited design source for `apply`.
+	ApplySource func() (liveparser.Source, error)
+	Out io.Writer
+}
+
+// Command is one verb of the vocabulary.
+type Command struct {
+	Name  string
+	Usage string // full usage line, e.g. "run <tb> <pipe> <cycles>"
+	Help  string // one-line description for help output
+	// MinArgs/MaxArgs bound len(args); MaxArgs -1 means variadic.
+	MinArgs, MaxArgs int
+	// Mutates marks verbs that change session state; the server uses it
+	// to track sessions that need a checkpoint on drain or eviction.
+	Mutates bool
+	Run     func(env *Env, args []string) error
+}
+
+var registry = map[string]*Command{}
+var order []string
+
+// Register adds a command to the shared table. Duplicate names panic:
+// the table is assembled at init time and a collision is a programming
+// error, not a runtime condition.
+func Register(c *Command) {
+	if _, dup := registry[c.Name]; dup {
+		panic(fmt.Sprintf("command %q registered twice", c.Name))
+	}
+	registry[c.Name] = c
+	order = append(order, c.Name)
+}
+
+// Lookup finds a command by name.
+func Lookup(name string) (*Command, bool) {
+	c, ok := registry[strings.ToLower(name)]
+	return c, ok
+}
+
+// All returns the registered commands in registration order.
+func All() []*Command {
+	out := make([]*Command, 0, len(order))
+	for _, n := range order {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// HelpText renders the shared portion of the help screen — one aligned
+// line per verb, identical in the shell and over the wire.
+func HelpText() string {
+	var b strings.Builder
+	for _, c := range All() {
+		fmt.Fprintf(&b, "  %-29s %s\n", c.Usage, c.Help)
+	}
+	return b.String()
+}
+
+// Dispatch validates the argument count and runs the named command.
+func Dispatch(env *Env, name string, args []string) error {
+	c, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown command %q (try help)", name)
+	}
+	if len(args) < c.MinArgs || (c.MaxArgs >= 0 && len(args) > c.MaxArgs) {
+		return fmt.Errorf("usage: %s", c.Usage)
+	}
+	return c.Run(env, args)
+}
+
+// DispatchLine splits a shell line into verb and arguments and runs it.
+func DispatchLine(env *Env, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	return Dispatch(env, fields[0], fields[1:])
+}
+
+
+func init() {
+	minMax := func(c *Command, lo, hi int) *Command { c.MinArgs, c.MaxArgs = lo, hi; return c }
+
+	Register(&Command{
+		Name: "ldlib", Usage: "ldlib", Help: "list the Object Library Table",
+		Run: func(env *Env, _ []string) error {
+			for _, e := range env.Session.Library() {
+				fmt.Fprintf(env.Out, "  %-10s %-10s %-30s %s\n", e.Handle, e.Type, e.CodePath, e.ObjectPath)
+			}
+			return nil
+		},
+	})
+
+	Register(minMax(&Command{
+		Name: "instpipe", Usage: "instpipe <name>", Help: "instantiate a pipeline", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			_, err := env.Session.InstPipe(args[0])
+			return err
+		},
+	}, 1, 1))
+
+	Register(minMax(&Command{
+		Name: "copypipe", Usage: "copypipe <new> <old>", Help: "copy a pipeline including state", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			_, err := env.Session.CopyPipe(args[0], args[1])
+			return err
+		},
+	}, 2, 2))
+
+	Register(&Command{
+		Name: "pipes", Usage: "pipes", Help: "list the Pipeline Table",
+		Run: func(env *Env, _ []string) error {
+			for _, r := range env.Session.Pipes() {
+				fmt.Fprintf(env.Out, "  %-10s %-12s %s\n", r.Name, r.Handle, r.Pointer)
+			}
+			return nil
+		},
+	})
+
+	Register(minMax(&Command{
+		Name: "stages", Usage: "stages <pipe>", Help: "list the Stage Table",
+		Run: func(env *Env, args []string) error {
+			rows, err := env.Session.Stages(args[0])
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Fprintf(env.Out, "  %-28s %-14s %s\n", r.StageName, r.Handle, r.Pointer)
+			}
+			return nil
+		},
+	}, 1, 1))
+
+	Register(minMax(&Command{
+		Name: "run", Usage: "run <tb> <pipe> <cycles>", Help: "run a testbench", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			cycles, err := strconv.Atoi(args[2])
+			if err != nil {
+				return err
+			}
+			if err := env.Session.Run(args[0], args[1], cycles); err != nil {
+				return err
+			}
+			p, _ := env.Session.Pipe(args[1])
+			fmt.Fprintf(env.Out, "  pipe %s at cycle %d\n", args[1], p.Sim.Cycle())
+			return nil
+		},
+	}, 3, 3))
+
+	Register(minMax(&Command{
+		Name: "chkp", Usage: "chkp <pipe> <path>", Help: "save a checkpoint file",
+		Run: func(env *Env, args []string) error {
+			return env.Session.SaveCheckpoint(args[0], args[1])
+		},
+	}, 2, 2))
+
+	Register(minMax(&Command{
+		Name: "ldch", Usage: "ldch <pipe> <path>", Help: "load a checkpoint file", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			return env.Session.LoadCheckpoint(args[0], args[1])
+		},
+	}, 2, 2))
+
+	Register(&Command{
+		Name: "apply", Usage: "apply", Help: "re-read sources and hot reload (ERD loop)", Mutates: true,
+		Run: func(env *Env, _ []string) error {
+			if env.ApplySource == nil {
+				return fmt.Errorf("apply is not available here (no source provider)")
+			}
+			src, err := env.ApplySource()
+			if err != nil {
+				return err
+			}
+			rep, err := env.Session.ApplyChange(src)
+			if err != nil {
+				if rep != nil && rep.RolledBack {
+					fmt.Fprintf(env.Out, "  change failed on pipe %s and was rolled back; still on version %s\n",
+						rep.FailedPipe, env.Session.Version())
+				}
+				return err
+			}
+			if rep.NoChange {
+				fmt.Fprintln(env.Out, "  no behavioural change")
+				return nil
+			}
+			fmt.Fprintf(env.Out, "  swapped %v in %v (compile %v, swap %v, reload %v, re-exec %v)\n",
+				rep.Swapped, rep.Total,
+				rep.CompileStats.CompileTime, rep.SwapTime, rep.ReloadTime, rep.ReExecTime)
+			rep.WaitVerification()
+			for _, h := range rep.Verifications {
+				if h.Err != nil {
+					return h.Err
+				}
+				fmt.Fprintf(env.Out, "  verification: consistent=%v refined=%v\n", h.Result.Consistent(), h.Refined)
+			}
+			return nil
+		},
+	})
+
+	Register(&Command{
+		Name: "history", Usage: "history", Help: "show the register transform history",
+		Run: func(env *Env, _ []string) error {
+			fmt.Fprint(env.Out, env.Session.TransformOps().Describe())
+			return nil
+		},
+	})
+
+	Register(minMax(&Command{
+		Name: "peek", Usage: "peek <pipe> <hier.signal>", Help: "read a signal",
+		Run: func(env *Env, args []string) error {
+			p, ok := env.Session.Pipe(args[0])
+			if !ok {
+				return fmt.Errorf("no pipe %q", args[0])
+			}
+			v, err := p.Sim.Peek(args[1])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(env.Out, "  %s = %d (%#x)\n", args[1], v, v)
+			return nil
+		},
+	}, 2, 2))
+
+	Register(minMax(&Command{
+		Name: "poke", Usage: "poke <pipe> <hier.signal> <v>", Help: "write a signal", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			p, ok := env.Session.Pipe(args[0])
+			if !ok {
+				return fmt.Errorf("no pipe %q", args[0])
+			}
+			v, err := strconv.ParseUint(args[2], 0, 64)
+			if err != nil {
+				return err
+			}
+			return p.Sim.Poke(args[1], v)
+		},
+	}, 3, 3))
+
+	Register(minMax(&Command{
+		Name: "trace", Usage: "trace <tb> <pipe> <cycles> <file.vcd> [scope]",
+		Help: "run while dumping a VCD waveform", Mutates: true,
+		Run: func(env *Env, args []string) error {
+			cycles, err := strconv.Atoi(args[2])
+			if err != nil {
+				return err
+			}
+			p, ok := env.Session.Pipe(args[1])
+			if !ok {
+				return fmt.Errorf("no pipe %q", args[1])
+			}
+			f, err := os.Create(args[3])
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			filter := trace.All()
+			if len(args) >= 5 {
+				filter = trace.Under(args[4])
+			}
+			tr, err := trace.New(f, p.Sim, filter)
+			if err != nil {
+				return err
+			}
+			defer tr.Close()
+			for i := 0; i < cycles; i++ {
+				if err := env.Session.Run(args[0], args[1], 1); err != nil {
+					return err
+				}
+				if err := tr.Sample(); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(env.Out, "  wrote %s (%d signals, %d cycles)\n", args[3], tr.NumProbes(), cycles)
+			return nil
+		},
+	}, 4, 5))
+
+	Register(minMax(&Command{
+		Name: "checkpoints", Usage: "checkpoints <pipe>", Help: "list the pipe's checkpoints",
+		Run: func(env *Env, args []string) error {
+			p, ok := env.Session.Pipe(args[0])
+			if !ok {
+				return fmt.Errorf("no pipe %q", args[0])
+			}
+			for _, cp := range p.Checkpoints.All() {
+				fmt.Fprintf(env.Out, "  #%-4d cycle %-10d version %-4s %8d bytes\n",
+					cp.ID, cp.Cycle, cp.Version, cp.State.Bytes())
+			}
+			return nil
+		},
+	}, 1, 1))
+
+	Register(minMax(&Command{
+		Name: "cycle", Usage: "cycle <pipe>", Help: "show the pipe's cycle",
+		Run: func(env *Env, args []string) error {
+			p, ok := env.Session.Pipe(args[0])
+			if !ok {
+				return fmt.Errorf("no pipe %q", args[0])
+			}
+			fmt.Fprintf(env.Out, "  %d (version %s)\n", p.Sim.Cycle(), env.Session.Version())
+			return nil
+		},
+	}, 1, 1))
+
+	Register(&Command{
+		Name: "health", Usage: "health", Help: "show the session's robustness summary",
+		Run: func(env *Env, _ []string) error {
+			fmt.Fprintln(env.Out, indent(env.Session.Health().String()))
+			return nil
+		},
+	})
+
+	Register(minMax(&Command{
+		Name: "stats", Usage: "stats [json]", Help: "dump the metrics registry",
+		Run: func(env *Env, args []string) error {
+			if env.Metrics == nil {
+				return fmt.Errorf("metrics are disabled; restart with -metrics")
+			}
+			if len(args) == 1 {
+				if args[0] != "json" {
+					return fmt.Errorf("usage: stats [json]")
+				}
+				fmt.Fprintf(env.Out, "%s\n", env.Metrics.Snapshot().JSON())
+				return nil
+			}
+			return env.Metrics.WriteText(env.Out)
+		},
+	}, 0, 1))
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+// Names returns the sorted verb names — the protocol's session-verb set.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,113 @@
+package command
+
+import (
+	"strings"
+	"testing"
+
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+)
+
+const tinyDesign = `
+module accum (input clk, input en, input [15:0] d, output reg [31:0] total);
+  always @(posedge clk) begin
+    if (en) total <= total + d;
+  end
+endmodule
+
+module top (input clk, input en, input [15:0] d, output [31:0] total);
+  accum u0 (.clk(clk), .en(en), .d(d), .total(total));
+endmodule
+`
+
+func bootTiny(t *testing.T) *core.Session {
+	t.Helper()
+	s, err := BootSource("top", map[string]string{"top.v": tinyDesign}, core.Config{CheckpointEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDispatchDrivesASession(t *testing.T) {
+	var out strings.Builder
+	env := &Env{Session: bootTiny(t), Out: &out}
+	steps := []string{
+		"instpipe p0",
+		"pipes",
+		"run clock p0 50",
+		"cycle p0",
+		"peek p0 top.u0.total",
+		"checkpoints p0",
+		"health",
+	}
+	for _, line := range steps {
+		if err := DispatchLine(env, line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "pipe p0 at cycle 50") {
+		t.Errorf("run output missing cycle: %q", text)
+	}
+	if !strings.Contains(text, "50 (version v0)") {
+		t.Errorf("cycle output missing: %q", text)
+	}
+	if !strings.Contains(text, "status: ok") {
+		t.Errorf("health output missing: %q", text)
+	}
+}
+
+func TestDispatchValidation(t *testing.T) {
+	env := &Env{Session: bootTiny(t), Out: &strings.Builder{}}
+	if err := DispatchLine(env, "warp 9"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("unknown verb: %v", err)
+	}
+	if err := DispatchLine(env, "run clock"); err == nil || !strings.Contains(err.Error(), "usage: run") {
+		t.Errorf("arity check: %v", err)
+	}
+	if err := DispatchLine(env, "stats"); err == nil || !strings.Contains(err.Error(), "metrics are disabled") {
+		t.Errorf("nil metrics: %v", err)
+	}
+	if err := DispatchLine(env, "apply"); err == nil || !strings.Contains(err.Error(), "not available") {
+		t.Errorf("nil ApplySource: %v", err)
+	}
+	if err := DispatchLine(env, ""); err != nil {
+		t.Errorf("blank line: %v", err)
+	}
+}
+
+func TestApplyThroughSharedCommand(t *testing.T) {
+	var out strings.Builder
+	edited := strings.Replace(tinyDesign, "total + d", "total + d + 1", 1)
+	env := &Env{
+		Session: bootTiny(t),
+		Out:     &out,
+		ApplySource: func() (liveparser.Source, error) {
+			return liveparser.Source{Files: map[string]string{"top.v": edited}}, nil
+		},
+	}
+	for _, line := range []string{"instpipe p0", "run clock p0 120", "apply"} {
+		if err := DispatchLine(env, line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	if !strings.Contains(out.String(), "swapped") {
+		t.Errorf("apply output: %q", out.String())
+	}
+	if v := env.Session.Version(); v != "v1" {
+		t.Errorf("version after apply = %s", v)
+	}
+}
+
+func TestHelpTextCoversEveryVerb(t *testing.T) {
+	help := HelpText()
+	for _, c := range All() {
+		if !strings.Contains(help, c.Usage) {
+			t.Errorf("help text is missing %q", c.Usage)
+		}
+	}
+	if len(All()) != len(Names()) {
+		t.Errorf("All()=%d Names()=%d", len(All()), len(Names()))
+	}
+}

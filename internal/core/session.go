@@ -691,6 +691,30 @@ func (s *Session) Version() string {
 // WaitBackground blocks until background verification work completes.
 func (s *Session) WaitBackground() { s.verifyWG.Wait() }
 
+// PipeNames returns the instantiated pipe names in creation order.
+func (s *Session) PipeNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.pipeOrder...)
+}
+
+// Quiesce blocks until all background work owned by the session —
+// verification replays and asynchronous checkpoint serialization — has
+// completed. Servers call it before checkpointing a session for drain
+// or eviction, so the saved state reflects every finished operation.
+func (s *Session) Quiesce() {
+	s.verifyWG.Wait()
+	s.mu.Lock()
+	stores := make([]*checkpoint.Store, 0, len(s.pipes))
+	for _, p := range s.pipes {
+		stores = append(stores, p.Checkpoints)
+	}
+	s.mu.Unlock()
+	for _, st := range stores {
+		st.Wait()
+	}
+}
+
 // TransformOps exposes the version graph (for inspection and the manual
 // edits Section III-E allows).
 func (s *Session) TransformOps() *VersionGraph {

@@ -2,10 +2,12 @@
 // session's failure paths: compile failures at a chosen phase, hot-reload
 // failures on the nth attempt for a chosen object, checkpoint-file
 // corruption at a chosen byte offset, testbench panics at a chosen cycle,
-// and a simulated crash between a checkpoint file's temp write and its
-// rename. The live loop (internal/core) and the checkpoint store consult
-// the plan through nil-safe hook methods, so an unset plan costs one nil
-// check and no allocation on every path it guards.
+// a simulated crash between a checkpoint file's temp write and its
+// rename, and — for the serving layer — mid-request connection drops and
+// slow-draining clients. The live loop (internal/core), the checkpoint
+// store and the session server (internal/server) consult the plan through
+// nil-safe hook methods, so an unset plan costs one nil check and no
+// allocation on every path it guards.
 //
 // Faults fire exactly once and record themselves in Fired(), which makes
 // table-driven recovery tests deterministic: the first ApplyChange hits
@@ -17,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the sentinel wrapped by every injected failure, so tests
@@ -36,13 +39,16 @@ type Plan struct {
 	corruptAt     int             // byte offset to flip, -1 = unarmed
 	panicCycle    int64           // testbench panic cycle, -1 = unarmed
 	crashStage    string          // checkpoint-save stage to "crash" at
+	dropConnAt    int             // sever after the nth request, -1 = unarmed
+	slowDelay     time.Duration   // per-response artificial delay
+	slowLeft      int             // responses the delay still applies to
 
 	fired []string
 }
 
 // New returns an empty plan.
 func New() *Plan {
-	return &Plan{corruptAt: -1, panicCycle: -1}
+	return &Plan{corruptAt: -1, panicCycle: -1, dropConnAt: -1}
 }
 
 // FailCompileAt arms a one-shot failure at the named compiler phase
@@ -101,6 +107,30 @@ func (p *Plan) CrashSaveAt(stage string) *Plan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.crashStage = stage
+	return p
+}
+
+// DropConnAfter arms a one-shot connection drop: the next server
+// connection that reads its nth request (1-based) is severed immediately
+// after the read, while the request itself keeps executing — the client
+// observes a mid-request disconnect, and the server must complete the
+// work, discard the unroutable response, and free the session worker.
+func (p *Plan) DropConnAfter(n int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dropConnAt = n
+	return p
+}
+
+// SlowClient arms an artificial delay injected before each of the next
+// n response writes, simulating a consumer that drains slowly. Request
+// execution is not delayed — only the write-back — so a slow client must
+// never hold a session worker hostage.
+func (p *Plan) SlowClient(d time.Duration, n int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slowDelay = d
+	p.slowLeft = n
 	return p
 }
 
@@ -190,6 +220,43 @@ func (p *Plan) TestbenchStep(cycle uint64) {
 	if armed {
 		panic(fmt.Sprintf("faultinject: testbench panic at cycle %d", cycle))
 	}
+}
+
+// ConnRequest is consulted by the server after reading each request on
+// a connection, with the count of requests read so far on it. Returns
+// true — sever now — exactly once, when the armed count is reached.
+// Nil-safe.
+func (p *Plan) ConnRequest(served int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dropConnAt < 0 || served != p.dropConnAt {
+		return false
+	}
+	p.dropConnAt = -1
+	p.fired = append(p.fired, fmt.Sprintf("conn-drop:%d", served))
+	return true
+}
+
+// ResponseDelay is consulted by the server before each response write;
+// it returns the armed slow-client delay (consuming one of its uses) or
+// zero. Nil-safe.
+func (p *Plan) ResponseDelay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.slowLeft <= 0 {
+		return 0
+	}
+	p.slowLeft--
+	if p.slowLeft == 0 {
+		p.fired = append(p.fired, "slow-client")
+	}
+	return p.slowDelay
 }
 
 // SaveStage is consulted by the atomic checkpoint-file writer at each

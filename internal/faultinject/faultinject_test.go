@@ -3,12 +3,19 @@ package faultinject
 import (
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestNilPlanIsInert(t *testing.T) {
 	var p *Plan
 	if err := p.CompileFault("parse"); err != nil {
 		t.Error(err)
+	}
+	if p.ConnRequest(1) {
+		t.Error("nil plan must not drop connections")
+	}
+	if d := p.ResponseDelay(); d != 0 {
+		t.Errorf("nil plan delay %v", d)
 	}
 	if err := p.ReloadFault("k"); err != nil {
 		t.Error(err)
@@ -93,6 +100,38 @@ func TestTestbenchPanicOnce(t *testing.T) {
 		t.Fatal("no panic at armed cycle")
 	}
 	p.TestbenchStep(50) // consumed: must not panic
+}
+
+func TestConnDropOnce(t *testing.T) {
+	p := New().DropConnAfter(2)
+	if p.ConnRequest(1) {
+		t.Error("request 1 must pass")
+	}
+	if !p.ConnRequest(2) {
+		t.Fatal("request 2 must drop")
+	}
+	if p.ConnRequest(2) {
+		t.Error("drop fired twice")
+	}
+	if f := p.Fired(); len(f) != 1 || f[0] != "conn-drop:2" {
+		t.Errorf("fired %v", f)
+	}
+}
+
+func TestSlowClientConsumesUses(t *testing.T) {
+	p := New().SlowClient(3*time.Millisecond, 2)
+	if d := p.ResponseDelay(); d != 3*time.Millisecond {
+		t.Fatalf("delay 1 = %v", d)
+	}
+	if d := p.ResponseDelay(); d != 3*time.Millisecond {
+		t.Fatalf("delay 2 = %v", d)
+	}
+	if d := p.ResponseDelay(); d != 0 {
+		t.Fatalf("delay 3 = %v, want 0 (consumed)", d)
+	}
+	if f := p.Fired(); len(f) != 1 || f[0] != "slow-client" {
+		t.Errorf("fired %v", f)
+	}
 }
 
 func TestSaveStage(t *testing.T) {

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// Fanout is an io.Writer that copies every write to each attached sink.
+// It is the bridge between a tracer's JSONL span stream and any number
+// of live subscribers: the server hands each session's Tracer a Fanout
+// as its sink, and `subscribe` clients attach and detach while the
+// session keeps running. With no sinks attached a write costs one mutex
+// acquisition and nothing else, so an unwatched session pays almost
+// nothing for being subscribable.
+//
+// Write never fails from the producer's point of view: it always
+// reports len(p) written. A sink whose own Write returns an error (or a
+// short count) is detached on the spot — a dead subscriber must never
+// wedge the span stream for the session it was watching.
+type Fanout struct {
+	mu    sync.Mutex
+	sinks map[uint64]io.Writer
+	next  uint64
+}
+
+// NewFanout returns an empty fanout.
+func NewFanout() *Fanout {
+	return &Fanout{sinks: make(map[uint64]io.Writer)}
+}
+
+// Attach adds a sink and returns its detach function. Detach is
+// idempotent and safe to call after the sink was already dropped for a
+// write error.
+func (f *Fanout) Attach(w io.Writer) (detach func()) {
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.sinks[id] = w
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		delete(f.sinks, id)
+		f.mu.Unlock()
+	}
+}
+
+// Len reports the number of attached sinks.
+func (f *Fanout) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.sinks)
+}
+
+// Write copies p to every sink, dropping sinks that error.
+func (f *Fanout) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for id, w := range f.sinks {
+		if n, err := w.Write(p); err != nil || n < len(p) {
+			delete(f.sinks, id)
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFanoutCopiesToAllSinks(t *testing.T) {
+	f := NewFanout()
+	var a, b bytes.Buffer
+	da := f.Attach(&a)
+	defer da()
+	db := f.Attach(&b)
+	defer db()
+	if n, err := f.Write([]byte("hello\n")); n != 6 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (6, nil)", n, err)
+	}
+	if a.String() != "hello\n" || b.String() != "hello\n" {
+		t.Fatalf("sinks got %q / %q", a.String(), b.String())
+	}
+	da()
+	f.Write([]byte("x"))
+	if a.String() != "hello\n" {
+		t.Fatalf("detached sink still written: %q", a.String())
+	}
+	if b.String() != "hello\nx" {
+		t.Fatalf("live sink missed write: %q", b.String())
+	}
+}
+
+type failWriter struct{ calls int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.calls++
+	return 0, errors.New("broken pipe")
+}
+
+func TestFanoutDropsFailingSink(t *testing.T) {
+	f := NewFanout()
+	fw := &failWriter{}
+	detach := f.Attach(fw)
+	f.Write([]byte("a"))
+	f.Write([]byte("b"))
+	if fw.calls != 1 {
+		t.Fatalf("failing sink written %d times, want 1 (dropped after error)", fw.calls)
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d after sink failure, want 0", f.Len())
+	}
+	detach() // must be a safe no-op
+}
+
+func TestFanoutConcurrent(t *testing.T) {
+	f := NewFanout()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				detach := f.Attach(&bytes.Buffer{})
+				f.Write([]byte("line\n"))
+				detach()
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d after all detached, want 0", f.Len())
+	}
+}

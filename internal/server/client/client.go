@@ -1,0 +1,167 @@
+// Package client is the small wire-protocol client for livesimd, shared
+// by the livesim shell's -connect remote mode, the lsbench -serve
+// throughput benchmark and the server tests. It speaks the
+// newline-delimited JSON protocol of internal/server: requests carry an
+// id, responses echo it, and subscribed span events (objects with an
+// "ev" field and no id) are demultiplexed onto a separate channel.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"livesim/internal/server"
+)
+
+// Client is a connection to a livesimd. Safe for concurrent use: calls
+// from multiple goroutines interleave on the wire and are matched back
+// to callers by request id.
+type Client struct {
+	nc net.Conn
+
+	writeMu sync.Mutex
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan *server.Response
+	readErr error
+	closed  chan struct{}
+
+	events chan json.RawMessage
+}
+
+// Dial connects to addr: "unix:<path>", "tcp:<host:port>", or bare —
+// a bare address containing a path separator is treated as a unix
+// socket, anything else as TCP.
+func Dial(addr string) (*Client, error) {
+	network, target := SplitAddr(addr)
+	nc, err := net.Dial(network, target)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		pending: make(map[uint64]chan *server.Response),
+		closed:  make(chan struct{}),
+		events:  make(chan json.RawMessage, 256),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SplitAddr resolves the address scheme shared by every livesimd
+// frontend flag.
+func SplitAddr(addr string) (network, target string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsAny(addr, "/\\"):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}
+
+// Do sends one request and waits for its response. The request's ID is
+// assigned by the client.
+func (c *Client) Do(req *server.Request) (*server.Response, error) {
+	id := c.nextID.Add(1)
+	req.ID = id
+	line, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+
+	ch := make(chan *server.Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	_, err = c.nc.Write(line)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-c.closed:
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("connection closed")
+		}
+		return nil, err
+	}
+}
+
+// Events returns the stream of subscribed span events (raw JSON lines).
+// The channel is buffered; events overflowing a slow consumer are
+// dropped rather than stalling the reader.
+func (c *Client) Events() <-chan json.RawMessage { return c.events }
+
+// Close tears the connection down; in-flight Do calls fail.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		// Span events have an "ev" discriminator and no request id;
+		// responses always carry their id.
+		var probe struct {
+			Ev string  `json:"ev"`
+			ID *uint64 `json:"id"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			continue
+		}
+		if probe.Ev != "" || probe.ID == nil {
+			select {
+			case c.events <- json.RawMessage(append([]byte(nil), line...)):
+			default:
+			}
+			continue
+		}
+		var resp server.Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = fmt.Errorf("connection closed by server")
+	}
+	c.mu.Lock()
+	c.readErr = err
+	c.mu.Unlock()
+	close(c.closed)
+	close(c.events)
+}

@@ -1,0 +1,126 @@
+// Package server is livesimd's engine: it hosts many independent
+// core.Sessions and serves them to concurrent clients over TCP or unix
+// sockets with a newline-delimited JSON protocol.
+//
+// Each hosted session owns a dedicated worker goroutine behind a bounded
+// request queue, so all operations on one session are serialized while
+// different sessions run fully in parallel. A full queue rejects the
+// request immediately with ErrBackpressure (code "backpressure") instead
+// of blocking the connection reader — a hot session never wedges the
+// accept path or other clients. Requests carry a server-wide deadline;
+// panics anywhere in request handling are converted to error responses
+// the way internal/core's health layer converts testbench panics, so one
+// poisoned request cannot take the daemon down. Idle sessions are
+// evicted (checkpointed first when dirty), and a graceful drain — wired
+// to SIGTERM in cmd/livesimd — stops accepting, finishes in-flight
+// requests, checkpoints every dirty session through the atomic
+// checkpoint writer and reports what it saved.
+//
+// The protocol is one JSON object per line in each direction. Requests
+// name a verb: either a server verb (create, close, sessions, ping,
+// metricz, subscribe, help) or any session verb from internal/command —
+// the same table the interactive shell dispatches into, so the wire
+// vocabulary and `help` can never drift from the shell. Responses echo
+// the request id; `subscribe` additionally streams span events (objects
+// with an "ev" field, no "id") onto the connection as the watched
+// session works.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// Request is one client → server message.
+type Request struct {
+	// ID is echoed on the response so clients can pipeline requests.
+	ID uint64 `json:"id"`
+	// Session names the target session. Required for session verbs and
+	// create/close/subscribe (empty on subscribe = server-level spans).
+	Session string `json:"session,omitempty"`
+	// Verb is a server verb or a session verb from internal/command.
+	Verb string `json:"verb"`
+	// Args are the verb's positional arguments, shell-style.
+	Args []string `json:"args,omitempty"`
+	// Files carries design source text: the full design for create (dir
+	// flavour) and the edited snapshot for apply.
+	Files map[string]string `json:"files,omitempty"`
+	// Top is the top-level module for a files-based create (default "top").
+	Top string `json:"top,omitempty"`
+	// PGAS selects the built-in n-node mesh demo for create.
+	PGAS int `json:"pgas,omitempty"`
+	// CheckpointEvery overrides the created session's checkpoint interval.
+	CheckpointEvery uint64 `json:"ckpt_every,omitempty"`
+}
+
+// Response is one server → client reply.
+type Response struct {
+	ID uint64 `json:"id"`
+	OK bool   `json:"ok"`
+	// Output is the verb's human-readable output (what the shell would
+	// have printed), including any $display text the operation produced.
+	Output string `json:"output,omitempty"`
+	// Error and Code are set when OK is false; Code is one of the Code*
+	// constants so clients can react without parsing Error text.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+	// Data carries structured payloads (stats snapshots, session lists).
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Typed error codes carried in Response.Code.
+const (
+	// CodeBackpressure: the session's request queue was full.
+	CodeBackpressure = "backpressure"
+	// CodeTimeout: the request missed its deadline (still executed if it
+	// had already reached the worker; the result was discarded).
+	CodeTimeout = "timeout"
+	// CodeDraining: the server is shutting down and takes no new work.
+	CodeDraining = "draining"
+	// CodePanic: request handling panicked and was recovered.
+	CodePanic = "panic"
+	// CodeBadRequest: malformed verb, arguments or session name.
+	CodeBadRequest = "bad_request"
+	// CodeNoSession: the named session does not exist (or already does,
+	// for create).
+	CodeNoSession = "no_session"
+	// CodeError: any other execution failure.
+	CodeError = "error"
+)
+
+// ErrBackpressure is returned (and wired to CodeBackpressure) when a
+// session's bounded request queue is full.
+var ErrBackpressure = errors.New("session queue full (backpressure)")
+
+// ErrDraining is returned for requests arriving during graceful drain.
+var ErrDraining = errors.New("server is draining")
+
+// ErrDeadline is returned when a request misses its deadline.
+var ErrDeadline = errors.New("request deadline exceeded")
+
+// SessionInfo is one row of the `sessions` verb's Data payload.
+type SessionInfo struct {
+	Name      string   `json:"name"`
+	Pipes     []string `json:"pipes"`
+	Dirty     bool     `json:"dirty"`
+	Queued    int      `json:"queued"`
+	IdleSecs  float64  `json:"idle_secs"`
+	Version   string   `json:"version"`
+	Subscribers int    `json:"subscribers"`
+}
+
+// DrainReport is what Shutdown returns: which sessions were checkpointed
+// where. It is also written to <drain-dir>/drain.json via the atomic
+// checkpoint writer.
+type DrainReport struct {
+	Sessions []DrainedSession `json:"sessions"`
+	// Timeout is set when the drain deadline expired before all in-flight
+	// requests finished; the checkpoint pass still ran.
+	Timeout bool `json:"timeout,omitempty"`
+}
+
+// DrainedSession records the checkpoints saved for one dirty session.
+type DrainedSession struct {
+	Name  string            `json:"name"`
+	Files map[string]string `json:"files"` // pipe -> checkpoint path
+}

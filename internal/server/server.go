@@ -1,0 +1,715 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"livesim/internal/checkpoint"
+	"livesim/internal/command"
+	"livesim/internal/core"
+	"livesim/internal/faultinject"
+	"livesim/internal/obs"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// QueueDepth bounds each session's request queue; a full queue
+	// rejects with ErrBackpressure. Default 8.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline: queued requests that
+	// miss it are never executed, running ones have their result
+	// discarded and the client gets CodeTimeout. Default 30s; negative
+	// disables.
+	RequestTimeout time.Duration
+	// WriteTimeout bounds each response/event write so a stalled client
+	// cannot wedge a connection goroutine. Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout evicts sessions with no traffic for this long (dirty
+	// ones are checkpointed into DrainDir first). 0 disables eviction.
+	IdleTimeout time.Duration
+	// MaxSessions caps concurrently hosted sessions. Default 64.
+	MaxSessions int
+	// CheckpointEvery is the default checkpoint interval for created
+	// sessions (requests can override). Default 10_000.
+	CheckpointEvery uint64
+	// DrainDir receives checkpoints of dirty sessions on drain and
+	// eviction, plus the drain.json manifest. Empty skips the saves.
+	DrainDir string
+	// Faults injects deterministic failures: the connection faults are
+	// consulted by the server itself, and the whole plan is passed into
+	// every created session so the fault matrix can kill a session
+	// mid-request and assert the server stays up. Nil costs nothing.
+	Faults *faultinject.Plan
+	// Metrics is the server-level registry (requests, rejects, drains).
+	// Nil creates a private one; it is always collected.
+	Metrics *obs.Registry
+	// TraceOut, when set, receives the server's per-request span JSONL in
+	// addition to any `subscribe` clients.
+	TraceOut io.Writer
+	// Logf receives operational log lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server hosts sessions and serves connections. Create one with New,
+// feed it listeners with Serve, stop it with Shutdown.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	fan    *obs.Fanout // server-level span subscribers
+	start  time.Time
+
+	mu        sync.Mutex
+	sessions  map[string]*hosted
+	conns     map[*conn]bool
+	listeners map[net.Listener]bool
+	draining  bool
+
+	inflight    sync.WaitGroup // every request from read to response write
+	connWG      sync.WaitGroup
+	janitorStop chan struct{}
+	stopOnce    sync.Once
+}
+
+// New builds a Server from cfg, applying defaults, and starts the idle
+// janitor when eviction is enabled.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 10_000
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		fan:         obs.NewFanout(),
+		start:       time.Now(),
+		sessions:    make(map[string]*hosted),
+		conns:       make(map[*conn]bool),
+		listeners:   make(map[net.Listener]bool),
+		janitorStop: make(chan struct{}),
+	}
+	if cfg.TraceOut != nil {
+		s.fan.Attach(cfg.TraceOut)
+	}
+	s.tracer = obs.NewTracer(s.fan)
+	if cfg.IdleTimeout > 0 {
+		go s.janitor()
+	}
+	return s
+}
+
+// Metrics returns the server-level registry.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Serve accepts connections on ln until the listener closes (Shutdown
+// closes all registered listeners). It blocks; run it in a goroutine to
+// serve several listeners at once.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.listeners[ln] = true
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		s.reg.Counter("server_conns_opened").Inc()
+		s.connWG.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// conn is one client connection. All writes — responses from any
+// request goroutine and span events from fanouts — serialize on writeMu
+// and carry a write deadline, so a stalled client can only hurt itself.
+type conn struct {
+	s  *Server
+	nc net.Conn
+
+	writeMu sync.Mutex
+
+	detachMu sync.Mutex
+	detaches []func()
+}
+
+func (c *conn) write(resp *Response) {
+	line, err := json.Marshal(resp)
+	if err != nil {
+		c.s.logf("marshal response: %v", err)
+		return
+	}
+	line = append(line, '\n')
+	if d := c.s.cfg.Faults.ResponseDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+	c.nc.Write(line)
+}
+
+func (c *conn) addDetach(f func()) {
+	c.detachMu.Lock()
+	c.detaches = append(c.detaches, f)
+	c.detachMu.Unlock()
+}
+
+// eventWriter adapts a conn into a fanout sink for span events. A write
+// failure propagates so the fanout detaches this subscriber.
+type eventWriter struct{ c *conn }
+
+func (w *eventWriter) Write(p []byte) (int, error) {
+	w.c.writeMu.Lock()
+	defer w.c.writeMu.Unlock()
+	w.c.nc.SetWriteDeadline(time.Now().Add(w.c.s.cfg.WriteTimeout))
+	return w.c.nc.Write(p)
+}
+
+func (s *Server) handleConn(nc net.Conn) {
+	c := &conn{s: s, nc: nc}
+	s.mu.Lock()
+	s.conns[c] = true
+	s.mu.Unlock()
+	defer func() {
+		c.detachMu.Lock()
+		detaches := c.detaches
+		c.detaches = nil
+		c.detachMu.Unlock()
+		for _, f := range detaches {
+			f()
+		}
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.reg.Counter("server_conns_closed").Inc()
+		s.connWG.Done()
+	}()
+
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // design sources ride in requests
+	served := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			c.write(&Response{OK: false, Error: "bad request: " + err.Error(), Code: CodeBadRequest})
+			continue
+		}
+		served++
+		if s.cfg.Faults.ConnRequest(served) {
+			// Injected mid-request disconnect: sever the transport but let
+			// the request run — the server must finish the work, discard
+			// the unroutable response and free the session worker.
+			s.reg.Counter("server_conns_dropped_by_fault").Inc()
+			nc.Close()
+		}
+		s.dispatch(c, &req)
+	}
+}
+
+// serverVerbs are handled on the connection goroutine, outside any
+// session worker.
+var serverVerbs = map[string]bool{
+	"ping": true, "help": true, "metricz": true, "sessions": true,
+	"create": true, "close": true, "subscribe": true,
+}
+
+// dispatch routes one request: server verbs run inline, session verbs
+// enqueue on the session's worker (rejecting on a full queue) and a
+// waiter goroutine enforces the deadline so the reader keeps reading.
+func (s *Server) dispatch(c *conn, req *Request) {
+	s.inflight.Add(1)
+	s.reg.Counter("server_requests").Inc()
+	sp := s.tracer.Start("request", obs.Str("verb", req.Verb), obs.Str("session", req.Session))
+	t0 := time.Now()
+	finish := func(resp *Response) {
+		sp.Annotate(obs.Bool("ok", resp.OK), obs.Str("code", resp.Code))
+		sp.End()
+		s.reg.Histogram("server_request_seconds", nil).Observe(time.Since(t0).Seconds())
+		c.write(resp)
+		s.inflight.Done()
+	}
+
+	verb := strings.ToLower(req.Verb)
+	if s.isDraining() {
+		s.reg.Counter("server_draining_rejects").Inc()
+		finish(errResp(req, CodeDraining, ErrDraining))
+		return
+	}
+	if serverVerbs[verb] {
+		finish(s.execServer(c, req, verb))
+		return
+	}
+
+	// Session verb: resolve and enqueue under the lock so an eviction
+	// cannot close the queue between lookup and enqueue.
+	var (
+		h      *hosted
+		t      *task
+		enqErr error
+	)
+	s.mu.Lock()
+	h = s.sessions[req.Session]
+	if h != nil {
+		t = &task{req: req, reply: make(chan *Response, 1), span: sp}
+		if s.cfg.RequestTimeout > 0 {
+			t.deadline = time.Now().Add(s.cfg.RequestTimeout)
+		}
+		enqErr = h.enqueue(t)
+	}
+	s.mu.Unlock()
+
+	switch {
+	case h == nil && req.Session == "":
+		finish(errResp(req, CodeBadRequest, fmt.Errorf("verb %q needs a session", req.Verb)))
+	case h == nil:
+		finish(errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session)))
+	case enqErr != nil:
+		s.reg.Counter("server_backpressure_rejects").Inc()
+		finish(errResp(req, CodeBackpressure, enqErr))
+	default:
+		go func() {
+			var resp *Response
+			if t.deadline.IsZero() {
+				resp = <-t.reply
+			} else {
+				timer := time.NewTimer(time.Until(t.deadline))
+				defer timer.Stop()
+				select {
+				case resp = <-t.reply:
+				case <-timer.C:
+					t.abandoned.Store(true)
+					select {
+					case resp = <-t.reply: // finished on the wire, barely
+					default:
+						s.reg.Counter("server_timeouts").Inc()
+						resp = errResp(req, CodeTimeout, ErrDeadline)
+					}
+				}
+			}
+			finish(resp)
+		}()
+	}
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9_.-]{1,64}$`)
+
+// execServer runs one server verb with the same panic-to-error recovery
+// the session workers use.
+func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("server_panics_recovered").Inc()
+			resp = errResp(req, CodePanic, fmt.Errorf("request panic: %v", r))
+		}
+	}()
+	switch verb {
+	case "ping":
+		data, _ := json.Marshal(map[string]any{
+			"uptime_secs": time.Since(s.start).Seconds(),
+			"sessions":    s.sessionCount(),
+			"draining":    s.isDraining(),
+		})
+		return &Response{ID: req.ID, OK: true, Output: "pong\n", Data: data}
+
+	case "help":
+		var b strings.Builder
+		b.WriteString("session verbs (shared with the livesim shell):\n")
+		b.WriteString(command.HelpText())
+		b.WriteString("server verbs:\n")
+		b.WriteString("  create [pgas N | files]       create a session (name in \"session\")\n")
+		b.WriteString("  close                         discard a session\n")
+		b.WriteString("  sessions                      list hosted sessions\n")
+		b.WriteString("  subscribe                     stream span events (empty session = server spans)\n")
+		b.WriteString("  stats [json]                  per-session metrics registry\n")
+		b.WriteString("  metricz                       server-level metrics registry\n")
+		b.WriteString("  ping                          liveness + uptime\n")
+		return &Response{ID: req.ID, OK: true, Output: b.String()}
+
+	case "metricz":
+		snap := s.reg.Snapshot()
+		var txt bytes.Buffer
+		s.reg.WriteText(&txt)
+		return &Response{ID: req.ID, OK: true, Output: txt.String(), Data: snap.JSON()}
+
+	case "sessions":
+		return s.listSessions(req)
+
+	case "create":
+		return s.createSession(req)
+
+	case "close":
+		return s.closeSession(req)
+
+	case "subscribe":
+		return s.subscribe(c, req)
+	}
+	return errResp(req, CodeBadRequest, fmt.Errorf("unknown server verb %q", verb))
+}
+
+func (s *Server) sessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) listSessions(req *Request) *Response {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for n := range s.sessions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	infos := make([]SessionInfo, 0, len(names))
+	var out strings.Builder
+	for _, n := range names {
+		h := s.sessions[n]
+		if h.sess == nil { // still being created
+			continue
+		}
+		info := SessionInfo{
+			Name:        n,
+			Pipes:       h.sess.PipeNames(),
+			Dirty:       h.dirty.Load(),
+			Queued:      len(h.queue),
+			IdleSecs:    h.idle().Seconds(),
+			Version:     h.sess.Version(),
+			Subscribers: h.fan.Len(),
+		}
+		infos = append(infos, info)
+		fmt.Fprintf(&out, "  %-16s pipes=%v version=%s dirty=%v queued=%d idle=%.1fs\n",
+			n, info.Pipes, info.Version, info.Dirty, info.Queued, info.IdleSecs)
+	}
+	s.mu.Unlock()
+	data, _ := json.Marshal(infos)
+	return &Response{ID: req.ID, OK: true, Output: out.String(), Data: data}
+}
+
+// createSession reserves the name, builds the session outside the lock
+// (compilation can be slow), then starts the worker. Requests that
+// arrive for the session mid-create queue up and run once it is ready.
+func (s *Server) createSession(req *Request) *Response {
+	name := req.Session
+	if !nameRE.MatchString(name) {
+		return errResp(req, CodeBadRequest,
+			fmt.Errorf("session name %q must match %s", name, nameRE.String()))
+	}
+	h := newHosted(name, s.cfg.QueueDepth)
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		return errResp(req, CodeDraining, ErrDraining)
+	case s.sessions[name] != nil:
+		s.mu.Unlock()
+		return errResp(req, CodeBadRequest, fmt.Errorf("session %q already exists", name))
+	case len(s.sessions) >= s.cfg.MaxSessions:
+		s.mu.Unlock()
+		s.reg.Counter("server_backpressure_rejects").Inc()
+		return errResp(req, CodeBackpressure,
+			fmt.Errorf("session limit %d reached: %w", s.cfg.MaxSessions, ErrBackpressure))
+	}
+	s.sessions[name] = h
+	s.mu.Unlock()
+
+	every := req.CheckpointEvery
+	if every == 0 {
+		every = s.cfg.CheckpointEvery
+	}
+	ccfg := core.Config{
+		CheckpointEvery: every,
+		Output:          h.out,
+		Metrics:         h.reg,
+		TraceOut:        h.fan,
+		Faults:          s.cfg.Faults,
+	}
+	var (
+		sess *core.Session
+		err  error
+		desc string
+	)
+	if req.PGAS > 0 {
+		sess, err = command.BootPGAS(req.PGAS, ccfg)
+		desc = fmt.Sprintf("pgas %d-node mesh, testbench tb0", req.PGAS)
+	} else {
+		sess, err = command.BootSource(req.Top, req.Files, ccfg)
+		desc = fmt.Sprintf("%d source files, testbench clock", len(req.Files))
+	}
+	s.mu.Lock()
+	if err == nil && s.draining {
+		err = ErrDraining
+	}
+	if err != nil {
+		delete(s.sessions, name)
+		s.mu.Unlock()
+		close(h.queue)
+		for t := range h.queue { // fail anything that queued mid-create
+			if !t.abandoned.Load() {
+				t.reply <- errResp(t.req, CodeNoSession, fmt.Errorf("session %q failed to create", name))
+			}
+		}
+		return errResp(req, CodeError, err)
+	}
+	h.sess = sess
+	s.mu.Unlock()
+	go s.worker(h)
+	s.reg.Counter("server_sessions_created").Inc()
+	s.logf("session %s created (%s)", name, desc)
+	return &Response{ID: req.ID, OK: true,
+		Output: fmt.Sprintf("created session %s (%s)\n", name, desc)}
+}
+
+// closeSession removes a session and discards its state (checkpoint
+// explicitly first if you want to keep it).
+func (s *Server) closeSession(req *Request) *Response {
+	h := s.removeSession(req.Session)
+	if h == nil {
+		return errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session))
+	}
+	close(h.queue)
+	<-h.stopped
+	h.sess.Quiesce()
+	s.reg.Counter("server_sessions_closed").Inc()
+	return &Response{ID: req.ID, OK: true, Output: fmt.Sprintf("closed session %s\n", req.Session)}
+}
+
+// removeSession unlinks a session so only the caller may close its
+// queue. Returns nil if absent or not yet fully created.
+func (s *Server) removeSession(name string) *hosted {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.sessions[name]
+	if h == nil || h.sess == nil {
+		return nil
+	}
+	delete(s.sessions, name)
+	return h
+}
+
+func (s *Server) subscribe(c *conn, req *Request) *Response {
+	fan := s.fan
+	scope := "server"
+	if req.Session != "" {
+		s.mu.Lock()
+		h := s.sessions[req.Session]
+		s.mu.Unlock()
+		if h == nil {
+			return errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session))
+		}
+		fan = h.fan
+		scope = "session " + req.Session
+	}
+	detach := fan.Attach(&eventWriter{c: c})
+	c.addDetach(detach)
+	s.reg.Counter("server_subscriptions").Inc()
+	return &Response{ID: req.ID, OK: true,
+		Output: fmt.Sprintf("subscribed to %s spans; events stream on this connection\n", scope)}
+}
+
+// ---------------------------------------------------------------- drain
+
+// janitor evicts idle sessions.
+func (s *Server) janitor() {
+	interval := s.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.evictIdle()
+		}
+	}
+}
+
+func (s *Server) evictIdle() {
+	s.mu.Lock()
+	var victims []*hosted
+	for name, h := range s.sessions {
+		if h.sess != nil && len(h.queue) == 0 && h.idle() > s.cfg.IdleTimeout {
+			delete(s.sessions, name)
+			victims = append(victims, h)
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range victims {
+		close(h.queue)
+		<-h.stopped
+		h.sess.Quiesce()
+		if h.dirty.Load() && s.cfg.DrainDir != "" {
+			ds := s.saveSession(h)
+			s.logf("evicted idle session %s (checkpointed %d pipes)", h.name, len(ds.Files))
+		} else {
+			s.logf("evicted idle session %s", h.name)
+		}
+		s.reg.Counter("server_sessions_evicted").Inc()
+	}
+}
+
+// saveSession checkpoints every pipe of a quiesced session into
+// DrainDir through the crash-safe atomic writer.
+func (s *Server) saveSession(h *hosted) DrainedSession {
+	ds := DrainedSession{Name: h.name, Files: map[string]string{}}
+	for _, pipe := range h.sess.PipeNames() {
+		path := filepath.Join(s.cfg.DrainDir, fmt.Sprintf("%s.%s.lscp", h.name, pipe))
+		if err := h.sess.SaveCheckpoint(pipe, path); err != nil {
+			s.logf("drain save %s/%s: %v", h.name, pipe, err)
+			continue
+		}
+		ds.Files[pipe] = path
+		s.reg.Counter("server_drain_saves").Inc()
+	}
+	return ds
+}
+
+// Shutdown is the graceful drain (cmd/livesimd wires it to SIGTERM):
+// stop accepting, reject new requests with CodeDraining, wait for
+// in-flight requests up to ctx's deadline, stop every session worker,
+// checkpoint every dirty session via the atomic writer, write the
+// drain.json manifest and close all connections. On ctx expiry it still
+// saves every session whose worker could be stopped, and returns the
+// report alongside ctx's error.
+func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("already draining")
+	}
+	s.draining = true
+	lns := make([]net.Listener, 0, len(s.listeners))
+	for ln := range s.listeners {
+		lns = append(lns, ln)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.stopOnce.Do(func() { close(s.janitorStop) })
+
+	rep := &DrainReport{}
+	inflightDone := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(inflightDone)
+	}()
+	select {
+	case <-inflightDone:
+	case <-ctx.Done():
+		rep.Timeout = true
+	}
+
+	s.mu.Lock()
+	hs := make([]*hosted, 0, len(s.sessions))
+	for _, h := range s.sessions {
+		if h.sess != nil {
+			hs = append(hs, h)
+		}
+	}
+	s.sessions = make(map[string]*hosted)
+	s.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+
+	for _, h := range hs {
+		close(h.queue)
+		if !waitClosed(h.stopped, 2*time.Second) {
+			// The worker is wedged mid-operation; saving now would race
+			// the running simulation, so skip this session.
+			s.logf("drain: session %s worker did not stop; skipping save", h.name)
+			continue
+		}
+		h.sess.Quiesce()
+		if h.dirty.Load() && s.cfg.DrainDir != "" {
+			rep.Sessions = append(rep.Sessions, s.saveSession(h))
+		}
+	}
+
+	if s.cfg.DrainDir != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			manifest := filepath.Join(s.cfg.DrainDir, "drain.json")
+			if werr := checkpoint.WriteFileAtomic(manifest, data, nil); werr != nil {
+				s.logf("drain manifest: %v", werr)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	s.connWG.Wait()
+
+	if rep.Timeout {
+		return rep, fmt.Errorf("drain deadline exceeded: %w", ctx.Err())
+	}
+	return rep, nil
+}
+
+func waitClosed(ch <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

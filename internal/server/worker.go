@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livesim/internal/command"
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+	"livesim/internal/obs"
+)
+
+// hosted is one session under server management: the core session, its
+// private metrics registry and span fanout, the bounded request queue
+// its dedicated worker drains, and the bookkeeping the janitor and the
+// drain path read.
+type hosted struct {
+	name string
+	sess *core.Session
+	reg  *obs.Registry // per-session registry (always on)
+	fan  *obs.Fanout   // live-loop span subscribers
+	out  *boundedBuf   // captured $display text
+
+	queue   chan *task
+	stopped chan struct{} // closed when the worker exits
+
+	dirty    atomic.Bool
+	lastUsed atomic.Int64 // unix nanos
+}
+
+// task is one session-verb request in flight. reply is buffered so the
+// worker can always deliver (or abandon) a result without blocking on a
+// client that gave up.
+type task struct {
+	req       *Request
+	deadline  time.Time
+	reply     chan *Response
+	abandoned atomic.Bool
+	span      *obs.Span
+}
+
+func newHosted(name string, queueDepth int) *hosted {
+	h := &hosted{
+		name:    name,
+		reg:     obs.NewRegistry(),
+		fan:     obs.NewFanout(),
+		out:     &boundedBuf{max: 1 << 16},
+		queue:   make(chan *task, queueDepth),
+		stopped: make(chan struct{}),
+	}
+	h.touch()
+	return h
+}
+
+func (h *hosted) touch() { h.lastUsed.Store(time.Now().UnixNano()) }
+
+func (h *hosted) idle() time.Duration {
+	return time.Since(time.Unix(0, h.lastUsed.Load()))
+}
+
+// enqueue is the backpressure gate: a full queue rejects immediately
+// instead of blocking the caller (the connection reader goroutine).
+func (h *hosted) enqueue(t *task) error {
+	select {
+	case h.queue <- t:
+		h.touch()
+		return nil
+	default:
+		return ErrBackpressure
+	}
+}
+
+// worker serializes all operations on one session. It exits when the
+// queue is closed (eviction, close verb, or drain), after draining any
+// tasks that were already accepted.
+func (s *Server) worker(h *hosted) {
+	defer close(h.stopped)
+	for t := range h.queue {
+		resp := s.execSession(h, t)
+		if t.abandoned.Load() {
+			s.reg.Counter("server_results_discarded").Inc()
+			continue
+		}
+		t.reply <- resp
+	}
+}
+
+// execSession runs one session verb with deadline enforcement and
+// panic-to-error recovery (the same shape as core/health.go's safeRun:
+// a panic in command code becomes an error response, never a dead
+// daemon).
+func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("server_panics_recovered").Inc()
+			resp = errResp(t.req, CodePanic, fmt.Errorf("request panic: %v", r))
+		}
+	}()
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		s.reg.Counter("server_timeouts").Inc()
+		return errResp(t.req, CodeTimeout, ErrDeadline)
+	}
+
+	cmd, ok := command.Lookup(t.req.Verb)
+	if !ok {
+		return errResp(t.req, CodeBadRequest, fmt.Errorf("unknown verb %q (try help)", t.req.Verb))
+	}
+
+	sp := t.span.Child("exec")
+	defer sp.End()
+
+	var out bytes.Buffer
+	env := &command.Env{
+		Session: h.sess,
+		Metrics: h.reg,
+		Out:     &out,
+	}
+	if t.req.Files != nil {
+		files := t.req.Files
+		env.ApplySource = func() (liveparser.Source, error) {
+			return liveparser.Source{Files: files}, nil
+		}
+	}
+	err := command.Dispatch(env, t.req.Verb, t.req.Args)
+	if cmd.Mutates && err == nil {
+		h.dirty.Store(true)
+	}
+	h.touch()
+
+	output := out.String()
+	if disp := h.out.Drain(); disp != "" {
+		output = disp + output
+	}
+	if err != nil {
+		r := errResp(t.req, CodeError, err)
+		r.Output = output
+		return r
+	}
+	h.reg.Counter("session_requests").Inc()
+	return &Response{ID: t.req.ID, OK: true, Output: output}
+}
+
+func errResp(req *Request, code string, err error) *Response {
+	return &Response{ID: req.ID, OK: false, Error: err.Error(), Code: code}
+}
+
+// boundedBuf captures a session's $display output between requests. It
+// is written by the simulation (possibly from verification workers) and
+// drained into the next response; past max bytes it drops and counts.
+type boundedBuf struct {
+	mu      sync.Mutex
+	buf     []byte
+	max     int
+	dropped int
+}
+
+func (b *boundedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	room := b.max - len(b.buf)
+	if room > len(p) {
+		room = len(p)
+	}
+	if room > 0 {
+		b.buf = append(b.buf, p[:room]...)
+	}
+	b.dropped += len(p) - room
+	return len(p), nil
+}
+
+func (b *boundedBuf) Drain() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf) == 0 && b.dropped == 0 {
+		return ""
+	}
+	out := string(b.buf)
+	if b.dropped > 0 {
+		out += fmt.Sprintf("... (%d bytes of output dropped)\n", b.dropped)
+	}
+	b.buf = b.buf[:0]
+	b.dropped = 0
+	return out
+}

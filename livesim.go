@@ -34,6 +34,7 @@ import (
 	"livesim/internal/faultinject"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
+	"livesim/internal/server"
 	"livesim/internal/trace"
 )
 
@@ -123,6 +124,24 @@ func NewStatelessTB(onCycle func(d *Driver, cycle uint64) error) TestbenchFactor
 func NewCountingTB(onStep func(d *Driver, step uint64) error) TestbenchFactory {
 	return core.NewCountingTB(onStep)
 }
+
+// Server hosts many concurrent sessions behind livesimd's wire protocol
+// (newline-delimited JSON over TCP/unix sockets): per-session worker
+// serialization, bounded queues with backpressure, request deadlines,
+// idle eviction and graceful drain. Embed one instead of shelling out to
+// cmd/livesimd when a program wants to serve sessions itself.
+type Server = server.Server
+
+// ServerConfig tunes a Server.
+type ServerConfig = server.Config
+
+// NewServer creates a session server; feed it listeners with Serve and
+// stop it with Shutdown (the graceful drain).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// ErrBackpressure is the typed rejection a Server returns when a
+// session's bounded request queue is full.
+var ErrBackpressure = server.ErrBackpressure
 
 // Tracer streams a pipe's waveforms in VCD format.
 type Tracer = trace.Tracer

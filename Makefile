@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke
 
-check: vet build race fuzz-smoke serve-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke
 
 vet:
 	$(GO) vet ./...
@@ -27,15 +27,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Short fuzz runs over the checkpoint decoders (Go allows one -fuzz
-# target per invocation). ~10s each keeps this viable in CI while still
-# churning hundreds of thousands of corrupted inputs.
+# Short fuzz runs over the checkpoint and journal decoders (Go allows
+# one -fuzz target per invocation). ~10s each keeps this viable in CI
+# while still churning hundreds of thousands of corrupted inputs.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeState -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFile -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/wal/
 
 # End-to-end server smoke: scripted livesim session against a livesimd
 # on a unix socket, then a SIGTERM graceful-drain assertion.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# End-to-end durability smoke: SIGKILL a livesimd mid-session, restart
+# it on the same state dir, assert journal replay restores the session.
+crash-recovery-smoke:
+	GO="$(GO)" sh scripts/crash_recovery_smoke.sh

@@ -164,7 +164,15 @@ func readDir(dir string) (map[string]string, error) {
 // (`create pgas N` / `create dir PATH [TOP]` ship the design, `apply
 // DIR` ships an edited snapshot, `subscribe` streams span events).
 func runRemote() int {
-	c, err := client.Dial(*flagConnect)
+	// Auto-reconnect: survive a daemon restart or network blip without
+	// losing the interactive session. Mutating requests caught by the
+	// drop fail with an error the loop prints; reads are resent.
+	c, err := client.DialOptions(*flagConnect, client.Options{
+		Reconnect: true,
+		OnReconnect: func(attempts int) {
+			fmt.Printf("\n(reconnected to %s after %d attempt(s))\nlivesim> ", *flagConnect, attempts)
+		},
+	})
 	if err != nil {
 		return fail(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"livesim/internal/faultinject"
 	"livesim/internal/obs"
 	"livesim/internal/server"
 )
@@ -42,6 +43,14 @@ var (
 	flagCkpt    = flag.Uint64("ckpt-every", 10_000, "default checkpoint interval for created sessions")
 	flagMetrics = flag.Bool("metrics", true, "print the server metrics registry on exit")
 	flagTrace   = flag.String("trace-out", "", "write server request-span JSONL to this file")
+
+	// Durability & robustness (see README "Durability & recovery").
+	flagState     = flag.String("state-dir", "", "state directory for per-session change journals + watermark checkpoints; enables crash-restart recovery")
+	flagRunBudget = flag.Duration("run-budget", 0, "hung-run watchdog: cancel runs exceeding this wall-clock budget (0 = off)")
+	flagQuarAfter = flag.Int("quarantine-after", 0, "quarantine a session after N consecutive failures (0 = default 3, negative = off)")
+	flagWALSync   = flag.Duration("wal-fsync-every", 100*time.Millisecond, "journal fsync batching interval; 0 = fsync on every append (durable but slow)")
+	flagJournalCk = flag.Int("journal-ckpt-every", 0, "save watermark checkpoints every N journaled mutations (0 = only on drain/evict)")
+	flagCrashWAL  = flag.Int64("crash-wal-offset", -1, "TESTING: SIGKILL self once any session journal reaches this byte offset")
 )
 
 func main() {
@@ -67,6 +76,29 @@ func run() int {
 		DrainDir:        *flagDrain,
 		Metrics:         reg,
 		Logf:            logger.Printf,
+
+		StateDir:               *flagState,
+		RunBudget:              *flagRunBudget,
+		QuarantineAfter:        *flagQuarAfter,
+		JournalCheckpointEvery: *flagJournalCk,
+	}
+	if *flagWALSync <= 0 {
+		cfg.WALSyncEvery = -1 // fsync on every append
+	} else {
+		cfg.WALSyncEvery = *flagWALSync
+	}
+	if *flagCrashWAL >= 0 {
+		// Crash-matrix harness: die hard (no drain, no deferred cleanup)
+		// the moment any session journal's durable size crosses the
+		// offset, so recovery tests exercise a genuinely torn process.
+		plan := faultinject.New()
+		plan.CrashWALAt(*flagCrashWAL)
+		cfg.Faults = plan
+		cfg.WALOnWrite = func(size int64) {
+			if plan.WALSize(size) {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
 	}
 	if *flagTrace != "" {
 		f, err := os.Create(*flagTrace)
@@ -85,6 +117,10 @@ func run() int {
 	}
 
 	srv := server.New(cfg)
+	if err := srv.Recover(); err != nil {
+		logger.Printf("recover: %v", err)
+		return 1
+	}
 	serveErrs := make(chan error, 2)
 	listening := 0
 	if *flagListen != "" {

@@ -36,6 +36,7 @@ import (
 	"livesim/internal/sim"
 	"livesim/internal/verify"
 	"livesim/internal/vm"
+	"livesim/internal/wal"
 )
 
 var (
@@ -50,6 +51,7 @@ var (
 	flagAblate  = flag.Bool("ablation", false, "codegen-style ablation (grouped vs mux)")
 	flagRollbck = flag.Bool("rollback", false, "robustness: rollback latency after an injected hot-reload failure")
 	flagServe   = flag.Bool("serve", false, "server throughput: req/s vs concurrent clients against an in-process livesimd")
+	flagRecover = flag.Bool("recovery", false, "durability: WAL journaling overhead and crash-recovery replay latency")
 	flagBudget  = flag.Duration("budget", 3*time.Second, "time budget per speed measurement")
 	flagProfCyc = flag.Int("profcycles", 300, "profiled cycles for Table VII")
 	flagMetrics = flag.Bool("metrics", false, "attach a metrics registry to session-based experiments and embed its JSON snapshot in the output")
@@ -76,10 +78,10 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
-		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe = true, true, true, true, true
+		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover = true, true, true, true, true, true
 	}
 	fmt.Printf("lsbench: sizes=%v budget=%v GOMAXPROCS=%d\n\n", sizes, *flagBudget, runtime.GOMAXPROCS(0))
 
@@ -109,6 +111,9 @@ func main() {
 	}
 	if *flagServe {
 		serveBench()
+	}
+	if *flagRecover {
+		recoveryBench(sizes)
 	}
 }
 
@@ -734,6 +739,156 @@ func rollbackBench(sizes []int) {
 		}
 		fmt.Printf("%-8s %-22s %12.1f %14.1f %10s\n",
 			meshLabel(n), ch.Name, ms(rep.Total), ms(rollbackD), retry)
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------- recovery
+
+// recoverySession builds a PGAS session for the durability benchmarks.
+// Replay targets start without the pipe — the journal's instpipe record
+// recreates it.
+func recoverySession(n int, withPipe bool) *core.Session {
+	s := core.NewSession(pgas.TopName(n), core.Config{
+		Style: codegen.StyleGrouped, CheckpointEvery: 500, Lookback: 500,
+	})
+	if _, err := s.LoadDesign(pgas.Source(n)); err != nil {
+		fatal(err)
+	}
+	images, err := pgas.ComputeImages(n, 1<<30)
+	if err != nil {
+		fatal(err)
+	}
+	s.RegisterTestbench("tb0", pgas.NewTestbench(n, images))
+	if withPipe {
+		if _, err := s.InstPipe("p0"); err != nil {
+			fatal(err)
+		}
+	}
+	return s
+}
+
+// recoveryExec replays journal records against a session — the same
+// verb mapping livesimd recovery uses, minus the server plumbing.
+func recoveryExec(s *core.Session) core.ExecRecord {
+	return func(r *wal.Record) error {
+		switch r.Verb {
+		case "instpipe":
+			_, err := s.InstPipe(r.Args[0])
+			return err
+		case "run":
+			cycles, err := strconv.Atoi(r.Args[2])
+			if err != nil {
+				return err
+			}
+			return s.Run(r.Args[0], r.Args[1], cycles)
+		}
+		return fmt.Errorf("unknown replay verb %q", r.Verb)
+	}
+}
+
+// recoveryBench measures (a) the steady-state cost of journaling every
+// committed mutation to a fsync-batched WAL, exactly as livesimd does
+// with a state dir (target: < 5% of mutation throughput), and (b) how
+// long crash-restart replay takes per journaled change, for the full
+// re-execution path and for the watermark-checkpoint fast path.
+func recoveryBench(sizes []int) {
+	fmt.Println("== Durability: WAL overhead and crash-recovery replay latency ==")
+	fmt.Println("   (WAL on journals one record per run with 100ms group commit, the")
+	fmt.Println("    livesimd default; replay re-executes a 64-change journal)")
+	fmt.Printf("%-8s %12s %12s %10s %16s %16s\n",
+		"PGAS", "KHz (off)", "KHz (on)", "overhead", "full (ms/chg)", "fast (ms/chg)")
+	for _, n := range sizes {
+		// (a) Mutation throughput with and without journaling.
+		speed := func(journal func(cycle uint64)) float64 {
+			s := recoverySession(n, true)
+			if err := s.Run("tb0", "p0", 1024); err != nil { // warm up
+				fatal(err)
+			}
+			start := time.Now()
+			cycles := 0
+			for time.Since(start) < *flagBudget {
+				if err := s.Run("tb0", "p0", 256); err != nil {
+					fatal(err)
+				}
+				cycles += 256
+				if journal != nil {
+					cycle, _, _ := s.PipeStatus("p0")
+					journal(cycle)
+				}
+			}
+			return float64(cycles) / time.Since(start).Seconds() / 1000
+		}
+		off := speed(nil)
+
+		dir, err := os.MkdirTemp("", "lsrec")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		w, _, err := wal.Open(dir+"/bench.wal", wal.Options{SyncEvery: 100 * time.Millisecond})
+		if err != nil {
+			fatal(err)
+		}
+		on := speed(func(cycle uint64) {
+			rec := &wal.Record{Type: wal.TypeCmd, Verb: "run",
+				Args: []string{"tb0", "p0", "256"}, Version: "v0", Cycle: cycle}
+			if err := w.Append(rec); err != nil {
+				fatal(err)
+			}
+		})
+		w.Close()
+
+		// (b) Replay latency per journaled change, on a 64-change journal.
+		const changes, chunk = 64, 50
+		src := recoverySession(n, true)
+		recs := []*wal.Record{{Type: wal.TypeCmd, Verb: "instpipe",
+			Args: []string{"p0"}, Version: src.Version()}}
+		for i := 0; i < changes; i++ {
+			if err := src.Run("tb0", "p0", chunk); err != nil {
+				fatal(err)
+			}
+			cycle, _, _ := src.PipeStatus("p0")
+			recs = append(recs, &wal.Record{Type: wal.TypeCmd, Verb: "run",
+				Args: []string{"tb0", "p0", strconv.Itoa(chunk)}, Version: src.Version(), Cycle: cycle})
+		}
+
+		full := recoverySession(n, false)
+		t0 := time.Now()
+		if _, err := full.ReplayFull(dir, recs, recoveryExec(full)); err != nil {
+			fatal(err)
+		}
+		fullMs := ms(time.Since(t0)) / changes
+
+		// Fast path: a watermark saved near the journal's end (as the
+		// server's journal-ckpt-every cadence would) covers all but the
+		// last two changes.
+		if err := src.SaveCheckpoint("p0", dir+"/bench.p0.lscp"); err != nil {
+			fatal(err)
+		}
+		cycle, histLen, _ := src.PipeStatus("p0")
+		marked := append(append([]*wal.Record{}, recs...),
+			&wal.Record{Type: wal.TypeMark, Pipe: "p0", Path: "bench.p0.lscp", Cycle: cycle, HistoryLen: histLen},
+			&wal.Record{Type: wal.TypeCmd, Verb: "run", Args: []string{"tb0", "p0", strconv.Itoa(chunk)}, Version: src.Version()})
+		if err := src.Run("tb0", "p0", chunk); err != nil {
+			fatal(err)
+		}
+		c2, _, _ := src.PipeStatus("p0")
+		marked[len(marked)-1].Cycle = c2
+
+		fast := recoverySession(n, false)
+		t1 := time.Now()
+		rep, err := fast.ReplayFrom(dir, marked, recoveryExec(fast))
+		if err != nil {
+			fatal(err)
+		}
+		if !rep.FastPath {
+			fmt.Fprintln(os.Stderr, "lsbench: warning: fast-path replay fell back to full re-execution")
+		}
+		fastMs := ms(time.Since(t1)) / float64(changes+1)
+
+		fmt.Printf("%-8s %12.1f %12.1f %9.1f%% %16.3f %16.3f\n",
+			meshLabel(n), off, on, 100*(off-on)/off, fullMs, fastMs)
 	}
 	fmt.Println()
 }

@@ -16,6 +16,8 @@ type healthState struct {
 	lastTBPanic     string
 	changesApplied  uint64
 	changesFailed   uint64
+	watchdogCancels uint64
+	lastWatchdog    string
 }
 
 // Health is a point-in-time summary of the session's robustness state —
@@ -39,6 +41,11 @@ type Health struct {
 	// TestbenchPanics counts panics recovered from user testbench code.
 	TestbenchPanics uint64
 	LastPanic       string
+	// WatchdogCancels counts runs the hung-run watchdog deadline-cancelled
+	// (each rolled the pipe back to its pre-run state); LastWatchdog
+	// describes the newest.
+	WatchdogCancels uint64
+	LastWatchdog    string
 }
 
 // Ok reports whether nothing has gone wrong since the session started.
@@ -62,6 +69,9 @@ func (h Health) String() string {
 	if h.LastPanic != "" {
 		out += "\nlast panic: " + h.LastPanic
 	}
+	if h.WatchdogCancels > 0 {
+		out += fmt.Sprintf("\nwatchdog cancels: %d (last: %s)", h.WatchdogCancels, h.LastWatchdog)
+	}
 	if h.Ok() {
 		out += "\nstatus: ok"
 	}
@@ -82,6 +92,8 @@ func (s *Session) Health() Health {
 		LastVerifyError:  s.health.lastVerifyError,
 		TestbenchPanics:  s.health.tbPanics,
 		LastPanic:        s.health.lastTBPanic,
+		WatchdogCancels:  s.health.watchdogCancels,
+		LastWatchdog:     s.health.lastWatchdog,
 	}
 }
 

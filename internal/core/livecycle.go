@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -13,6 +14,21 @@ import (
 	"livesim/internal/vm"
 	"livesim/internal/xform"
 )
+
+// ErrRolledBack marks errors from changes that failed mid-commit and
+// were rolled back to the pre-change state. Callers classify with
+// errors.Is(err, ErrRolledBack); the server's quarantine breaker counts
+// these as session failures.
+var ErrRolledBack = errors.New("change rolled back")
+
+// rolledBackError tags an abort-path error with ErrRolledBack without
+// altering its message or its unwrap chain — existing callers match the
+// underlying cause (e.g. faultinject.ErrInjected) through it unchanged.
+type rolledBackError struct{ cause error }
+
+func (e *rolledBackError) Error() string            { return e.cause.Error() }
+func (e *rolledBackError) Unwrap() error            { return e.cause }
+func (e *rolledBackError) Is(target error) bool     { return target == ErrRolledBack }
 
 // ChangeReport describes one trip around the live ERD loop — the latency
 // budget of Figure 8.
@@ -216,7 +232,7 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		s.rollback(txn, p.Name, err, root)
 		rep.RolledBack = true
 		rep.FailedPipe = p.Name
-		return rep, fail(err)
+		return rep, fail(&rolledBackError{err})
 	}
 
 	type pendingVerify struct {
@@ -260,7 +276,7 @@ func (s *Session) ApplyChange(newSrc liveparser.Source) (*ChangeReport, error) {
 		rep.ReloadTime += sp.Dur()
 
 		sp = root.Child("reexec", pipeAttrs...)
-		if err := s.replayTo(p, target); err != nil {
+		if err := s.replayTo(p, target, s.newRunToken()); err != nil {
 			sp.End()
 			return abort(p, fmt.Errorf("pipe %s: replay: %w", p.Name, err))
 		}
@@ -386,8 +402,9 @@ func (s *Session) restoreStateAdapted(sm *sim.Sim, cp *checkpoint.Checkpoint) er
 }
 
 // replayTo re-applies the journaled history from the pipe's current cycle
-// up to target, taking new checkpoints along the way.
-func (s *Session) replayTo(p *Pipe, target uint64) error {
+// up to target, taking new checkpoints along the way. The token bounds
+// the whole replay leg (nil = unbudgeted).
+func (s *Session) replayTo(p *Pipe, target uint64, tok *runToken) error {
 	for p.Sim.Cycle() < target && !p.Sim.Finished() {
 		cur := p.Sim.Cycle()
 		op := activeOp(p.History, cur)
@@ -404,7 +421,7 @@ func (s *Session) replayTo(p *Pipe, target uint64) error {
 			tb = s.tbFactory[op.TB]()
 			p.tbs[op.TB] = tb
 		}
-		if err := s.runChunked(p, tb, int(runTo-cur)); err != nil {
+		if err := s.runChunked(p, tb, int(runTo-cur), tok); err != nil {
 			return err
 		}
 		if p.Sim.Cycle() <= cur {
@@ -494,7 +511,7 @@ func (s *Session) startVerification(p *Pipe, oldVersion string, target uint64, s
 			h.Err = err
 			return
 		}
-		if err := s.replayTo(p, target); err != nil {
+		if err := s.replayTo(p, target, s.newRunToken()); err != nil {
 			h.Err = err
 			return
 		}

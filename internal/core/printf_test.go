@@ -83,7 +83,7 @@ endmodule
 	if err := s.restoreFromCheckpoint(p, cp); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.replayTo(p, cp.Cycle+10); err != nil {
+	if err := s.replayTo(p, cp.Cycle+10, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := strings.Count(out.String(), "acc="); got != 10 {

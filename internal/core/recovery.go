@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"livesim/internal/checkpoint"
+	"livesim/internal/wal"
+)
+
+// This file is the crash-restart half of durable session recovery. A
+// freshly booted session plus its write-ahead journal (internal/wal)
+// reconstructs the pre-crash session: ReplayFrom re-applies every
+// journaled mutation in sequence, verifying each record against the
+// design version table and the resulting pipe cycles, so a divergence —
+// a journal from different sources, a missing checkpoint, a
+// nondeterministic testbench — is detected instead of silently served.
+//
+// Replay has two gears. The baseline re-executes every command, which
+// reproduces the session bit-identically (history, checkpoint cadence
+// and all) because testbenches are deterministic and resumable. When
+// the journal's command stream is pure instpipe/run/poke — the common
+// long-lived-session shape — the checkpoint fast path instead restores
+// each pipe's newest intact watermark checkpoint (TypeMark records),
+// reconstructs the run journal virtually from the records it skips, and
+// only re-executes the post-watermark tail.
+
+// ErrReplayDiverged marks a recovery replay whose result contradicts
+// the journal — wrong design version after a mutation, wrong cycle
+// after a run, a watermark checkpoint that does not line up. The
+// session must not be served in that state.
+var ErrReplayDiverged = errors.New("replay diverged from journal")
+
+// ExecRecord applies one journaled command record to the session. The
+// server wires this to the shared command dispatcher, so replay and
+// live traffic run the exact same verb implementations.
+type ExecRecord func(rec *wal.Record) error
+
+// ReplayReport summarizes one recovery replay.
+type ReplayReport struct {
+	// Records is the journal length; Executed were re-applied through
+	// exec, Skipped were covered by a watermark checkpoint.
+	Records  int
+	Executed int
+	Skipped  int
+	// FastPath is set when the checkpoint fast path was eligible.
+	FastPath bool
+	// Checkpoints counts watermark checkpoint files restored.
+	Checkpoints int
+	Duration    time.Duration
+}
+
+// ReplayFrom reconstructs session state from journal records, taking
+// the checkpoint fast path when the command stream allows it. dir is
+// the state directory watermark paths are relative to. Boot records are
+// the caller's job (the session handed in must already be booted) and
+// are skipped here.
+func (s *Session) ReplayFrom(dir string, recs []*wal.Record, exec ExecRecord) (*ReplayReport, error) {
+	return s.replayFrom(dir, recs, exec, true)
+}
+
+// ReplayFull is ReplayFrom with the checkpoint fast path disabled:
+// every journaled mutation is re-executed. The server falls back to
+// this (on a re-booted session) when the fast path reports divergence,
+// e.g. because a watermark checkpoint file was lost.
+func (s *Session) ReplayFull(dir string, recs []*wal.Record, exec ExecRecord) (*ReplayReport, error) {
+	return s.replayFrom(dir, recs, exec, false)
+}
+
+func (s *Session) replayFrom(dir string, recs []*wal.Record, exec ExecRecord, allowFast bool) (*ReplayReport, error) {
+	t0 := time.Now()
+	rep := &ReplayReport{Records: len(recs)}
+	defer func() {
+		rep.Duration = time.Since(t0)
+		s.metrics.Histogram("replay_ms", nil).Observe(float64(rep.Duration.Milliseconds()))
+	}()
+
+	// Fast-path eligibility: with only instpipe/run/poke in the stream
+	// there is a single design version and no external file dependency,
+	// so a watermark checkpoint plus a virtually reconstructed journal is
+	// provably equivalent to re-execution.
+	fast := allowFast
+	for _, r := range recs {
+		if r.Type != wal.TypeCmd {
+			continue
+		}
+		switch r.Verb {
+		case "instpipe", "run", "poke":
+		default:
+			fast = false
+		}
+	}
+	rep.FastPath = fast
+
+	// Pick each pipe's newest *intact* watermark: a mark whose checkpoint
+	// file (or its .bak) still loads. Damaged or missing files just push
+	// recovery to an earlier mark — or to full re-execution of that
+	// pipe's records.
+	markAt := make(map[string]int) // pipe -> record index of chosen mark
+	if fast {
+		checked := make(map[string]bool)
+		for i := len(recs) - 1; i >= 0; i-- {
+			r := recs[i]
+			if r.Type != wal.TypeMark || checked[r.Pipe] {
+				continue
+			}
+			if _, _, err := checkpoint.LoadFile(filepath.Join(dir, r.Path)); err == nil {
+				markAt[r.Pipe] = i
+				checked[r.Pipe] = true
+			}
+		}
+	}
+
+	virtCycle := make(map[string]uint64)
+	virtHist := make(map[string][]RunOp)
+
+	for i, r := range recs {
+		switch r.Type {
+		case wal.TypeBoot:
+			continue
+		case wal.TypeMark:
+			mi, chosen := markAt[r.Pipe]
+			if !fast || !chosen || mi != i {
+				continue
+			}
+			// Apply the watermark: install the virtually reconstructed
+			// journal, then load the checkpoint (which truncates it to the
+			// file's history position and restores state + testbenches).
+			s.mu.Lock()
+			p, ok := s.pipes[r.Pipe]
+			if ok {
+				p.History = virtHist[r.Pipe]
+			}
+			s.mu.Unlock()
+			if !ok {
+				return rep, fmt.Errorf("record %d: watermark for unknown pipe %q: %w", i, r.Pipe, ErrReplayDiverged)
+			}
+			if err := s.LoadCheckpoint(r.Pipe, filepath.Join(dir, r.Path)); err != nil {
+				return rep, fmt.Errorf("record %d: watermark %s: %w", i, r.Path, err)
+			}
+			if c := p.Sim.Cycle(); c != r.Cycle {
+				return rep, fmt.Errorf("record %d: watermark restored cycle %d, journal says %d: %w",
+					i, c, r.Cycle, ErrReplayDiverged)
+			}
+			if got := s.historyLen(p); got != r.HistoryLen {
+				return rep, fmt.Errorf("record %d: watermark restored %d journal ops, journal says %d: %w",
+					i, got, r.HistoryLen, ErrReplayDiverged)
+			}
+			rep.Checkpoints++
+			continue
+		}
+
+		// TypeCmd. Skip records a chosen watermark covers, reconstructing
+		// the run journal they would have produced.
+		if mi, ok := markAt[cmdPipe(r)]; fast && ok && i < mi {
+			switch r.Verb {
+			case "run":
+				pipe := r.Args[1]
+				if adv := r.Cycle - virtCycle[pipe]; adv > 0 {
+					virtHist[pipe] = append(virtHist[pipe], RunOp{
+						TB: r.Args[0], Cycles: int(adv), StartCycle: virtCycle[pipe],
+					})
+					virtCycle[pipe] = r.Cycle
+				}
+			case "poke":
+				// State effect is inside the watermark checkpoint.
+			}
+			rep.Skipped++
+			continue
+		}
+
+		if err := exec(r); err != nil {
+			return rep, fmt.Errorf("record %d (%s): %w", i, r.Verb, err)
+		}
+		rep.Executed++
+
+		// Sequencing against the design version table: the journal records
+		// the version each mutation committed under.
+		if r.Version != "" {
+			if v := s.Version(); v != r.Version {
+				return rep, fmt.Errorf("record %d (%s): version %s after replay, journal says %s: %w",
+					i, r.Verb, v, r.Version, ErrReplayDiverged)
+			}
+		}
+		// Runs also record the cycle they ended on.
+		if r.Cycle != 0 && (r.Verb == "run" || r.Verb == "trace") && len(r.Args) >= 2 {
+			if p, ok := s.Pipe(r.Args[1]); ok {
+				if c := p.Sim.Cycle(); c != r.Cycle {
+					return rep, fmt.Errorf("record %d (%s %s): cycle %d after replay, journal says %d: %w",
+						i, r.Verb, r.Args[1], c, r.Cycle, ErrReplayDiverged)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// cmdPipe names the pipe a fast-path-eligible command targets.
+func cmdPipe(r *wal.Record) string {
+	switch r.Verb {
+	case "run":
+		if len(r.Args) >= 2 {
+			return r.Args[1]
+		}
+	case "poke":
+		if len(r.Args) >= 1 {
+			return r.Args[0]
+		}
+	}
+	return ""
+}
+
+// historyLen reads a pipe's journal length under the session lock.
+func (s *Session) historyLen(p *Pipe) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(p.History)
+}

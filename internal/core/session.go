@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -157,6 +158,12 @@ type Config struct {
 	// panics) for robustness testing. Nil — the normal case — costs
 	// nothing: every hook is nil-safe.
 	Faults *faultinject.Plan
+	// RunBudget, when positive, arms the hung-run watchdog: each run and
+	// each replay leg gets this much wall-clock time, checked
+	// cooperatively at cycle-batch boundaries. A run that blows the
+	// budget fails with ErrRunCancelled and the pipe is rolled back to
+	// its pre-run state. Zero disables the watchdog.
+	RunBudget time.Duration
 }
 
 // Session is the LiveSim environment.
@@ -460,12 +467,30 @@ func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
 		tb = f()
 		p.tbs[tbHandle] = tb
 	}
+	// With the watchdog armed, snapshot the pipe before journaling the
+	// op, so a deadline-cancelled run rolls back to exactly this point.
+	tok := s.newRunToken()
+	var snap *pipeSnapshot
+	if tok != nil {
+		var serr error
+		if snap, serr = s.snapshotPipe(p); serr != nil {
+			s.mu.Unlock()
+			return serr
+		}
+	}
 	start := p.Sim.Cycle()
 	p.History = append(p.History, RunOp{TB: tbHandle, Cycles: cycles, StartCycle: start})
 	opIdx := len(p.History) - 1
 	s.mu.Unlock()
 
-	err := s.runChunked(p, tb, cycles)
+	err := s.runChunked(p, tb, cycles, tok)
+
+	if errors.Is(err, ErrRunCancelled) {
+		// Watchdog fired: the rollback below restores state, testbenches,
+		// journal and checkpoints, so the truncation bookkeeping that
+		// follows must not run — opIdx no longer indexes this op.
+		return s.cancelRun(p, snap, err)
+	}
 
 	// The journal must record what actually happened, not what was asked:
 	// on early stop ($finish, an error, a panic) the op is truncated to the
@@ -487,7 +512,9 @@ func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
 }
 
 // runChunked advances the testbench, pausing at checkpoint boundaries.
-func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
+// The token (nil when no budget applies) is consulted at each boundary:
+// these are the watchdog's cancellation points.
+func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int, tok *runToken) error {
 	d := &Driver{s: p.Sim}
 	every := s.cfg.CheckpointEvery
 	if p.Checkpoints.Len() == 0 && every > 0 {
@@ -495,6 +522,17 @@ func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
 	}
 	remaining := cycles
 	for remaining > 0 && !p.Sim.Finished() {
+		if err := tok.check(p.Sim.Cycle()); err != nil {
+			return err
+		}
+		if st := s.cfg.Faults.RunStall(p.Sim.Cycle()); st > 0 {
+			// A wedged testbench for the watchdog tests: sleep, then give
+			// the token a chance to notice the blown budget.
+			time.Sleep(st)
+			if err := tok.check(p.Sim.Cycle()); err != nil {
+				return err
+			}
+		}
 		chunk := remaining
 		if every > 0 {
 			untilNext := int(every - (p.Sim.Cycle() - p.lastCheckpoint))
@@ -504,6 +542,11 @@ func (s *Session) runChunked(p *Pipe, tb Testbench, cycles int) error {
 			if untilNext < chunk {
 				chunk = untilNext
 			}
+		}
+		if tok != nil && chunk > watchdogChunk {
+			// Keep cancellation points flowing even with checkpoints off,
+			// where a run would otherwise be one enormous chunk.
+			chunk = watchdogChunk
 		}
 		before := p.Sim.Cycle()
 		if err := s.safeRun(tb, d, chunk); err != nil {
@@ -690,6 +733,20 @@ func (s *Session) Version() string {
 
 // WaitBackground blocks until background verification work completes.
 func (s *Session) WaitBackground() { s.verifyWG.Wait() }
+
+// PipeStatus returns a pipe's current cycle and journaled-op count under
+// the session lock. The server's WAL watermark records carry both, so
+// restart recovery can verify a restored checkpoint lines up with the
+// journal.
+func (s *Session) PipeStatus(name string) (cycle uint64, historyLen int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[name]
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Sim.Cycle(), len(p.History), true
+}
 
 // PipeNames returns the instantiated pipe names in creation order.
 func (s *Session) PipeNames() []string {

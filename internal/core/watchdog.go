@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the hung-run watchdog. A testbench wedged in a
+// combinational loop — or an honest `run 1000000000000` — must not own
+// a session worker forever: when Config.RunBudget is set, every run and
+// every replay leg executes under a cooperative cancellation token that
+// runChunked checks at cycle-batch boundaries. A run that blows its
+// budget is cancelled and the pipe is rolled back, bit-identical, to
+// its pre-run state through the same snapshot machinery ApplyChange's
+// rollback uses, so the session stays usable — one runaway run is an
+// incident, not a death sentence.
+
+// ErrRunCancelled is wrapped by every watchdog cancellation, so callers
+// (and the server's quarantine breaker) can classify the failure with
+// errors.Is.
+var ErrRunCancelled = errors.New("run cancelled: budget exceeded")
+
+// watchdogChunk caps the cycles handed to a testbench per call while a
+// token is active, so deadline checks happen even when checkpointing is
+// off and a run would otherwise be a single enormous chunk.
+const watchdogChunk = 65536
+
+// runToken is the cooperative cancellation token. A nil token (budget
+// unset) costs one nil check per chunk.
+type runToken struct {
+	deadline time.Time
+}
+
+// newRunToken mints a token for one run when a budget is configured.
+func (s *Session) newRunToken() *runToken {
+	if s.cfg.RunBudget <= 0 {
+		return nil
+	}
+	return &runToken{deadline: time.Now().Add(s.cfg.RunBudget)}
+}
+
+// check returns the cancellation error once the deadline has passed.
+func (t *runToken) check(cycle uint64) error {
+	if t == nil {
+		return nil
+	}
+	if time.Now().After(t.deadline) {
+		return fmt.Errorf("watchdog: cycle %d: %w", cycle, ErrRunCancelled)
+	}
+	return nil
+}
+
+// cancelRun is Run's watchdog path: restore the pre-run snapshot, count
+// the cancellation, and hand the wrapped ErrRunCancelled back to the
+// caller. The pipe is usable again when this returns.
+func (s *Session) cancelRun(p *Pipe, snap *pipeSnapshot, cause error) error {
+	if snap != nil {
+		if rerr := s.restorePipeSnapshot(snap); rerr != nil {
+			// RTL state is restored even then; only testbench state is
+			// suspect (see rollback).
+			s.noteHealthLocked(func(h *healthState) {
+				h.lastRollbackErr = fmt.Sprintf("pipe %s: %v", p.Name, rerr)
+			})
+		}
+	}
+	s.metrics.Counter("watchdog_cancels").Inc()
+	s.noteHealthLocked(func(h *healthState) {
+		h.watchdogCancels++
+		h.lastWatchdog = fmt.Sprintf("pipe %s: %v", p.Name, cause)
+	})
+	return cause
+}

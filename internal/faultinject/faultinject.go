@@ -42,13 +42,19 @@ type Plan struct {
 	dropConnAt    int             // sever after the nth request, -1 = unarmed
 	slowDelay     time.Duration   // per-response artificial delay
 	slowLeft      int             // responses the delay still applies to
+	tearAppend    int             // WAL append (1-based) to tear, -1 = unarmed
+	tearKeep      int             // bytes of the torn frame to keep
+	crashWALAt    int64           // WAL size threshold for kill-at-offset, -1 = unarmed
+	stallCycle    int64           // run-chunk cycle to stall at, -1 = unarmed
+	stallFor      time.Duration   // how long the stalled chunk sleeps
 
 	fired []string
 }
 
 // New returns an empty plan.
 func New() *Plan {
-	return &Plan{corruptAt: -1, panicCycle: -1, dropConnAt: -1}
+	return &Plan{corruptAt: -1, panicCycle: -1, dropConnAt: -1,
+		crashWALAt: -1, stallCycle: -1, tearAppend: -1}
 }
 
 // FailCompileAt arms a one-shot failure at the named compiler phase
@@ -131,6 +137,42 @@ func (p *Plan) SlowClient(d time.Duration, n int) *Plan {
 	defer p.mu.Unlock()
 	p.slowDelay = d
 	p.slowLeft = n
+	return p
+}
+
+// TornWALWrite arms a one-shot torn append: the nth (1-based) WAL
+// record append writes only keep bytes of its frame to disk and then
+// fails, as if the process died mid-write(2). keep may exceed the frame
+// length, in which case the whole frame lands and only the failure is
+// simulated.
+func (p *Plan) TornWALWrite(nth, keep int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tearAppend = nth
+	p.tearKeep = keep
+	return p
+}
+
+// CrashWALAt arms the kill-at-WAL-offset crash point: WALSize reports
+// true (once) as soon as the journal's durable size reaches offset
+// bytes. The caller — livesimd's -crash-wal-offset wiring — is expected
+// to SIGKILL itself on that signal.
+func (p *Plan) CrashWALAt(offset int64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashWALAt = offset
+	return p
+}
+
+// StallRunAt arms a one-shot stall: the run chunk that starts exactly
+// at the given cycle sleeps for d before executing, simulating a
+// testbench wedged in a combinational loop so the watchdog deadline can
+// be exercised deterministically.
+func (p *Plan) StallRunAt(cycle uint64, d time.Duration) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stallCycle = int64(cycle)
+	p.stallFor = d
 	return p
 }
 
@@ -257,6 +299,58 @@ func (p *Plan) ResponseDelay() time.Duration {
 		p.fired = append(p.fired, "slow-client")
 	}
 	return p.slowDelay
+}
+
+// WALTear is consulted by the WAL before each append with the 1-based
+// append count and the frame length about to be written. It returns -1
+// (no fault) or the number of frame bytes to write before failing.
+// Nil-safe; fires exactly once.
+func (p *Plan) WALTear(appendIdx, frameLen int) int {
+	if p == nil {
+		return -1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tearAppend < 0 || appendIdx != p.tearAppend {
+		return -1
+	}
+	p.tearAppend = -1
+	p.fired = append(p.fired, fmt.Sprintf("wal-tear:%d@%d/%d", appendIdx, p.tearKeep, frameLen))
+	return p.tearKeep
+}
+
+// WALSize is consulted after each durable WAL append with the journal's
+// new size; it returns true — crash now — exactly once, when the armed
+// offset is reached or passed. Nil-safe.
+func (p *Plan) WALSize(size int64) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashWALAt < 0 || size < p.crashWALAt {
+		return false
+	}
+	p.crashWALAt = -1
+	p.fired = append(p.fired, fmt.Sprintf("wal-crash:%d", size))
+	return true
+}
+
+// RunStall is consulted before each run chunk with the chunk's starting
+// cycle; it returns the armed stall duration (once) when the chunk
+// starts at the armed cycle, else zero. Nil-safe.
+func (p *Plan) RunStall(cycle uint64) time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stallCycle < 0 || int64(cycle) != p.stallCycle {
+		return 0
+	}
+	p.stallCycle = -1
+	p.fired = append(p.fired, fmt.Sprintf("run-stall:%d", cycle))
+	return p.stallFor
 }
 
 // SaveStage is consulted by the atomic checkpoint-file writer at each

@@ -4,53 +4,131 @@
 // newline-delimited JSON protocol of internal/server: requests carry an
 // id, responses echo it, and subscribed span events (objects with an
 // "ev" field and no id) are demultiplexed onto a separate channel.
+//
+// Dial gives the plain fail-fast client. DialOptions with Reconnect set
+// adds transparent recovery from a dropped connection (a restarted
+// daemon, a flaky network): the client redials with capped exponential
+// backoff and resends the idempotent requests that were in flight.
+// Non-idempotent requests — anything that mutates the session or the
+// server — are never resent, because the client cannot know whether the
+// daemon applied them before the connection died; those calls fail with
+// ErrDisconnected and the caller decides.
 package client
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"livesim/internal/command"
 	"livesim/internal/server"
+)
+
+// ErrDisconnected is returned for calls that cannot survive a dropped
+// connection: every call on a fail-fast client, and non-idempotent
+// calls on a reconnecting one.
+var ErrDisconnected = errors.New("connection lost")
+
+// Options tunes DialOptions.
+type Options struct {
+	// Reconnect enables transparent redial-and-resend. Off, the client
+	// behaves exactly like Dial: any disconnect fails all calls.
+	Reconnect bool
+	// MaxAttempts bounds consecutive redial attempts before the client
+	// gives up for good. Default 8.
+	MaxAttempts int
+	// BackoffBase is the first redial delay, doubling per attempt up to
+	// BackoffCap. Defaults 50ms and 2s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// OnReconnect, when set, is called after each successful redial with
+	// the attempt count it took (for logging). Called off the caller's
+	// goroutine.
+	OnReconnect func(attempts int)
+}
+
+type connState int
+
+const (
+	stConnected connState = iota
+	stReconnecting
+	stClosed
 )
 
 // Client is a connection to a livesimd. Safe for concurrent use: calls
 // from multiple goroutines interleave on the wire and are matched back
 // to callers by request id.
 type Client struct {
-	nc net.Conn
+	opts            Options
+	network, target string
 
 	writeMu sync.Mutex
 	nextID  atomic.Uint64
 
-	mu      sync.Mutex
-	pending map[uint64]chan *server.Response
-	readErr error
-	closed  chan struct{}
+	mu       sync.Mutex
+	nc       net.Conn
+	state    connState
+	pending  map[uint64]*pendingCall
+	readErr  error
+	explicit bool // Close was called; don't reconnect
 
+	closed chan struct{}
 	events chan json.RawMessage
+}
+
+// pendingCall is one request awaiting its response. The encoded line is
+// kept so a reconnect can resend idempotent calls verbatim.
+type pendingCall struct {
+	line []byte
+	idem bool
+	ch   chan callResult
+}
+
+type callResult struct {
+	resp *server.Response
+	err  error
 }
 
 // Dial connects to addr: "unix:<path>", "tcp:<host:port>", or bare —
 // a bare address containing a path separator is treated as a unix
-// socket, anything else as TCP.
+// socket, anything else as TCP. The returned client fails fast on
+// disconnect; use DialOptions for auto-reconnect.
 func Dial(addr string) (*Client, error) {
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects with explicit reconnect behaviour.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 8
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 50 * time.Millisecond
+	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = 2 * time.Second
+	}
 	network, target := SplitAddr(addr)
 	nc, err := net.Dial(network, target)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
+		opts:    opts,
+		network: network,
+		target:  target,
 		nc:      nc,
-		pending: make(map[uint64]chan *server.Response),
+		pending: make(map[uint64]*pendingCall),
 		closed:  make(chan struct{}),
 		events:  make(chan json.RawMessage, 256),
 	}
-	go c.readLoop()
+	go c.readLoop(nc)
 	return c, nil
 }
 
@@ -69,6 +147,24 @@ func SplitAddr(addr string) (network, target string) {
 	}
 }
 
+// Idempotent reports whether a verb can safely be sent twice: read-only
+// session verbs (from the shared command table's Mutates flag) and
+// read-only server verbs. Mutations and one-shot server verbs (create,
+// close, subscribe, unquarantine) are not resendable — the daemon may
+// have applied them before the connection died.
+func Idempotent(verb string) bool {
+	switch strings.ToLower(verb) {
+	case "ping", "help", "metricz", "sessions":
+		return true
+	case "create", "close", "subscribe", "unquarantine":
+		return false
+	}
+	if cmd, ok := command.Lookup(verb); ok {
+		return !cmd.Mutates
+	}
+	return false
+}
+
 // Do sends one request and waits for its response. The request's ID is
 // assigned by the client.
 func (c *Client) Do(req *server.Request) (*server.Response, error) {
@@ -79,30 +175,47 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 		return nil, err
 	}
 	line = append(line, '\n')
+	pc := &pendingCall{line: line, idem: Idempotent(req.Verb), ch: make(chan callResult, 1)}
 
-	ch := make(chan *server.Response, 1)
 	c.mu.Lock()
-	if c.readErr != nil {
+	switch c.state {
+	case stClosed:
 		err := c.readErr
 		c.mu.Unlock()
+		if err == nil {
+			err = ErrDisconnected
+		}
 		return nil, err
-	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.writeMu.Lock()
-	_, err = c.nc.Write(line)
-	c.writeMu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
+	case stReconnecting:
+		if !pc.idem {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%s: %w", req.Verb, ErrDisconnected)
+		}
+		// Register only: the redial's resend pass sends it when the
+		// connection comes back.
+		c.pending[id] = pc
 		c.mu.Unlock()
-		return nil, err
+	default:
+		c.pending[id] = pc
+		nc := c.nc
+		c.mu.Unlock()
+		c.writeMu.Lock()
+		_, err = nc.Write(line)
+		c.writeMu.Unlock()
+		if err != nil && !(c.opts.Reconnect && pc.idem) {
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return nil, err
+		}
+		// A failed write on a reconnecting client leaves the call
+		// registered: the read loop is about to notice the dead conn and
+		// the redial will resend it.
 	}
 
 	select {
-	case resp := <-ch:
-		return resp, nil
+	case r := <-pc.ch:
+		return r.resp, r.err
 	case <-c.closed:
 		c.mu.Lock()
 		err := c.readErr
@@ -116,14 +229,129 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 
 // Events returns the stream of subscribed span events (raw JSON lines).
 // The channel is buffered; events overflowing a slow consumer are
-// dropped rather than stalling the reader.
+// dropped rather than stalling the reader. Subscriptions do not survive
+// a reconnect — resubscribe after OnReconnect fires.
 func (c *Client) Events() <-chan json.RawMessage { return c.events }
 
-// Close tears the connection down; in-flight Do calls fail.
-func (c *Client) Close() error { return c.nc.Close() }
+// Close tears the connection down; in-flight Do calls fail and no
+// reconnect is attempted.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.explicit = true
+	nc := c.nc
+	wasReconnecting := c.state == stReconnecting
+	c.mu.Unlock()
+	if wasReconnecting {
+		// No live conn and no read loop to observe the close: shut down
+		// directly (the redial loop exits when it sees stClosed).
+		c.shutdown(fmt.Errorf("client closed"))
+		return nil
+	}
+	return nc.Close()
+}
 
-func (c *Client) readLoop() {
-	sc := bufio.NewScanner(c.nc)
+// shutdown moves the client to its terminal state exactly once: fails
+// every pending call, closes the signal channels.
+func (c *Client) shutdown(err error) {
+	c.mu.Lock()
+	if c.state == stClosed {
+		c.mu.Unlock()
+		return
+	}
+	c.state = stClosed
+	c.readErr = err
+	for id, pc := range c.pending {
+		delete(c.pending, id)
+		pc.ch <- callResult{nil, err}
+	}
+	// Channels close under the same lock that gates every event send, so
+	// a superseded read loop can never write a closed channel.
+	close(c.closed)
+	close(c.events)
+	c.mu.Unlock()
+}
+
+// disconnected handles the end of one connection's read loop.
+func (c *Client) disconnected(nc net.Conn, err error) {
+	c.mu.Lock()
+	if c.state != stConnected || c.nc != nc {
+		// A stale read loop (already superseded by a reconnect) or an
+		// already-terminal client: nothing to do.
+		c.mu.Unlock()
+		return
+	}
+	if c.explicit || !c.opts.Reconnect {
+		c.mu.Unlock()
+		c.shutdown(err)
+		return
+	}
+	c.state = stReconnecting
+	// Fail the calls that cannot be resent; keep the idempotent ones
+	// registered for the resend pass.
+	for id, pc := range c.pending {
+		if !pc.idem {
+			delete(c.pending, id)
+			pc.ch <- callResult{nil, fmt.Errorf("%w: %v", ErrDisconnected, err)}
+		}
+	}
+	c.mu.Unlock()
+	go c.redial()
+}
+
+// redial reconnects with capped exponential backoff, then resends every
+// registered idempotent call on the new connection.
+func (c *Client) redial() {
+	backoff := c.opts.BackoffBase
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		c.mu.Lock()
+		if c.state != stReconnecting {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		nc, err := net.Dial(c.network, c.target)
+		if err == nil {
+			c.mu.Lock()
+			if c.state != stReconnecting {
+				c.mu.Unlock()
+				nc.Close()
+				return
+			}
+			c.nc = nc
+			c.state = stConnected
+			resend := make([][]byte, 0, len(c.pending))
+			for _, pc := range c.pending {
+				resend = append(resend, pc.line)
+			}
+			c.mu.Unlock()
+
+			c.writeMu.Lock()
+			for _, line := range resend {
+				if _, werr := nc.Write(line); werr != nil {
+					break // the new read loop will notice and come back here
+				}
+			}
+			c.writeMu.Unlock()
+			go c.readLoop(nc)
+			if c.opts.OnReconnect != nil {
+				c.opts.OnReconnect(attempt)
+			}
+			return
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > c.opts.BackoffCap {
+			backoff = c.opts.BackoffCap
+		}
+	}
+	c.shutdown(fmt.Errorf("reconnect: gave up after %d attempts: %w", c.opts.MaxAttempts, lastErr))
+}
+
+func (c *Client) readLoop(nc net.Conn) {
+	sc := bufio.NewScanner(nc)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -137,10 +365,15 @@ func (c *Client) readLoop() {
 			continue
 		}
 		if probe.Ev != "" || probe.ID == nil {
-			select {
-			case c.events <- json.RawMessage(append([]byte(nil), line...)):
-			default:
+			ev := json.RawMessage(append([]byte(nil), line...))
+			c.mu.Lock()
+			if c.state != stClosed {
+				select {
+				case c.events <- ev:
+				default:
+				}
 			}
+			c.mu.Unlock()
 			continue
 		}
 		var resp server.Response
@@ -148,20 +381,16 @@ func (c *Client) readLoop() {
 			continue
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		pc := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- &resp
+		if pc != nil {
+			pc.ch <- callResult{&resp, nil}
 		}
 	}
 	err := sc.Err()
 	if err == nil {
 		err = fmt.Errorf("connection closed by server")
 	}
-	c.mu.Lock()
-	c.readErr = err
-	c.mu.Unlock()
-	close(c.closed)
-	close(c.events)
+	c.disconnected(nc, err)
 }

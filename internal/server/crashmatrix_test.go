@@ -1,0 +1,269 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"livesim/internal/server"
+	"livesim/internal/server/client"
+	"livesim/internal/wal"
+)
+
+// The subprocess crash matrix: a real livesimd child is SIGKILLed at
+// faultinject-chosen durable WAL offsets (-crash-wal-offset wires
+// Plan.CrashWALAt to a self-SIGKILL), then restarted on the same state
+// dir. Whatever prefix of the journal survived, recovery must reproduce
+// exactly the state that prefix claims — the journaled post-run cycle
+// and version are the pre-kill fingerprint — and the daemon must never
+// fail to boot.
+
+var (
+	livesimdOnce sync.Once
+	livesimdBin  string
+	livesimdErr  error
+)
+
+// buildLivesimd compiles the daemon once per test binary run.
+func buildLivesimd(t *testing.T) string {
+	t.Helper()
+	livesimdOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lsdbin")
+		if err != nil {
+			livesimdErr = err
+			return
+		}
+		livesimdBin = filepath.Join(dir, "livesimd")
+		out, err := exec.Command("go", "build", "-o", livesimdBin, "livesim/cmd/livesimd").CombinedOutput()
+		if err != nil {
+			livesimdErr = fmt.Errorf("go build livesimd: %v\n%s", err, out)
+		}
+	})
+	if livesimdErr != nil {
+		t.Fatal(livesimdErr)
+	}
+	return livesimdBin
+}
+
+// daemon is one livesimd child process under test control. done is
+// closed (not sent to) when the child exits, so wait and the kill-on-
+// cleanup path can both observe it.
+type daemon struct {
+	cmd  *exec.Cmd
+	done chan struct{}
+	log  *os.File
+}
+
+func startDaemon(t *testing.T, bin, sock, state string, extra ...string) *daemon {
+	t.Helper()
+	logf, err := os.CreateTemp("", "lsdlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { logf.Close(); os.Remove(logf.Name()) })
+	args := append([]string{"-unix", sock, "-state-dir", state,
+		"-wal-fsync-every", "0", "-metrics=false"}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan struct{}), log: logf}
+	go func() { cmd.Wait(); close(d.done) }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-d.done
+	})
+	return d
+}
+
+func (d *daemon) dumpLog(t *testing.T) {
+	t.Helper()
+	data, _ := os.ReadFile(d.log.Name())
+	t.Logf("daemon log:\n%s", data)
+}
+
+// wait blocks until the child exits and returns its WaitStatus.
+func (d *daemon) wait(t *testing.T) syscall.WaitStatus {
+	t.Helper()
+	select {
+	case <-d.done:
+	case <-time.After(15 * time.Second):
+		d.dumpLog(t)
+		t.Fatal("daemon did not exit")
+	}
+	ws, ok := d.cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok {
+		t.Fatalf("no wait status: %v", d.cmd.ProcessState)
+	}
+	return ws
+}
+
+// waitDial polls until the daemon's socket accepts a connection.
+func waitDial(t *testing.T, sock string) *client.Client {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := client.Dial("unix:" + sock)
+		if err == nil {
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened on %s: %v", sock, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// driveMatrixSession plays the fixed mutation sequence the matrix kills
+// at different points: create pgas → instpipe → run 200 → run 100.
+// Errors are tolerated — once the child SIGKILLs itself, in-flight and
+// later requests fail at the transport.
+func driveMatrixSession(c *client.Client) {
+	reqs := []*server.Request{
+		{Session: "s1", Verb: "create", PGAS: 1, CheckpointEvery: 25},
+		{Session: "s1", Verb: "instpipe", Args: []string{"p0"}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "200"}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "100"}},
+	}
+	for _, req := range reqs {
+		if _, err := c.Do(req); err != nil {
+			return
+		}
+	}
+}
+
+// waitSessionSettled polls `sessions` until s1 exists and has left the
+// recovering state, so the matrix can distinguish "still replaying"
+// from "recovered to a boot-only session with no pipes".
+func waitSessionSettled(t *testing.T, c *client.Client) server.SessionInfo {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Do(&server.Request{Verb: "sessions"})
+		if err != nil {
+			t.Fatalf("sessions: %v", err)
+		}
+		var infos []server.SessionInfo
+		if err := json.Unmarshal(resp.Data, &infos); err != nil {
+			t.Fatalf("sessions data: %v", err)
+		}
+		for _, info := range infos {
+			if info.Name == "s1" && !info.Recovering {
+				return info
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session s1 never finished recovering: %s", resp.Data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCrashMatrixSIGKILLAtWALOffsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills livesimd subprocesses")
+	}
+	bin := buildLivesimd(t)
+
+	// Probe run: same sequence, no crash point, killed hard at the end so
+	// no drain watermark inflates the journal. Its size bounds the offset
+	// sweep; the sequence is deterministic, so every offset in [1, size]
+	// is reachable by the crashing runs.
+	probeDir := shortDir(t)
+	probe := startDaemon(t, bin, filepath.Join(probeDir, "d.sock"), filepath.Join(probeDir, "state"))
+	driveMatrixSession(waitDial(t, filepath.Join(probeDir, "d.sock")))
+	probe.cmd.Process.Kill()
+	probe.wait(t)
+	fi, err := os.Stat(filepath.Join(probeDir, "state", "s1.wal"))
+	if err != nil {
+		probe.dumpLog(t)
+		t.Fatal(err)
+	}
+	walSize := fi.Size()
+
+	offsets := []int64{1, walSize / 3, 2 * walSize / 3, walSize}
+	seen := map[int64]bool{}
+	for _, off := range offsets {
+		if off < 1 || seen[off] {
+			continue
+		}
+		seen[off] = true
+		t.Run(fmt.Sprintf("offset-%d", off), func(t *testing.T) {
+			dir := shortDir(t)
+			sock, state := filepath.Join(dir, "d.sock"), filepath.Join(dir, "state")
+
+			// Phase 1: drive until the armed offset SIGKILLs the child.
+			d := startDaemon(t, bin, sock, state, "-crash-wal-offset", fmt.Sprint(off))
+			driveMatrixSession(waitDial(t, sock))
+			if ws := d.wait(t); !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				d.dumpLog(t)
+				t.Fatalf("child exit = %v, want SIGKILL", d.cmd.ProcessState)
+			}
+
+			// Oracle: read the durable journal prefix ourselves. The last
+			// journaled run's post-run cycle (and version) is the pre-kill
+			// fingerprint recovery must reproduce.
+			w, recs, err := wal.Open(filepath.Join(state, "s1.wal"), wal.Options{})
+			if err != nil {
+				t.Fatalf("journal unreadable after SIGKILL: %v", err)
+			}
+			w.Close()
+			if len(recs) == 0 || recs[0].Type != wal.TypeBoot {
+				t.Fatalf("durable journal lost its boot record: %d recs", len(recs))
+			}
+			wantCycle, wantVersion, havePipe := uint64(0), "v0", false
+			for _, rec := range recs {
+				if rec.Type != wal.TypeCmd {
+					continue
+				}
+				wantVersion = rec.Version
+				switch rec.Verb {
+				case "instpipe":
+					havePipe = true
+				case "run":
+					wantCycle = rec.Cycle
+				}
+			}
+
+			// Phase 2: restart on the same state dir; the session must come
+			// back at exactly the durable prefix's state and accept new work.
+			d2 := startDaemon(t, bin, sock, state)
+			c := waitDial(t, sock)
+			waitSessionSettled(t, c)
+			cycleReq := &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}}
+			if !havePipe {
+				if resp, err := c.Do(cycleReq); err != nil || resp.OK {
+					t.Fatalf("boot-only recovery should have no pipe p0: resp=%+v err=%v", resp, err)
+				}
+			} else {
+				resp := mustOK(t, c, cycleReq)
+				want := fmt.Sprintf("%d (version %s)", wantCycle, wantVersion)
+				if !strings.Contains(resp.Output, want) {
+					d2.dumpLog(t)
+					t.Fatalf("recovered cycle = %q, want %q", resp.Output, want)
+				}
+				mustOK(t, c, &server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "10"}})
+				resp = mustOK(t, c, cycleReq)
+				if !strings.Contains(resp.Output, fmt.Sprint(wantCycle+10)) {
+					t.Fatalf("post-recovery run: %q", resp.Output)
+				}
+			}
+
+			// Phase 3: the restarted daemon must still drain cleanly.
+			d2.cmd.Process.Signal(syscall.SIGTERM)
+			if ws := d2.wait(t); ws.ExitStatus() != 0 {
+				d2.dumpLog(t)
+				t.Fatalf("restarted daemon exit = %d on SIGTERM", ws.ExitStatus())
+			}
+		})
+	}
+}

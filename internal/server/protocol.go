@@ -84,6 +84,12 @@ const (
 	// CodeNoSession: the named session does not exist (or already does,
 	// for create).
 	CodeNoSession = "no_session"
+	// CodeRecovering: the session is being rebuilt from its journal after
+	// a daemon restart; retry shortly.
+	CodeRecovering = "recovering"
+	// CodeQuarantined: the session's failure breaker is open — mutating
+	// verbs are rejected until an operator runs `unquarantine`.
+	CodeQuarantined = "quarantined"
 	// CodeError: any other execution failure.
 	CodeError = "error"
 )
@@ -98,6 +104,14 @@ var ErrDraining = errors.New("server is draining")
 // ErrDeadline is returned when a request misses its deadline.
 var ErrDeadline = errors.New("request deadline exceeded")
 
+// ErrRecovering is returned for requests that hit a session still being
+// replayed from its journal after a restart.
+var ErrRecovering = errors.New("session is recovering; retry shortly")
+
+// ErrQuarantined is wrapped by rejections of mutating verbs on a
+// quarantined session.
+var ErrQuarantined = errors.New("session is quarantined")
+
 // SessionInfo is one row of the `sessions` verb's Data payload.
 type SessionInfo struct {
 	Name      string   `json:"name"`
@@ -107,6 +121,11 @@ type SessionInfo struct {
 	IdleSecs  float64  `json:"idle_secs"`
 	Version   string   `json:"version"`
 	Subscribers int    `json:"subscribers"`
+	// Quarantined is set while the session's failure breaker is open
+	// (mutations rejected); Recovering while journal replay is rebuilding
+	// it after a restart (all session verbs rejected).
+	Quarantined bool `json:"quarantined,omitempty"`
+	Recovering  bool `json:"recovering,omitempty"`
 }
 
 // DrainReport is what Shutdown returns: which sessions were checkpointed
@@ -123,4 +142,9 @@ type DrainReport struct {
 type DrainedSession struct {
 	Name  string            `json:"name"`
 	Files map[string]string `json:"files"` // pipe -> checkpoint path
+	// Errors records pipes whose checkpoint save failed even after the
+	// bounded retries (pipe -> error). A drain with any entry here makes
+	// Shutdown return an error so the daemon exits nonzero — the manifest
+	// carries the evidence instead of silently dropping it.
+	Errors map[string]string `json:"errors,omitempty"`
 }

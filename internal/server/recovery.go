@@ -1,0 +1,287 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"livesim/internal/command"
+	"livesim/internal/core"
+	"livesim/internal/liveparser"
+	"livesim/internal/wal"
+)
+
+// Restart recovery. With Config.StateDir set, every hosted session
+// journals its committed mutations to <state-dir>/<name>.wal and its
+// watermark checkpoints to <state-dir>/<name>.<pipe>.lscp. On boot,
+// Recover scans the state dir and rebuilds each journaled session:
+// re-boot from the journal's boot record, then core.Session.ReplayFrom
+// re-applies the mutations (taking the checkpoint fast path when the
+// stream allows). Until a session's replay completes it answers every
+// request with CodeRecovering; a torn journal tail is truncated, never
+// fatal; a journal that deterministically cannot be replayed is set
+// aside as <name>.wal.failed — the daemon always boots.
+
+// walSyncInterval maps Config.WALSyncEvery onto wal.Options.SyncEvery:
+// negative = fsync inline on every append (the crash-matrix setting),
+// zero = default 100ms group commit, positive = that interval.
+func (s *Server) walSyncInterval() time.Duration {
+	switch {
+	case s.cfg.WALSyncEvery < 0:
+		return 0
+	case s.cfg.WALSyncEvery == 0:
+		return 100 * time.Millisecond
+	default:
+		return s.cfg.WALSyncEvery
+	}
+}
+
+func (s *Server) walOpts() wal.Options {
+	return wal.Options{
+		SyncEvery: s.walSyncInterval(),
+		Faults:    s.cfg.Faults,
+		OnWrite:   s.cfg.WALOnWrite,
+		Metrics:   s.reg,
+	}
+}
+
+func (s *Server) walPath(name string) string {
+	return filepath.Join(s.cfg.StateDir, name+".wal")
+}
+
+// removeSessionState deletes a session's journal and watermark
+// checkpoint files (create-over-stale and the close verb).
+func (s *Server) removeSessionState(name string) {
+	os.Remove(s.walPath(name))
+	os.Remove(s.walPath(name) + ".failed")
+	for _, pat := range []string{name + ".*.lscp", name + ".*.lscp.bak"} {
+		matches, _ := filepath.Glob(filepath.Join(s.cfg.StateDir, pat))
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+}
+
+// Recover scans the state dir and starts recovery of every journaled
+// session. Placeholders are registered synchronously — callers should
+// Recover before Serve so a session can never be re-created over its
+// own pending journal — and replay runs in the background, one
+// goroutine per session. WaitRecovered blocks until all are done.
+func (s *Server) Recover() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "*.wal"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".wal")
+		if !nameRE.MatchString(name) {
+			continue
+		}
+		h := s.newHosted(name)
+		h.recovering.Store(true)
+		s.mu.Lock()
+		if s.draining || s.sessions[name] != nil {
+			s.mu.Unlock()
+			continue
+		}
+		s.sessions[name] = h
+		s.mu.Unlock()
+		s.recoveryWG.Add(1)
+		go s.recoverSession(h, path)
+	}
+	return nil
+}
+
+// WaitRecovered blocks until every recovery started by Recover has
+// finished (successfully or not).
+func (s *Server) WaitRecovered() { s.recoveryWG.Wait() }
+
+func (s *Server) recoverSession(h *hosted, path string) {
+	defer s.recoveryWG.Done()
+	t0 := time.Now()
+
+	failed := func(cause error) {
+		// Deterministic replay failure: set the journal aside so the next
+		// boot doesn't retry it forever, drop the placeholder, keep booting.
+		s.mu.Lock()
+		delete(s.sessions, h.name)
+		s.mu.Unlock()
+		if h.wal != nil {
+			h.wal.Close()
+		}
+		if rerr := os.Rename(path, path+".failed"); rerr != nil {
+			s.logf("recover %s: set-aside failed too: %v", h.name, rerr)
+		}
+		s.reg.Counter("server_recoveries_failed").Inc()
+		s.logf("recover %s: %v (journal set aside as %s.failed)", h.name, cause, filepath.Base(path))
+	}
+
+	w, recs, err := wal.Open(path, s.walOpts())
+	if err != nil {
+		failed(err)
+		return
+	}
+	h.wal = w
+	if len(recs) == 0 || recs[0].Type != wal.TypeBoot {
+		failed(fmt.Errorf("journal has no boot record"))
+		return
+	}
+
+	exec := func(rec *wal.Record) error { return s.execRecord(h, rec) }
+	sess, err := s.bootFromRecord(h, recs[0])
+	if err != nil {
+		failed(fmt.Errorf("re-boot: %w", err))
+		return
+	}
+	s.mu.Lock()
+	h.sess = sess
+	s.mu.Unlock()
+	rep, err := sess.ReplayFrom(s.cfg.StateDir, recs, exec)
+	if err != nil && rep != nil && rep.FastPath {
+		// The checkpoint fast path diverged (e.g. a stale watermark file):
+		// re-boot and re-execute everything — slower, always faithful.
+		s.logf("recover %s: fast path failed (%v); replaying in full", h.name, err)
+		if sess, err = s.bootFromRecord(h, recs[0]); err == nil {
+			s.mu.Lock()
+			h.sess = sess
+			s.mu.Unlock()
+			rep, err = sess.ReplayFull(s.cfg.StateDir, recs, exec)
+		}
+	}
+	if err != nil {
+		failed(err)
+		return
+	}
+
+	h.dirty.Store(rep.Executed+rep.Skipped > 0)
+	h.touch()
+	go s.worker(h)
+	h.recovering.Store(false)
+	s.reg.Counter("server_sessions_recovered").Inc()
+	s.reg.Histogram("server_recover_seconds", nil).Observe(time.Since(t0).Seconds())
+	s.logf("session %s recovered in %v (%d records: %d replayed, %d skipped via %d checkpoints, fast=%v)",
+		h.name, time.Since(t0).Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped,
+		rep.Checkpoints, rep.FastPath)
+}
+
+// bootFromRecord re-creates a session from its journal's boot record,
+// with the same configuration createSession would use.
+func (s *Server) bootFromRecord(h *hosted, rec *wal.Record) (*core.Session, error) {
+	ccfg := s.sessionConfig(h, rec.CheckpointEvery)
+	if rec.PGAS > 0 {
+		return command.BootPGAS(rec.PGAS, ccfg)
+	}
+	return command.BootSource(rec.Top, rec.Files, ccfg)
+}
+
+// execRecord replays one journaled command through the shared verb
+// table — the exact code path live traffic takes, minus the wire.
+func (s *Server) execRecord(h *hosted, rec *wal.Record) error {
+	env := &command.Env{Session: h.sess, Metrics: h.reg, Out: io.Discard}
+	if rec.Files != nil {
+		files := rec.Files
+		env.ApplySource = func() (liveparser.Source, error) {
+			return liveparser.Source{Files: files}, nil
+		}
+	}
+	return command.Dispatch(env, rec.Verb, rec.Args)
+}
+
+// journalMutation appends one committed mutation to the session's
+// journal (write-behind: the mutation is already applied; the journal
+// is its durability record). Run-style verbs also record the cycle the
+// pipe ended on, so replay is verified — and the checkpoint fast path
+// can reconstruct the run journal — from actual, not requested, cycles.
+// A journal that stays broken past the bounded retries degrades to a
+// breaker failure per mutation: the session keeps serving, loses
+// durability, and quarantines after the configured streak.
+func (s *Server) journalMutation(h *hosted, req *Request) {
+	if h.wal == nil {
+		return
+	}
+	rec := &wal.Record{
+		Type:    wal.TypeCmd,
+		Verb:    strings.ToLower(req.Verb),
+		Args:    req.Args,
+		Files:   req.Files,
+		Version: h.sess.Version(),
+	}
+	if (rec.Verb == "run" || rec.Verb == "trace") && len(req.Args) >= 2 {
+		if cycle, _, ok := h.sess.PipeStatus(req.Args[1]); ok {
+			rec.Cycle = cycle
+		}
+	}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if err = h.wal.Append(rec); err == nil {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+	if err != nil {
+		s.reg.Counter("wal_append_failures").Inc()
+		s.logf("session %s: journal append: %v", h.name, err)
+		s.noteFailure(h, fmt.Sprintf("journal append: %v", err))
+		return
+	}
+	h.mutations++
+	if s.cfg.JournalCheckpointEvery > 0 && h.mutations >= s.cfg.JournalCheckpointEvery {
+		h.mutations = 0
+		s.saveWatermark(h)
+	}
+}
+
+// saveWatermark checkpoints every pipe into the state dir and journals
+// a mark record per pipe, then forces the journal to disk. After this,
+// restart recovery of a pure run/poke stream loads the checkpoints and
+// skips re-executing everything they cover.
+func (s *Server) saveWatermark(h *hosted) {
+	if h.wal == nil {
+		return
+	}
+	for _, pipe := range h.sess.PipeNames() {
+		base := fmt.Sprintf("%s.%s.lscp", h.name, pipe)
+		path := filepath.Join(s.cfg.StateDir, base)
+		if err := s.saveCheckpointRetry(h, pipe, path); err != nil {
+			s.logf("session %s: watermark %s: %v", h.name, pipe, err)
+			continue
+		}
+		cycle, histLen, ok := h.sess.PipeStatus(pipe)
+		if !ok {
+			continue
+		}
+		mark := &wal.Record{Type: wal.TypeMark, Pipe: pipe, Path: base, Cycle: cycle, HistoryLen: histLen}
+		if err := h.wal.Append(mark); err != nil {
+			s.logf("session %s: watermark mark %s: %v", h.name, pipe, err)
+		}
+	}
+	if err := h.wal.Sync(); err != nil {
+		s.logf("session %s: watermark sync: %v", h.name, err)
+	}
+}
+
+// saveCheckpointRetry is checkpoint-save IO with bounded
+// retry-with-backoff; only an exhausted retry budget feeds the
+// session's quarantine breaker.
+func (s *Server) saveCheckpointRetry(h *hosted, pipe, path string) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		if err = h.sess.SaveCheckpoint(pipe, path); err == nil {
+			return nil
+		}
+		s.reg.Counter("server_checkpoint_save_retries").Inc()
+	}
+	s.noteFailure(h, fmt.Sprintf("checkpoint save %s: %v", pipe, err))
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"livesim/internal/core"
 	"livesim/internal/faultinject"
 	"livesim/internal/obs"
+	"livesim/internal/wal"
 )
 
 // Config tunes a Server.
@@ -46,6 +48,33 @@ type Config struct {
 	// DrainDir receives checkpoints of dirty sessions on drain and
 	// eviction, plus the drain.json manifest. Empty skips the saves.
 	DrainDir string
+	// StateDir enables durability: every session journals its committed
+	// mutations to <StateDir>/<name>.wal and watermark checkpoints to
+	// <StateDir>/<name>.<pipe>.lscp, and Recover rebuilds journaled
+	// sessions on the next boot. Empty disables journaling entirely.
+	StateDir string
+	// RunBudget arms the hung-run watchdog in every hosted session: runs
+	// and change re-executions past this wall-clock budget are cancelled
+	// at a cycle-batch boundary and rolled back. 0 disables.
+	RunBudget time.Duration
+	// QuarantineAfter trips a session's failure breaker after this many
+	// consecutive failures (rollbacks, panics, blown deadlines, durability
+	// IO failures). 0 uses the default (3); negative disables quarantine.
+	QuarantineAfter int
+	// QuarantineDecay is how far apart failures may be and still count as
+	// one streak. 0 uses the default (1m).
+	QuarantineDecay time.Duration
+	// WALSyncEvery tunes journal fsync batching: negative = fsync inline
+	// on every append (maximum durability, the crash-test setting), 0 =
+	// default 100ms group commit, positive = that flush interval.
+	WALSyncEvery time.Duration
+	// WALOnWrite, when set, observes the journal's durable size after
+	// every append (the crash matrix uses it to die at chosen offsets).
+	WALOnWrite func(size int64)
+	// JournalCheckpointEvery saves watermark checkpoints after this many
+	// journaled mutations, bounding replay work after a crash. 0 saves
+	// watermarks only on drain and eviction.
+	JournalCheckpointEvery int
 	// Faults injects deterministic failures: the connection faults are
 	// consulted by the server itself, and the whole plan is passed into
 	// every created session so the fault matrix can kill a session
@@ -78,6 +107,7 @@ type Server struct {
 
 	inflight    sync.WaitGroup // every request from read to response write
 	connWG      sync.WaitGroup
+	recoveryWG  sync.WaitGroup // outstanding Recover goroutines
 	janitorStop chan struct{}
 	stopOnce    sync.Once
 }
@@ -99,6 +129,17 @@ func New(cfg Config) *Server {
 	}
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 10_000
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = defaultQuarantineAfter
+	}
+	if cfg.QuarantineDecay == 0 {
+		cfg.QuarantineDecay = defaultQuarantineDecay
+	}
+	if cfg.StateDir != "" {
+		// Best-effort here; a dir that still can't be written surfaces as a
+		// create-time journal error with the real cause attached.
+		os.MkdirAll(cfg.StateDir, 0o755)
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -261,7 +302,7 @@ func (s *Server) handleConn(nc net.Conn) {
 // session worker.
 var serverVerbs = map[string]bool{
 	"ping": true, "help": true, "metricz": true, "sessions": true,
-	"create": true, "close": true, "subscribe": true,
+	"create": true, "close": true, "subscribe": true, "unquarantine": true,
 }
 
 // dispatch routes one request: server verbs run inline, session verbs
@@ -294,13 +335,19 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	// Session verb: resolve and enqueue under the lock so an eviction
 	// cannot close the queue between lookup and enqueue.
 	var (
-		h      *hosted
-		t      *task
-		enqErr error
+		h          *hosted
+		t          *task
+		enqErr     error
+		recovering bool
 	)
 	s.mu.Lock()
 	h = s.sessions[req.Session]
-	if h != nil {
+	if h != nil && h.recovering.Load() {
+		// Journal replay is rebuilding this session; even reads must wait —
+		// half-replayed state is not servable. No worker is draining the
+		// queue yet, so enqueueing would just wedge until backpressure.
+		recovering = true
+	} else if h != nil {
 		t = &task{req: req, reply: make(chan *Response, 1), span: sp}
 		if s.cfg.RequestTimeout > 0 {
 			t.deadline = time.Now().Add(s.cfg.RequestTimeout)
@@ -314,6 +361,9 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		finish(errResp(req, CodeBadRequest, fmt.Errorf("verb %q needs a session", req.Verb)))
 	case h == nil:
 		finish(errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session)))
+	case recovering:
+		s.reg.Counter("server_recovering_rejects").Inc()
+		finish(errResp(req, CodeRecovering, ErrRecovering))
 	case enqErr != nil:
 		s.reg.Counter("server_backpressure_rejects").Inc()
 		finish(errResp(req, CodeBackpressure, enqErr))
@@ -371,6 +421,7 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		b.WriteString("  close                         discard a session\n")
 		b.WriteString("  sessions                      list hosted sessions\n")
 		b.WriteString("  subscribe                     stream span events (empty session = server spans)\n")
+		b.WriteString("  unquarantine                  clear a session's failure breaker\n")
 		b.WriteString("  stats [json]                  per-session metrics registry\n")
 		b.WriteString("  metricz                       server-level metrics registry\n")
 		b.WriteString("  ping                          liveness + uptime\n")
@@ -393,6 +444,19 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 
 	case "subscribe":
 		return s.subscribe(c, req)
+
+	case "unquarantine":
+		s.mu.Lock()
+		h := s.sessions[req.Session]
+		s.mu.Unlock()
+		if h == nil {
+			return errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session))
+		}
+		h.brk.clear()
+		s.updateQuarantineGauge()
+		s.logf("session %s unquarantined", req.Session)
+		return &Response{ID: req.ID, OK: true,
+			Output: fmt.Sprintf("session %s unquarantined\n", req.Session)}
 	}
 	return errResp(req, CodeBadRequest, fmt.Errorf("unknown server verb %q", verb))
 }
@@ -425,14 +489,49 @@ func (s *Server) listSessions(req *Request) *Response {
 			IdleSecs:    h.idle().Seconds(),
 			Version:     h.sess.Version(),
 			Subscribers: h.fan.Len(),
+			Recovering:  h.recovering.Load(),
 		}
+		info.Quarantined, _ = h.brk.quarantined()
 		infos = append(infos, info)
-		fmt.Fprintf(&out, "  %-16s pipes=%v version=%s dirty=%v queued=%d idle=%.1fs\n",
+		fmt.Fprintf(&out, "  %-16s pipes=%v version=%s dirty=%v queued=%d idle=%.1fs",
 			n, info.Pipes, info.Version, info.Dirty, info.Queued, info.IdleSecs)
+		if info.Quarantined {
+			out.WriteString(" QUARANTINED")
+		}
+		if info.Recovering {
+			out.WriteString(" RECOVERING")
+		}
+		out.WriteString("\n")
 	}
 	s.mu.Unlock()
 	data, _ := json.Marshal(infos)
 	return &Response{ID: req.ID, OK: true, Output: out.String(), Data: data}
+}
+
+// sessionConfig is the one core.Config both createSession and restart
+// recovery boot sessions with, so a recovered session behaves exactly
+// like the original did.
+func (s *Server) sessionConfig(h *hosted, every uint64) core.Config {
+	return core.Config{
+		CheckpointEvery: every,
+		Output:          h.out,
+		Metrics:         h.reg,
+		TraceOut:        h.fan,
+		Faults:          s.cfg.Faults,
+		RunBudget:       s.cfg.RunBudget,
+	}
+}
+
+// Session returns the named hosted session's core session, or nil. It
+// is for tests and tools that need to inspect state in-process (e.g.
+// fingerprinting after crash recovery); the wire protocol is the API.
+func (s *Server) Session(name string) *core.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h := s.sessions[name]; h != nil {
+		return h.sess
+	}
+	return nil
 }
 
 // createSession reserves the name, builds the session outside the lock
@@ -444,7 +543,7 @@ func (s *Server) createSession(req *Request) *Response {
 		return errResp(req, CodeBadRequest,
 			fmt.Errorf("session name %q must match %s", name, nameRE.String()))
 	}
-	h := newHosted(name, s.cfg.QueueDepth)
+	h := s.newHosted(name)
 	s.mu.Lock()
 	switch {
 	case s.draining:
@@ -466,13 +565,7 @@ func (s *Server) createSession(req *Request) *Response {
 	if every == 0 {
 		every = s.cfg.CheckpointEvery
 	}
-	ccfg := core.Config{
-		CheckpointEvery: every,
-		Output:          h.out,
-		Metrics:         h.reg,
-		TraceOut:        h.fan,
-		Faults:          s.cfg.Faults,
-	}
+	ccfg := s.sessionConfig(h, every)
 	var (
 		sess *core.Session
 		err  error
@@ -485,6 +578,32 @@ func (s *Server) createSession(req *Request) *Response {
 		sess, err = command.BootSource(req.Top, req.Files, ccfg)
 		desc = fmt.Sprintf("%d source files, testbench clock", len(req.Files))
 	}
+	var w *wal.WAL
+	if err == nil && s.cfg.StateDir != "" {
+		// Open this session's journal and make its boot record durable
+		// before serving: a crash at any later point can rebuild it. Any
+		// stale state under the same name (a closed or failed predecessor)
+		// must not resurrect into the new session.
+		s.removeSessionState(name)
+		w, _, err = wal.Open(s.walPath(name), s.walOpts())
+		if err == nil {
+			err = w.Append(&wal.Record{
+				Type: wal.TypeBoot, PGAS: req.PGAS, Top: req.Top,
+				CheckpointEvery: every, Files: req.Files,
+			})
+			if err == nil {
+				err = w.Sync()
+			}
+		}
+		if err != nil {
+			if w != nil {
+				w.Close()
+				os.Remove(s.walPath(name))
+				w = nil
+			}
+			err = fmt.Errorf("journal: %w", err)
+		}
+	}
 	s.mu.Lock()
 	if err == nil && s.draining {
 		err = ErrDraining
@@ -492,6 +611,10 @@ func (s *Server) createSession(req *Request) *Response {
 	if err != nil {
 		delete(s.sessions, name)
 		s.mu.Unlock()
+		if w != nil {
+			w.Close()
+			os.Remove(s.walPath(name))
+		}
 		close(h.queue)
 		for t := range h.queue { // fail anything that queued mid-create
 			if !t.abandoned.Load() {
@@ -501,6 +624,7 @@ func (s *Server) createSession(req *Request) *Response {
 		return errResp(req, CodeError, err)
 	}
 	h.sess = sess
+	h.wal = w
 	s.mu.Unlock()
 	go s.worker(h)
 	s.reg.Counter("server_sessions_created").Inc()
@@ -509,9 +633,16 @@ func (s *Server) createSession(req *Request) *Response {
 		Output: fmt.Sprintf("created session %s (%s)\n", name, desc)}
 }
 
-// closeSession removes a session and discards its state (checkpoint
-// explicitly first if you want to keep it).
+// closeSession removes a session and discards its state — including its
+// journal and watermark checkpoints (checkpoint explicitly first if you
+// want to keep it).
 func (s *Server) closeSession(req *Request) *Response {
+	s.mu.Lock()
+	if h := s.sessions[req.Session]; h != nil && h.recovering.Load() {
+		s.mu.Unlock()
+		return errResp(req, CodeRecovering, ErrRecovering)
+	}
+	s.mu.Unlock()
 	h := s.removeSession(req.Session)
 	if h == nil {
 		return errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session))
@@ -519,17 +650,25 @@ func (s *Server) closeSession(req *Request) *Response {
 	close(h.queue)
 	<-h.stopped
 	h.sess.Quiesce()
+	if h.wal != nil {
+		h.wal.Close()
+	}
+	if s.cfg.StateDir != "" {
+		s.removeSessionState(h.name)
+	}
 	s.reg.Counter("server_sessions_closed").Inc()
 	return &Response{ID: req.ID, OK: true, Output: fmt.Sprintf("closed session %s\n", req.Session)}
 }
 
 // removeSession unlinks a session so only the caller may close its
-// queue. Returns nil if absent or not yet fully created.
+// queue. Returns nil if absent, not yet fully created, or still being
+// recovered (no worker is draining a recovering session's queue, so
+// closing it would hang waiting for the stop).
 func (s *Server) removeSession(name string) *hosted {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := s.sessions[name]
-	if h == nil || h.sess == nil {
+	if h == nil || h.sess == nil || h.recovering.Load() {
 		return nil
 	}
 	delete(s.sessions, name)
@@ -580,7 +719,7 @@ func (s *Server) evictIdle() {
 	s.mu.Lock()
 	var victims []*hosted
 	for name, h := range s.sessions {
-		if h.sess != nil && len(h.queue) == 0 && h.idle() > s.cfg.IdleTimeout {
+		if h.sess != nil && !h.recovering.Load() && len(h.queue) == 0 && h.idle() > s.cfg.IdleTimeout {
 			delete(s.sessions, name)
 			victims = append(victims, h)
 		}
@@ -596,18 +735,33 @@ func (s *Server) evictIdle() {
 		} else {
 			s.logf("evicted idle session %s", h.name)
 		}
+		if h.wal != nil {
+			// Watermark + keep the journal: the eviction only reclaims
+			// memory — the session resurrects at the next daemon boot, and a
+			// re-create over the same name clears the stale state first.
+			if h.dirty.Load() {
+				s.saveWatermark(h)
+			}
+			h.wal.Close()
+		}
 		s.reg.Counter("server_sessions_evicted").Inc()
 	}
 }
 
 // saveSession checkpoints every pipe of a quiesced session into
-// DrainDir through the crash-safe atomic writer.
+// DrainDir through the crash-safe atomic writer, with bounded retries.
+// A save that still fails is recorded in the manifest — not silently
+// dropped — so Shutdown can report it and the daemon can exit nonzero.
 func (s *Server) saveSession(h *hosted) DrainedSession {
 	ds := DrainedSession{Name: h.name, Files: map[string]string{}}
 	for _, pipe := range h.sess.PipeNames() {
 		path := filepath.Join(s.cfg.DrainDir, fmt.Sprintf("%s.%s.lscp", h.name, pipe))
-		if err := h.sess.SaveCheckpoint(pipe, path); err != nil {
+		if err := s.saveCheckpointRetry(h, pipe, path); err != nil {
 			s.logf("drain save %s/%s: %v", h.name, pipe, err)
+			if ds.Errors == nil {
+				ds.Errors = map[string]string{}
+			}
+			ds.Errors[pipe] = err.Error()
 			continue
 		}
 		ds.Files[pipe] = path
@@ -656,7 +810,10 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 	s.mu.Lock()
 	hs := make([]*hosted, 0, len(s.sessions))
 	for _, h := range s.sessions {
-		if h.sess != nil {
+		// Sessions still mid-recovery are left alone: they have no worker
+		// to stop, and their journal on disk already holds everything — the
+		// next boot simply recovers them again.
+		if h.sess != nil && !h.recovering.Load() {
 			hs = append(hs, h)
 		}
 	}
@@ -675,6 +832,15 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 		h.sess.Quiesce()
 		if h.dirty.Load() && s.cfg.DrainDir != "" {
 			rep.Sessions = append(rep.Sessions, s.saveSession(h))
+		}
+		if h.wal != nil {
+			// Watermark the journal so the restart replays from these
+			// checkpoints, then release it. The journal stays on disk — it
+			// IS the restart state.
+			if h.dirty.Load() {
+				s.saveWatermark(h)
+			}
+			h.wal.Close()
 		}
 	}
 
@@ -701,6 +867,16 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 
 	if rep.Timeout {
 		return rep, fmt.Errorf("drain deadline exceeded: %w", ctx.Err())
+	}
+	saveErrs := 0
+	for _, ds := range rep.Sessions {
+		saveErrs += len(ds.Errors)
+	}
+	if saveErrs > 0 {
+		// The manifest records exactly which saves failed; surfacing an
+		// error here makes the daemon exit nonzero instead of reporting a
+		// clean drain it didn't achieve.
+		return rep, fmt.Errorf("drain: %d checkpoint save(s) failed (see drain.json)", saveErrs)
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"livesim/internal/core"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
+	"livesim/internal/wal"
 )
 
 // hosted is one session under server management: the core session, its
@@ -29,6 +31,19 @@ type hosted struct {
 
 	dirty    atomic.Bool
 	lastUsed atomic.Int64 // unix nanos
+
+	// wal is the session's durable change journal (nil without StateDir).
+	// Only the worker goroutine (and createSession/recoverSession before
+	// the worker starts, and drain/evict after it stops) touch it.
+	wal *wal.WAL
+	// brk is the session's quarantine breaker.
+	brk breaker
+	// mutations counts journaled mutations since the last watermark
+	// (worker goroutine only).
+	mutations int
+	// recovering is set while journal replay is rebuilding the session
+	// after a restart; every request gets CodeRecovering until it clears.
+	recovering atomic.Bool
 }
 
 // task is one session-verb request in flight. reply is buffered so the
@@ -42,15 +57,17 @@ type task struct {
 	span      *obs.Span
 }
 
-func newHosted(name string, queueDepth int) *hosted {
+func (s *Server) newHosted(name string) *hosted {
 	h := &hosted{
 		name:    name,
 		reg:     obs.NewRegistry(),
 		fan:     obs.NewFanout(),
 		out:     &boundedBuf{max: 1 << 16},
-		queue:   make(chan *task, queueDepth),
+		queue:   make(chan *task, s.cfg.QueueDepth),
 		stopped: make(chan struct{}),
 	}
+	h.brk.threshold = s.cfg.QuarantineAfter
+	h.brk.decay = s.cfg.QuarantineDecay
 	h.touch()
 	return h
 }
@@ -81,7 +98,11 @@ func (s *Server) worker(h *hosted) {
 	for t := range h.queue {
 		resp := s.execSession(h, t)
 		if t.abandoned.Load() {
+			// The client's deadline expired while we worked: the result is
+			// unroutable, and a session that keeps blowing deadlines is
+			// failing even if each individual verb eventually succeeds.
 			s.reg.Counter("server_results_discarded").Inc()
+			s.noteFailure(h, "request deadline exceeded")
 			continue
 		}
 		t.reply <- resp
@@ -96,6 +117,7 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("server_panics_recovered").Inc()
+			s.noteFailure(h, fmt.Sprintf("panic: %v", r))
 			resp = errResp(t.req, CodePanic, fmt.Errorf("request panic: %v", r))
 		}
 	}()
@@ -107,6 +129,12 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 	cmd, ok := command.Lookup(t.req.Verb)
 	if !ok {
 		return errResp(t.req, CodeBadRequest, fmt.Errorf("unknown verb %q (try help)", t.req.Verb))
+	}
+	if cmd.Mutates {
+		if q, reason := h.brk.quarantined(); q {
+			s.reg.Counter("server_quarantine_rejects").Inc()
+			return errResp(t.req, CodeQuarantined, fmt.Errorf("%s: %w", reason, ErrQuarantined))
+		}
 	}
 
 	sp := t.span.Child("exec")
@@ -125,8 +153,18 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 		}
 	}
 	err := command.Dispatch(env, t.req.Verb, t.req.Args)
-	if cmd.Mutates && err == nil {
-		h.dirty.Store(true)
+	if cmd.Mutates {
+		switch {
+		case err == nil:
+			h.dirty.Store(true)
+			h.brk.success()
+			s.journalMutation(h, t.req)
+		case errors.Is(err, core.ErrRolledBack), errors.Is(err, core.ErrRunCancelled):
+			// The session actively failed — a rolled-back change, a
+			// cancelled runaway run — as opposed to merely rejecting bad
+			// arguments; those streaks are what quarantine watches.
+			s.noteFailure(h, err.Error())
+		}
 	}
 	h.touch()
 

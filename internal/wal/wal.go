@@ -1,0 +1,397 @@
+// Package wal is the per-session write-ahead change journal behind
+// livesimd's durable session recovery. Every committed mutation — a
+// session's boot parameters, each mutating command (run, poke, apply
+// with its full source payload, ...) and checkpoint watermarks — is
+// appended as one CRC32-framed record, so a daemon that dies (kill -9,
+// OOM, power loss) can reconstruct every hosted session bit-identically
+// by re-booting it and re-applying the journaled mutations
+// (core.Session.ReplayFrom).
+//
+// On-disk layout (format version 1):
+//
+//	offset 0 : magic "LSWL"
+//	offset 4 : format version (u32 LE)
+//	then, repeated:
+//	  CRC32 (IEEE) of the payload (u32 LE)
+//	  payload length (u32 LE)
+//	  payload (JSON-encoded Record)
+//
+// The file is append-only. A crash mid-append leaves a torn tail;
+// Open detects it (length prefix past EOF, CRC mismatch, or a payload
+// that does not decode) and truncates back to the last intact record —
+// torn tails are a recovery event, never a boot failure. Sequence
+// numbers are assigned by Append and must be strictly consecutive; a
+// gap or repeat is treated like a torn tail.
+//
+// Appends hit the kernel immediately (one write(2) per record) and are
+// fsynced either inline (SyncEvery == 0, the crash-matrix setting) or
+// by a background flusher on a short interval (the steady-state
+// setting: the live-loop hot path pays a buffer copy and a write, not
+// an fsync). Sync and Close force the flush.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"livesim/internal/faultinject"
+	"livesim/internal/obs"
+)
+
+// Magic identifies a WAL file.
+const Magic = "LSWL"
+
+// FormatVersion is the current on-disk format.
+const FormatVersion = 1
+
+const headerLen = 8
+const frameHeaderLen = 8
+
+// MaxRecord bounds a single record payload; the largest legitimate
+// payload is an `apply` record carrying a full design source snapshot,
+// and the server caps request lines at 16 MB, so this matches.
+const MaxRecord = 16 << 20
+
+// Record types.
+const (
+	// TypeBoot is the first record of every journal: the parameters the
+	// session was created with, enough to re-boot it from nothing.
+	TypeBoot = "boot"
+	// TypeCmd is one committed mutating command (verb + args, plus the
+	// full source payload for apply).
+	TypeCmd = "cmd"
+	// TypeMark is a checkpoint watermark: pipe state as of this point in
+	// the journal was saved to a checkpoint file, so recovery may load
+	// the file and skip re-executing the records it covers.
+	TypeMark = "mark"
+)
+
+// Record is one journal entry. Which fields are meaningful depends on
+// Type; JSON encoding keeps unused fields off the wire.
+type Record struct {
+	// Seq is the strictly consecutive record number, assigned by Append.
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	// Boot parameters (TypeBoot): exactly the create-request fields.
+	PGAS            int    `json:"pgas,omitempty"`
+	Top             string `json:"top,omitempty"`
+	CheckpointEvery uint64 `json:"ckpt_every,omitempty"`
+
+	// Command fields (TypeCmd). Files also carries the boot sources for
+	// a files-based session.
+	Verb  string            `json:"verb,omitempty"`
+	Args  []string          `json:"args,omitempty"`
+	Files map[string]string `json:"files,omitempty"`
+	// Version is the design version after the mutation committed; replay
+	// verifies it record by record (the sequencing against the version
+	// table).
+	Version string `json:"version,omitempty"`
+
+	// Watermark fields (TypeMark).
+	Pipe string `json:"pipe,omitempty"`
+	// Path names the checkpoint file, relative to the journal's
+	// directory (so a state dir can be moved wholesale).
+	Path       string `json:"path,omitempty"`
+	Cycle      uint64 `json:"cycle,omitempty"`
+	HistoryLen int    `json:"history_len,omitempty"`
+}
+
+// Options tunes a WAL.
+type Options struct {
+	// SyncEvery is the background fsync interval. 0 fsyncs inline on
+	// every append (maximum durability, the crash-matrix setting);
+	// > 0 batches fsyncs on that interval (the steady-state setting).
+	SyncEvery time.Duration
+	// Faults, when set, injects torn appends (Plan.TornWALWrite). Nil
+	// costs one nil check.
+	Faults *faultinject.Plan
+	// OnWrite, when set, observes the file size after each append's
+	// bytes reached the file (and, with SyncEvery 0, were fsynced). The
+	// crash-matrix wiring SIGKILLs the daemon from here at an armed
+	// offset.
+	OnWrite func(size int64)
+	// Metrics, when set, receives wal_bytes / wal_appends /
+	// wal_truncations. Nil-safe.
+	Metrics *obs.Registry
+}
+
+// WAL is one open journal. Safe for concurrent use, though livesimd
+// serializes all appends per session on the session worker.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	seq     uint64
+	appends int // lifetime append count, for the torn-write fault
+	dirty   bool
+	closed  bool
+	opts    Options
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// Open opens (or creates) the journal at path, returning the intact
+// records already present. A torn or corrupt tail is truncated off the
+// file — recovery data loss is bounded to the records that never fully
+// reached the disk — and is reported through the wal_truncations
+// metric, never as an error. A file that is not a WAL at all is an
+// error.
+func Open(path string, opts Options) (*WAL, []*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+
+	var recs []*Record
+	clean := 0
+	if len(data) > 0 {
+		var derr error
+		recs, clean, derr = DecodeAll(data)
+		if derr != nil && clean == 0 && len(recs) == 0 {
+			// Not even a valid header: refuse rather than clobber what
+			// might be someone else's file.
+			return nil, nil, fmt.Errorf("wal %s: %w", path, derr)
+		}
+		if clean < len(data) {
+			if terr := os.Truncate(path, int64(clean)); terr != nil {
+				return nil, nil, fmt.Errorf("wal %s: truncating torn tail: %w", path, terr)
+			}
+			opts.Metrics.Counter("wal_truncations").Inc()
+			opts.Metrics.Counter("wal_truncated_bytes").Add(uint64(len(data) - clean))
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path, opts: opts, stop: make(chan struct{}), stopped: make(chan struct{})}
+	if len(data) == 0 {
+		hdr := make([]byte, 0, headerLen)
+		hdr = append(hdr, Magic...)
+		hdr = binary.LittleEndian.AppendUint32(hdr, FormatVersion)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		w.size = headerLen
+	} else {
+		w.size = int64(clean)
+		if _, err := f.Seek(w.size, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if len(recs) > 0 {
+		w.seq = recs[len(recs)-1].Seq
+	}
+	if opts.SyncEvery > 0 {
+		go w.flusher()
+	} else {
+		close(w.stopped)
+	}
+	return w, recs, nil
+}
+
+// Append frames, writes and (per the sync policy) fsyncs one record,
+// assigning its sequence number. The record's bytes are in the kernel
+// when Append returns; with SyncEvery 0 they are on the platter too.
+func (w *WAL) Append(r *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal %s: closed", w.path)
+	}
+	r.Seq = w.seq + 1
+	frame, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+
+	w.appends++
+	if tear := w.opts.Faults.WALTear(w.appends, len(frame)); tear >= 0 {
+		// Injected torn append: write only a prefix, sync it so the torn
+		// tail is really on disk, and fail as a crash at this exact
+		// offset would.
+		if tear > len(frame) {
+			tear = len(frame)
+		}
+		if _, werr := w.f.Write(frame[:tear]); werr != nil {
+			return werr
+		}
+		w.f.Sync()
+		w.size += int64(tear)
+		w.closed = true // a crashed writer never writes again
+		return fmt.Errorf("wal %s: torn append after %d/%d bytes: %w",
+			w.path, tear, len(frame), faultinject.ErrInjected)
+	}
+
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	w.seq = r.Seq
+	w.size += int64(len(frame))
+	if w.opts.SyncEvery == 0 {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	} else {
+		w.dirty = true
+	}
+	w.opts.Metrics.Counter("wal_appends").Inc()
+	w.opts.Metrics.Counter("wal_bytes").Add(uint64(len(frame)))
+	if w.opts.OnWrite != nil {
+		w.opts.OnWrite(w.size)
+	}
+	return nil
+}
+
+// Sync forces any batched appends to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || !w.dirty {
+		return nil
+	}
+	w.dirty = false
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal. The file stays on disk — it is
+// the session's durability record; remove it only when the session is
+// explicitly discarded.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	if w.dirty {
+		w.f.Sync()
+	}
+	err := w.f.Close()
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.stopped
+	return err
+}
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Seq returns the sequence number of the last appended record.
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Path returns the journal's file path.
+func (w *WAL) Path() string { return w.path }
+
+// flusher batches fsyncs on the SyncEvery interval.
+func (w *WAL) flusher() {
+	defer close(w.stopped)
+	tick := time.NewTicker(w.opts.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.Sync()
+		}
+	}
+}
+
+// EncodeRecord frames one record: CRC32 + length + JSON payload.
+func EncodeRecord(r *Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxRecord {
+		return nil, fmt.Errorf("wal record %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	frame := make([]byte, 0, frameHeaderLen+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	return append(frame, payload...), nil
+}
+
+// Header returns the 8-byte file header (exported for tests and fuzz
+// seeds).
+func Header() []byte {
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, Magic...)
+	return binary.LittleEndian.AppendUint32(hdr, FormatVersion)
+}
+
+// DecodeAll parses a WAL image, returning every intact record in order
+// and the byte length of the clean prefix. It never panics and never
+// reads past len(data), whatever the input: a missing or foreign header
+// is an error with clean == 0; any framing damage past the header — a
+// truncated length prefix, a length past EOF or over the record limit,
+// a CRC mismatch, a payload that is not a record, a sequence gap —
+// stops the scan at the last intact record, with the reason in err and
+// clean marking where a recovering writer should truncate.
+func DecodeAll(data []byte) (recs []*Record, clean int, err error) {
+	if len(data) < headerLen {
+		return nil, 0, fmt.Errorf("wal image %d bytes: shorter than the %d-byte header", len(data), headerLen)
+	}
+	if string(data[:4]) != Magic {
+		return nil, 0, fmt.Errorf("not a wal file (no %s magic)", Magic)
+	}
+	ver := binary.LittleEndian.Uint32(data[4:])
+	if ver == 0 || ver > FormatVersion {
+		return nil, 0, fmt.Errorf("wal format version %d not supported (this build reads 1..%d)", ver, FormatVersion)
+	}
+
+	off := headerLen
+	var lastSeq uint64
+	for off < len(data) {
+		if off+frameHeaderLen > len(data) {
+			return recs, off, fmt.Errorf("torn record header at offset %d", off)
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off:])
+		plen := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > MaxRecord {
+			return recs, off, fmt.Errorf("record at offset %d claims %d bytes (limit %d)", off, plen, MaxRecord)
+		}
+		body := off + frameHeaderLen
+		if int(plen) > len(data)-body {
+			return recs, off, fmt.Errorf("torn record at offset %d: %d bytes claimed, %d present", off, plen, len(data)-body)
+		}
+		payload := data[body : body+int(plen)]
+		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+			return recs, off, fmt.Errorf("record at offset %d: CRC mismatch (file %#x, computed %#x)", off, wantCRC, got)
+		}
+		var r Record
+		if uerr := json.Unmarshal(payload, &r); uerr != nil {
+			return recs, off, fmt.Errorf("record at offset %d: %v", off, uerr)
+		}
+		if r.Seq != lastSeq+1 {
+			return recs, off, fmt.Errorf("record at offset %d: sequence %d after %d", off, r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		recs = append(recs, &r)
+		off = body + int(plen)
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"livesim/internal/faultinject"
+)
+
+func openT(t *testing.T, path string, opts Options) (*WAL, []*Record) {
+	t.Helper()
+	w, recs, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, recs
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, recs := openT(t, path, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal returned %d records", len(recs))
+	}
+	want := []*Record{
+		{Type: TypeBoot, PGAS: 2, CheckpointEvery: 10},
+		{Type: TypeCmd, Verb: "instpipe", Args: []string{"p0"}, Version: "v0"},
+		{Type: TypeCmd, Verb: "run", Args: []string{"tb0", "p0", "50"}, Version: "v0"},
+		{Type: TypeMark, Pipe: "p0", Path: "s.p0.lscp", Cycle: 50, HistoryLen: 1},
+	}
+	for i, r := range want {
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, r.Seq)
+		}
+	}
+	if w.Seq() != 4 {
+		t.Fatalf("Seq() = %d, want 4", w.Seq())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	_, got := openT(t, path, Options{})
+	if len(got) != len(want) {
+		t.Fatalf("reopen returned %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) || r.Type != want[i].Type || r.Verb != want[i].Verb {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, want[i])
+		}
+	}
+	if got[3].Cycle != 50 || got[3].Pipe != "p0" || got[3].HistoryLen != 1 {
+		t.Fatalf("mark record lost fields: %+v", got[3])
+	}
+}
+
+// Torn tails — a frame header cut short, a payload cut short — must be
+// truncated off the file on reopen, keeping every earlier record.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	for _, cut := range []int{1, 4, frameHeaderLen, frameHeaderLen + 3} {
+		path := filepath.Join(t.TempDir(), "s.wal")
+		w, _ := openT(t, path, Options{})
+		if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); err != nil {
+			t.Fatal(err)
+		}
+		keepSize := w.Size()
+		frame, _ := EncodeRecord(&Record{Seq: 2, Type: TypeCmd, Verb: "poke"})
+		w.Close()
+
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut > len(frame) {
+			cut = len(frame) - 1
+		}
+		f.Write(frame[:cut])
+		f.Close()
+
+		w2, recs := openT(t, path, Options{})
+		if len(recs) != 1 || recs[0].Verb != "run" {
+			t.Fatalf("cut=%d: reopen returned %d records", cut, len(recs))
+		}
+		if w2.Size() != keepSize {
+			t.Fatalf("cut=%d: size %d after truncation, want %d", cut, w2.Size(), keepSize)
+		}
+		// The journal must be appendable after truncation and reassign
+		// the sequence the torn record never durably claimed.
+		r := &Record{Type: TypeCmd, Verb: "chk"}
+		if err := w2.Append(r); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		if r.Seq != 2 {
+			t.Fatalf("cut=%d: append after truncation got seq %d, want 2", cut, r.Seq)
+		}
+	}
+}
+
+func TestOpenTruncatesCorruptRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, _ := openT(t, path, Options{})
+	w.Append(&Record{Type: TypeCmd, Verb: "run"})
+	w.Append(&Record{Type: TypeCmd, Verb: "poke"})
+	w.Close()
+
+	data, _ := os.ReadFile(path)
+	data[len(data)-2] ^= 0xff // flip a byte in the last payload
+	os.WriteFile(path, data, 0o644)
+
+	_, recs := openT(t, path, Options{})
+	if len(recs) != 1 || recs[0].Verb != "run" {
+		t.Fatalf("reopen after corruption returned %d records", len(recs))
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notwal")
+	os.WriteFile(path, []byte("this is not a journal at all"), 0o644)
+	if _, _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a non-WAL file")
+	}
+}
+
+func TestInjectedTornAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	plan := faultinject.New().TornWALWrite(2, 5)
+	w, _ := openT(t, path, Options{Faults: plan})
+	if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Append(&Record{Type: TypeCmd, Verb: "poke"})
+	if err == nil {
+		t.Fatal("torn append reported success")
+	}
+	if len(plan.Fired()) != 1 {
+		t.Fatalf("fired = %v", plan.Fired())
+	}
+	// A crashed writer must not accept further appends.
+	if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); err == nil {
+		t.Fatal("append after torn write succeeded")
+	}
+
+	_, recs := openT(t, path, Options{})
+	if len(recs) != 1 || recs[0].Verb != "run" {
+		t.Fatalf("recovery after torn append returned %d records", len(recs))
+	}
+}
+
+func TestBatchedSyncAndOnWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	var sizes []int64
+	w, _ := openT(t, path, Options{
+		SyncEvery: time.Hour, // flusher effectively disabled; Sync() drives it
+		OnWrite:   func(n int64) { sizes = append(sizes, n) },
+	})
+	w.Append(&Record{Type: TypeCmd, Verb: "run"})
+	w.Append(&Record{Type: TypeCmd, Verb: "poke"})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[1] <= sizes[0] || sizes[1] != w.Size() {
+		t.Fatalf("OnWrite sizes = %v, Size() = %d", sizes, w.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, path, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("reopen after batched sync returned %d records", len(recs))
+	}
+}
+
+func TestDecodeAllRejects(t *testing.T) {
+	good := Header()
+	frame, _ := EncodeRecord(&Record{Seq: 1, Type: TypeCmd, Verb: "run"})
+	good = append(good, frame...)
+
+	t.Run("oversize-length", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(data[headerLen+4:], MaxRecord+1)
+		recs, clean, err := DecodeAll(data)
+		if err == nil || len(recs) != 0 || clean != headerLen {
+			t.Fatalf("recs=%d clean=%d err=%v", len(recs), clean, err)
+		}
+	})
+	t.Run("seq-gap", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		f2, _ := EncodeRecord(&Record{Seq: 3, Type: TypeCmd, Verb: "poke"})
+		data = append(data, f2...)
+		recs, clean, err := DecodeAll(data)
+		if err == nil || len(recs) != 1 || clean != len(good) {
+			t.Fatalf("recs=%d clean=%d err=%v", len(recs), clean, err)
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		data := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(data[4:], FormatVersion+1)
+		if _, _, err := DecodeAll(data); err == nil {
+			t.Fatal("future format version accepted")
+		}
+	})
+	t.Run("clean-prefix-is-stable", func(t *testing.T) {
+		recs, clean, err := DecodeAll(good)
+		if err != nil || clean != len(good) || len(recs) != 1 {
+			t.Fatalf("clean image rejected: recs=%d clean=%d err=%v", len(recs), clean, err)
+		}
+		// Decoding the clean prefix of any image must succeed fully.
+		torn := append(append([]byte(nil), good...), 0xde, 0xad)
+		_, clean2, _ := DecodeAll(torn)
+		if clean2 != len(good) {
+			t.Fatalf("clean prefix %d, want %d", clean2, len(good))
+		}
+	})
+}
+
+func TestEncodeRecordRejectsOversize(t *testing.T) {
+	big := &Record{Type: TypeCmd, Files: map[string]string{"a.v": string(bytes.Repeat([]byte("x"), MaxRecord))}}
+	if _, err := EncodeRecord(big); err == nil {
+		t.Fatal("oversize record encoded")
+	}
+}

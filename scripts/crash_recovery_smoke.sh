@@ -1,0 +1,112 @@
+#!/bin/sh
+# crash-recovery-smoke: end-to-end check of durable session recovery —
+# run livesimd with a state dir and per-append journal fsync, journal a
+# session's mutations, SIGKILL the daemon mid-flight (no drain, no
+# checkpoint), restart it on the same state dir and assert the replayed
+# session reaches the exact pre-kill cycle. Then SIGTERM the restarted
+# daemon and require a clean exit. `make check` runs this after
+# serve-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DPID=""
+trap '[ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+SOCK="$TMP/d.sock"
+STATE="$TMP/state"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+wait_sock() {
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "crash-recovery-smoke: FAIL (daemon never listened)"
+            cat "$1"
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+
+# --- run 1: journal some work, then die hard ------------------------
+"$TMP/livesimd" -unix "$SOCK" -state-dir "$STATE" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/daemon1.log" 2>&1 &
+DPID=$!
+wait_sock "$TMP/daemon1.log"
+
+"$TMP/livesim" -connect "unix:$SOCK" -session s1 >"$TMP/client1.log" <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 200
+run tb0 p0 100
+exit
+EOF
+
+if [ ! -f "$STATE/s1.wal" ]; then
+    echo "crash-recovery-smoke: FAIL (no journal at $STATE/s1.wal)"
+    ls -l "$STATE" || true
+    cat "$TMP/daemon1.log"
+    exit 1
+fi
+
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+rm -f "$SOCK"
+
+# --- run 2: restart on the same state dir; session must come back ---
+"$TMP/livesimd" -unix "$SOCK" -state-dir "$STATE" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/daemon2.log" 2>&1 &
+DPID=$!
+wait_sock "$TMP/daemon2.log"
+
+# Recovery replays in the background; poll until the session answers
+# with the pre-kill cycle (requests during the window get "recovering").
+i=0
+while :; do
+    echo "cycle p0" | "$TMP/livesim" -connect "unix:$SOCK" -session s1 \
+        >"$TMP/client2.log" 2>&1 || true
+    if grep -q "300 (version" "$TMP/client2.log"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "crash-recovery-smoke: FAIL (recovered session never reported cycle 300)"
+        cat "$TMP/client2.log"
+        cat "$TMP/daemon2.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# The recovered session must accept new work.
+"$TMP/livesim" -connect "unix:$SOCK" -session s1 >"$TMP/client3.log" <<'EOF'
+run tb0 p0 50
+cycle p0
+exit
+EOF
+if ! grep -q "350 (version" "$TMP/client3.log"; then
+    echo "crash-recovery-smoke: FAIL (recovered session rejected new work)"
+    cat "$TMP/client3.log"
+    cat "$TMP/daemon2.log"
+    exit 1
+fi
+
+kill -TERM "$DPID"
+if wait "$DPID"; then
+    rc=0
+else
+    rc=$?
+fi
+DPID=""
+if [ "$rc" -ne 0 ]; then
+    echo "crash-recovery-smoke: FAIL (restarted daemon exited $rc on SIGTERM)"
+    cat "$TMP/daemon2.log"
+    exit 1
+fi
+
+echo "crash-recovery-smoke: OK (SIGKILL mid-session, restart replayed journal to cycle 300, new work accepted)"

@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke
 
-check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke
 
 vet:
 	$(GO) vet ./...
@@ -45,3 +45,8 @@ serve-smoke:
 # it on the same state dir, assert journal replay restores the session.
 crash-recovery-smoke:
 	GO="$(GO)" sh scripts/crash_recovery_smoke.sh
+
+# Observability-plane smoke: livesimd with -admin-addr, assert /healthz,
+# /metrics (server + per-session families) and /eventsz answer sanely.
+admin-smoke:
+	GO="$(GO)" sh scripts/admin_smoke.sh

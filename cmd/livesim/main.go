@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"livesim"
 	"livesim/internal/command"
@@ -205,6 +206,9 @@ func remoteExec(c *client.Client, line string) error {
 	args := strings.Fields(line)
 	verb := strings.ToLower(args[0])
 	rest := args[1:]
+	if verb == "top" {
+		return remoteTop(c, rest)
+	}
 	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest}
 
 	switch verb {
@@ -254,6 +258,36 @@ func remoteExec(c *client.Client, line string) error {
 	}
 	if !resp.OK {
 		return fmt.Errorf("%s (%s)", resp.Error, resp.Code)
+	}
+	return nil
+}
+
+// remoteTop renders the server's live per-session table: `top` prints
+// it once, `top N` refreshes N times a second apart — enough to watch
+// req/s and p99 move under load without a full TUI.
+func remoteTop(c *client.Client, rest []string) error {
+	refreshes := 1
+	if len(rest) == 1 {
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("usage: top [refreshes]")
+		}
+		refreshes = n
+	} else if len(rest) > 1 {
+		return fmt.Errorf("usage: top [refreshes]")
+	}
+	for i := 0; i < refreshes; i++ {
+		resp, err := c.Do(&server.Request{Verb: "top"})
+		if err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("%s (%s)", resp.Error, resp.Code)
+		}
+		fmt.Print(resp.Output)
+		if i < refreshes-1 {
+			time.Sleep(time.Second)
+		}
 	}
 	return nil
 }

@@ -12,16 +12,19 @@
 //	livesimd -listen :9310                      # TCP
 //	livesimd -unix /run/livesim.sock            # unix socket
 //	livesimd -unix /tmp/ls.sock -drain-dir /var/lib/livesim
+//	livesimd -listen :9310 -admin-addr 127.0.0.1:9311   # + HTTP admin plane
 //
 // Drive it with `livesim -connect <addr>` or any NDJSON-speaking client.
+// The admin plane serves /metrics (Prometheus text), /healthz, /eventsz
+// and /debug/pprof; operational logs are structured JSONL on stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +47,12 @@ var (
 	flagMetrics = flag.Bool("metrics", true, "print the server metrics registry on exit")
 	flagTrace   = flag.String("trace-out", "", "write server request-span JSONL to this file")
 
+	// Observability plane (see README "Operations").
+	flagAdmin    = flag.String("admin-addr", "", "HTTP admin endpoint serving /metrics, /healthz, /eventsz and /debug/pprof (e.g. 127.0.0.1:9311)")
+	flagSlowReq  = flag.Duration("slow-request", time.Second, "log + ring-record requests slower than this, with their trace id (0 = off)")
+	flagLogLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+	flagEvents   = flag.Int("event-ring", 256, "operational event ring capacity (events verb, /eventsz)")
+
 	// Durability & robustness (see README "Durability & recovery").
 	flagState     = flag.String("state-dir", "", "state directory for per-session change journals + watermark checkpoints; enables crash-restart recovery")
 	flagRunBudget = flag.Duration("run-budget", 0, "hung-run watchdog: cancel runs exceeding this wall-clock budget (0 = off)")
@@ -61,7 +70,14 @@ func main() {
 // close, metrics summary) always executes.
 func run() int {
 	flag.Parse()
-	logger := log.New(os.Stderr, "livesimd: ", log.LstdFlags)
+	level, lerr := obs.ParseLevel(*flagLogLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "livesimd:", lerr)
+		return 2
+	}
+	// Structured JSONL operational log: one JSON object per line on
+	// stderr, greppable and machine-parseable.
+	logger := obs.NewLogger(os.Stderr, level)
 	if *flagListen == "" && *flagUnix == "" {
 		fmt.Fprintln(os.Stderr, "need -listen and/or -unix; see -help")
 		return 2
@@ -75,7 +91,9 @@ func run() int {
 		CheckpointEvery: *flagCkpt,
 		DrainDir:        *flagDrain,
 		Metrics:         reg,
-		Logf:            logger.Printf,
+		Log:             logger,
+		SlowRequest:     *flagSlowReq,
+		EventRingCap:    *flagEvents,
 
 		StateDir:               *flagState,
 		RunBudget:              *flagRunBudget,
@@ -103,7 +121,7 @@ func run() int {
 	if *flagTrace != "" {
 		f, err := os.Create(*flagTrace)
 		if err != nil {
-			logger.Print(err)
+			logger.Error("trace-out open failed", obs.Str("err", err.Error()))
 			return 1
 		}
 		defer f.Close()
@@ -117,8 +135,24 @@ func run() int {
 	}
 
 	srv := server.New(cfg)
+
+	// The admin plane binds before Recover so /healthz reports
+	// "recovering" (503) during journal replay instead of refusing
+	// connections — a load balancer can tell "booting" from "dead".
+	if *flagAdmin != "" {
+		aln, err := net.Listen("tcp", *flagAdmin)
+		if err != nil {
+			logger.Error("admin listen failed", obs.Str("addr", *flagAdmin), obs.Str("err", err.Error()))
+			return 1
+		}
+		admin := &http.Server{Handler: srv.AdminHandler()}
+		go admin.Serve(aln)
+		defer admin.Close()
+		logger.Info("admin endpoint listening", obs.Str("addr", aln.Addr().String()))
+	}
+
 	if err := srv.Recover(); err != nil {
-		logger.Printf("recover: %v", err)
+		logger.Error("recover failed", obs.Str("err", err.Error()))
 		return 1
 	}
 	serveErrs := make(chan error, 2)
@@ -126,10 +160,10 @@ func run() int {
 	if *flagListen != "" {
 		ln, err := net.Listen("tcp", *flagListen)
 		if err != nil {
-			logger.Print(err)
+			logger.Error("tcp listen failed", obs.Str("addr", *flagListen), obs.Str("err", err.Error()))
 			return 1
 		}
-		logger.Printf("listening on tcp %s", ln.Addr())
+		logger.Info("listening", obs.Str("net", "tcp"), obs.Str("addr", ln.Addr().String()))
 		listening++
 		go func() { serveErrs <- srv.Serve(ln) }()
 	}
@@ -137,11 +171,11 @@ func run() int {
 		os.Remove(*flagUnix) // stale socket from an unclean previous run
 		ln, err := net.Listen("unix", *flagUnix)
 		if err != nil {
-			logger.Print(err)
+			logger.Error("unix listen failed", obs.Str("addr", *flagUnix), obs.Str("err", err.Error()))
 			return 1
 		}
 		defer os.Remove(*flagUnix)
-		logger.Printf("listening on unix %s", *flagUnix)
+		logger.Info("listening", obs.Str("net", "unix"), obs.Str("addr", *flagUnix))
 		listening++
 		go func() { serveErrs <- srv.Serve(ln) }()
 	}
@@ -151,10 +185,10 @@ func run() int {
 
 	select {
 	case sig := <-sigs:
-		logger.Printf("received %v; draining", sig)
+		logger.Info("signal received; draining", obs.Str("signal", sig.String()))
 	case err := <-serveErrs:
 		if err != nil {
-			logger.Printf("serve: %v", err)
+			logger.Error("serve failed", obs.Str("err", err.Error()))
 			return 1
 		}
 		return 0
@@ -164,13 +198,13 @@ func run() int {
 	defer cancel()
 	rep, err := srv.Shutdown(ctx)
 	if err != nil {
-		logger.Printf("drain: %v", err)
+		logger.Error("drain failed", obs.Str("err", err.Error()))
 		return 1
 	}
 	saved := 0
 	for _, ds := range rep.Sessions {
 		saved += len(ds.Files)
 	}
-	logger.Printf("drained cleanly (%d sessions checkpointed, %d files)", len(rep.Sessions), saved)
+	logger.Info(fmt.Sprintf("drained cleanly (%d sessions, %d checkpoint files)", len(rep.Sessions), saved))
 	return 0
 }

@@ -52,6 +52,7 @@ var (
 	flagRollbck = flag.Bool("rollback", false, "robustness: rollback latency after an injected hot-reload failure")
 	flagServe   = flag.Bool("serve", false, "server throughput: req/s vs concurrent clients against an in-process livesimd")
 	flagRecover = flag.Bool("recovery", false, "durability: WAL journaling overhead and crash-recovery replay latency")
+	flagObs     = flag.Bool("obs", false, "observability: hot-reload latency with the admin plane off vs on")
 	flagBudget  = flag.Duration("budget", 3*time.Second, "time budget per speed measurement")
 	flagProfCyc = flag.Int("profcycles", 300, "profiled cycles for Table VII")
 	flagMetrics = flag.Bool("metrics", false, "attach a metrics registry to session-based experiments and embed its JSON snapshot in the output")
@@ -78,10 +79,10 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover || *flagObs
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
-		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover = true, true, true, true, true, true
+		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover, *flagObs = true, true, true, true, true, true, true
 	}
 	fmt.Printf("lsbench: sizes=%v budget=%v GOMAXPROCS=%d\n\n", sizes, *flagBudget, runtime.GOMAXPROCS(0))
 
@@ -114,6 +115,9 @@ func main() {
 	}
 	if *flagRecover {
 		recoveryBench(sizes)
+	}
+	if *flagObs {
+		obsBench()
 	}
 }
 

@@ -256,6 +256,16 @@ func (s *Session) publishVMStats() {
 	s.metrics.Gauge("versions_retained").Set(uint64(len(s.versionObjects)))
 }
 
+// SetTraceID binds a wire trace id to the session's tracer: live-loop
+// spans started until the next call carry it, correlating them with the
+// server request that triggered them ("" clears). The caller must
+// serialize requests on the session (livesimd's per-session worker
+// does); spans handed to background goroutines keep the id they
+// captured at creation.
+func (s *Session) SetTraceID(id string) {
+	s.tracer.SetTrace(id)
+}
+
 // LoadDesign performs the initial full build (the session's ldLib for the
 // design's shared libraries).
 func (s *Session) LoadDesign(src liveparser.Source) (*livecompiler.Result, error) {

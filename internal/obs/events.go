@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one notable operational incident — a rollback, a quarantine
+// trip, a recovery, a watchdog cancel, an eviction, a WAL fallback.
+// Metrics say how often these happen; the event ring says which
+// session, when, and why, for the most recent window of them.
+type Event struct {
+	// Seq is a monotonically increasing id (1-based, never reused), so
+	// pollers can ask "everything after the last seq I saw" and detect
+	// gaps when the ring lapped them.
+	Seq     uint64    `json:"seq"`
+	TS      time.Time `json:"ts"`
+	Type    string    `json:"type"`
+	Session string    `json:"session,omitempty"`
+	Msg     string    `json:"msg"`
+}
+
+// EventRing is a bounded in-memory ring of Events: constant memory, the
+// newest N survive, older ones fall off. It is the daemon's flight
+// recorder — queryable over the wire (`events` verb) and over HTTP
+// (/eventsz) without grepping logs. Nil is the off switch: Add no-ops
+// and queries return nothing on a nil receiver.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int    // ring cursor
+	n    int    // live entries, ≤ len(buf)
+	seq  uint64 // last assigned Seq
+}
+
+// NewEventRing returns a ring retaining the last capacity events
+// (capacity <= 0 defaults to 256).
+func NewEventRing(capacity int) *EventRing {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &EventRing{buf: make([]Event, capacity)}
+}
+
+// Add records one event, evicting the oldest when full. Nil-safe.
+func (r *EventRing) Add(typ, session, msg string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	r.buf[r.next] = Event{Seq: r.seq, TS: time.Now(), Type: typ, Session: session, Msg: msg}
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Since returns the retained events with Seq > seq, oldest first.
+// Since(0) returns everything retained. Nil-safe (returns nil).
+func (r *EventRing) Since(seq uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		e := r.buf[(start+i)%len(r.buf)]
+		if e.Seq > seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// All returns every retained event, oldest first.
+func (r *EventRing) All() []Event { return r.Since(0) }
+
+// Len returns the number of retained events (0 on nil).
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Seq returns the last assigned sequence number (0 on nil or empty) —
+// the high-water mark a poller passes back to Since.
+func (r *EventRing) Seq() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}

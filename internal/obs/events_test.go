@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventRingRetainsNewest(t *testing.T) {
+	r := NewEventRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add("rollback", "s1", "boom")
+	}
+	evs := r.All()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	// Newest 3 of 5 survive: seqs 3, 4, 5 oldest-first.
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want {
+			t.Errorf("evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	if r.Seq() != 5 {
+		t.Errorf("Seq = %d, want 5", r.Seq())
+	}
+}
+
+func TestEventRingSince(t *testing.T) {
+	r := NewEventRing(8)
+	for i := 0; i < 5; i++ {
+		r.Add("evict", "", "idle")
+	}
+	if got := len(r.Since(3)); got != 2 {
+		t.Errorf("Since(3) returned %d events, want 2", got)
+	}
+	if got := len(r.Since(5)); got != 0 {
+		t.Errorf("Since(5) returned %d events, want 0", got)
+	}
+	if got := len(r.Since(0)); got != 5 {
+		t.Errorf("Since(0) returned %d events, want 5", got)
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var r *EventRing
+	r.Add("x", "", "y")
+	if r.All() != nil || r.Len() != 0 || r.Seq() != 0 {
+		t.Error("nil ring must return zeros")
+	}
+}
+
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add("t", "s", "m")
+				_ = r.Since(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Seq(); got != 8*500 {
+		t.Errorf("Seq = %d, want %d", got, 8*500)
+	}
+	evs := r.All()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

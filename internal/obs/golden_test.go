@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with a fixed, representative set of
+// instruments. Insertion order is deliberately scrambled relative to
+// name order — the output contract is sorted-by-name regardless.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("swap_total").Add(17)
+	r.Counter("compile_total").Add(3)
+	r.Gauge("sessions").Set(2)
+	r.Gauge("queue_depth").Set(5)
+	h := r.Histogram("reload_seconds", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.004, 0.004, 0.03, 2.5} {
+		h.Observe(v)
+	}
+	r.Counter("apply_total").Add(9)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverged from %s\n-- got --\n%s-- want --\n%s", path, got, want)
+	}
+}
+
+// TestWriteTextGolden locks the text dump format and its sorted-by-name
+// ordering: /metrics-adjacent output must diff meaningfully across runs.
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "writetext.golden", buf.Bytes())
+}
+
+// TestPromGolden locks the Prometheus exposition: one TYPE line per
+// family even when the family repeats across labeled session
+// registries, sorted families, sorted label keys, cumulative le
+// buckets.
+func TestPromGolden(t *testing.T) {
+	pw := NewPromWriter("livesim_")
+	pw.AddSnapshot(nil, goldenRegistry().Snapshot())
+	// Two per-session registries sharing metric names: their samples must
+	// interleave under one family header, not repeat the header.
+	for _, sess := range []string{"s1", "s2"} {
+		r := NewRegistry()
+		r.Counter("session_requests").Add(4)
+		r.Histogram("session_apply_seconds", []float64{0.01, 0.1}).Observe(0.02)
+		pw.AddSnapshot(map[string]string{"session": sess}, r.Snapshot())
+	}
+	pw.AddSample("session_request_latency_seconds", "gauge",
+		map[string]string{"session": "s1", "quantile": "0.99"}, 0.0125)
+	var buf bytes.Buffer
+	if err := pw.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prom.golden", buf.Bytes())
+}
+
+// TestSnapshotJSONDeterministic: two snapshots of the same registry
+// must serialize identically (map keys sort in encoding/json).
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	a, b := r.Snapshot().JSON(), r.Snapshot().JSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot JSON unstable:\n%s\n%s", a, b)
+	}
+}

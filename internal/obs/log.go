@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelDebug so an
+// unconfigured logger hides nothing.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used on the wire.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to
+// its Level, for the -log-level flag.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Logger writes leveled, structured JSONL operational logs — one JSON
+// object per line:
+//
+//	{"ts":"2026-08-05T12:00:00.123Z","level":"warn","msg":"slow request",
+//	 "session":"s1","verb":"apply","trace":"9f86d081884c7d65"}
+//
+// With derives scoped loggers that stamp bound fields (a session name, a
+// request trace) on every line without re-threading them through call
+// sites. Field values reuse the tracer's Attr vocabulary (Str, U64,
+// Bool) so spans and logs share one idiom.
+//
+// Nil is the off switch, same contract as the rest of the package: every
+// method no-ops on a nil receiver, and a level check precedes all field
+// formatting so suppressed lines cost one atomic load.
+type Logger struct {
+	core   *logCore
+	fields []Attr
+}
+
+// logCore is the shared sink behind a logger and everything derived
+// from it via With: one writer, one mutex, one dynamic level.
+type logCore struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	clock func() time.Time // test seam; nil = time.Now
+}
+
+// NewLogger returns a logger emitting lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	core := &logCore{w: w}
+	core.level.Store(int32(level))
+	return &Logger{core: core}
+}
+
+// SetLevel adjusts the threshold for this logger and everything sharing
+// its sink (all With-derived loggers). Nil-safe.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.core.level.Store(int32(level))
+	}
+}
+
+// Enabled reports whether a line at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.core.level.Load()
+}
+
+// With returns a logger that stamps fields on every line it emits, in
+// addition to (and before) per-call fields. The derived logger shares
+// the parent's sink and level. Nil-safe: With on nil returns nil.
+func (l *Logger) With(fields ...Attr) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	bound := make([]Attr, 0, len(l.fields)+len(fields))
+	bound = append(bound, l.fields...)
+	bound = append(bound, fields...)
+	return &Logger{core: l.core, fields: bound}
+}
+
+// Debug, Info, Warn and Error emit one structured line at their level.
+func (l *Logger) Debug(msg string, fields ...Attr) { l.log(LevelDebug, msg, fields) }
+func (l *Logger) Info(msg string, fields ...Attr)  { l.log(LevelInfo, msg, fields) }
+func (l *Logger) Warn(msg string, fields ...Attr)  { l.log(LevelWarn, msg, fields) }
+func (l *Logger) Error(msg string, fields ...Attr) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(level Level, msg string, fields []Attr) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := time.Now()
+	if l.core.clock != nil {
+		now = l.core.clock()
+	}
+	// Hand-assembled JSON keeps field order stable (ts, level, msg, then
+	// bound fields, then call fields) — greppable and diffable, which a
+	// map marshal would shuffle.
+	var b bytes.Buffer
+	b.WriteString(`{"ts":"`)
+	b.WriteString(now.UTC().Format(time.RFC3339Nano))
+	b.WriteString(`","level":"`)
+	b.WriteString(level.String())
+	b.WriteString(`","msg":`)
+	b.Write(jsonValue(msg))
+	for _, f := range l.fields {
+		writeField(&b, f)
+	}
+	for _, f := range fields {
+		writeField(&b, f)
+	}
+	b.WriteString("}\n")
+	l.core.mu.Lock()
+	l.core.w.Write(b.Bytes())
+	l.core.mu.Unlock()
+}
+
+func writeField(b *bytes.Buffer, f Attr) {
+	b.WriteByte(',')
+	b.Write(jsonValue(f.Key))
+	b.WriteByte(':')
+	b.Write(jsonValue(f.Val))
+}
+
+func jsonValue(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Attr values are scalars in-tree; anything exotic degrades to its
+		// quoted fmt representation rather than corrupting the line.
+		data, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return data
+}

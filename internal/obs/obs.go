@@ -78,6 +78,23 @@ type Histogram struct {
 // histograms: 1µs up to 10s in decades.
 var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 
+// validateBounds panics unless bounds is non-empty and strictly
+// increasing. A malformed bucket layout silently misroutes every
+// observation (SearchFloat64s assumes sorted input), so it is a
+// programming error caught loudly at registration rather than a data
+// quality mystery months later.
+func validateBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q: empty bucket bounds", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q: bucket bounds must be strictly increasing, got bounds[%d]=%g, bounds[%d]=%g",
+				name, i-1, bounds[i-1], i, bounds[i]))
+		}
+	}
+}
+
 // Observe records one sample. An observation v lands in the first
 // bucket whose bound satisfies v <= bound. No-op on a nil histogram.
 func (h *Histogram) Observe(v float64) {
@@ -110,6 +127,24 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile from the live bucket counts (see
+// HistogramSnapshot.Quantile). Returns 0 on a nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	hs := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		hs.Counts[i] = c
+		hs.Count += c
+	}
+	return hs.Quantile(q)
 }
 
 // Registry is a named collection of instruments. All methods are safe
@@ -176,6 +211,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if bounds == nil {
 			bounds = LatencyBuckets
 		}
+		validateBounds(name, bounds)
 		h = &Histogram{
 			bounds: append([]float64(nil), bounds...),
 			counts: make([]atomic.Uint64, len(bounds)+1),
@@ -205,6 +241,45 @@ type HistogramSnapshot struct {
 	Counts []uint64 `json:"counts"`
 	Count  uint64   `json:"count"`
 	Sum    float64  `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket
+// counts by linear interpolation inside the bucket containing the
+// target rank. The first bucket interpolates up from zero; ranks that
+// land in the overflow bucket clamp to the last finite bound — the
+// estimator cannot see past it, so a saturated histogram understates
+// its tail (widen the bounds if that matters). Returns 0 when empty;
+// q outside [0,1] is clamped.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	if hs.Count == 0 || len(hs.Bounds) == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(hs.Count)
+	cum := 0.0
+	for i, c := range hs.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			if i == len(hs.Bounds) {
+				return hs.Bounds[len(hs.Bounds)-1] // overflow bucket
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = hs.Bounds[i-1]
+			}
+			hi := hs.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return hs.Bounds[len(hs.Bounds)-1] // unreachable when Count matches Counts
 }
 
 // Snapshot is a point-in-time export of a registry. It marshals to

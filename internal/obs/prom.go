@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter assembles metric families from any number of labeled
+// registry snapshots and renders them in the Prometheus text exposition
+// format (text/plain; version=0.0.4). The two-phase shape matters: the
+// daemon has one server registry plus one registry per hosted session,
+// and a valid exposition needs exactly one "# TYPE" header per family
+// even when the same metric name appears once per session — so samples
+// accumulate by family first and render once at the end.
+//
+// Output is deterministic: families sort by name, samples within a
+// family keep insertion order (callers add sessions in sorted order),
+// and label keys sort within each sample. Deterministic text is what
+// makes /metrics diffs meaningful across scrapes and across PRs.
+type PromWriter struct {
+	prefix string
+	names  []string // family insertion order (sorted at render)
+	fams   map[string]*promFamily
+}
+
+type promFamily struct {
+	typ     string
+	samples []promSample
+}
+
+// promSample is one pre-rendered exposition line minus the family name:
+// an optional suffix (_bucket/_sum/_count), a rendered label set, and a
+// formatted value.
+type promSample struct {
+	suffix string
+	labels string
+	value  string
+}
+
+// NewPromWriter returns a writer prepending prefix (e.g. "livesim_") to
+// every family name.
+func NewPromWriter(prefix string) *PromWriter {
+	return &PromWriter{prefix: prefix, fams: map[string]*promFamily{}}
+}
+
+// AddSnapshot adds every instrument in s as a family sample carrying
+// labels: counters and gauges as single samples, histograms as
+// cumulative le-buckets plus _sum and _count. Metric names are
+// sanitized for the exposition grammar; instruments are added in sorted
+// name order.
+func (p *PromWriter) AddSnapshot(labels map[string]string, s *Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		p.addSample(name, "counter", labels, "", strconv.FormatUint(s.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p.addSample(name, "gauge", labels, "", strconv.FormatUint(s.Gauges[name], 10))
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		p.addHistogram(name, labels, s.Histograms[name])
+	}
+}
+
+// AddSample adds one float-valued sample of the given type ("counter",
+// "gauge"), for values that don't live in a registry — e.g. rolling
+// window quantiles, which are float seconds and can't be registry
+// gauges (those are uint64).
+func (p *PromWriter) AddSample(name, typ string, labels map[string]string, v float64) {
+	p.addSample(name, typ, labels, "", formatFloat(v))
+}
+
+func (p *PromWriter) addSample(name, typ string, labels map[string]string, suffix, value string) {
+	fam := p.family(name, typ)
+	fam.samples = append(fam.samples, promSample{
+		suffix: suffix,
+		labels: renderLabels(labels),
+		value:  value,
+	})
+}
+
+func (p *PromWriter) addHistogram(name string, labels map[string]string, hs HistogramSnapshot) {
+	fam := p.family(name, "histogram")
+	cum := uint64(0)
+	for i, bound := range hs.Bounds {
+		if i < len(hs.Counts) {
+			cum += hs.Counts[i]
+		}
+		fam.samples = append(fam.samples, promSample{
+			suffix: "_bucket",
+			labels: renderLabels(labels, "le", formatFloat(bound)),
+			value:  strconv.FormatUint(cum, 10),
+		})
+	}
+	fam.samples = append(fam.samples,
+		promSample{"_bucket", renderLabels(labels, "le", "+Inf"), strconv.FormatUint(hs.Count, 10)},
+		promSample{"_sum", renderLabels(labels), formatFloat(hs.Sum)},
+		promSample{"_count", renderLabels(labels), strconv.FormatUint(hs.Count, 10)},
+	)
+}
+
+func (p *PromWriter) family(name, typ string) *promFamily {
+	full := p.prefix + promName(name)
+	fam := p.fams[full]
+	if fam == nil {
+		fam = &promFamily{typ: typ}
+		p.fams[full] = fam
+		p.names = append(p.names, full)
+	}
+	return fam
+}
+
+// Write renders the accumulated families, sorted by name: one # TYPE
+// line per family, then its samples.
+func (p *PromWriter) Write(w io.Writer) error {
+	names := append([]string(nil), p.names...)
+	sort.Strings(names)
+	for _, name := range names {
+		fam := p.fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.typ); err != nil {
+			return err
+		}
+		for _, s := range fam.samples {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", name, s.suffix, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteProm renders one snapshot as a complete exposition — the
+// single-registry convenience over PromWriter.
+func (s *Snapshot) WriteProm(w io.Writer, prefix string, labels map[string]string) error {
+	pw := NewPromWriter(prefix)
+	pw.AddSnapshot(labels, s)
+	return pw.Write(w)
+}
+
+// renderLabels builds the sorted `{k="v",...}` label block; extra is an
+// alternating key/value tail (for the histogram le label). Returns ""
+// when there are no labels at all.
+func renderLabels(labels map[string]string, extra ...string) string {
+	n := len(labels) + len(extra)/2
+	if n == 0 {
+		return ""
+	}
+	keys := make([]string, 0, n)
+	all := make(map[string]string, n)
+	for k, v := range labels {
+		keys = append(keys, k)
+		all[k] = v
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		keys = append(keys, extra[i])
+		all[extra[i]] = extra[i+1]
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(all[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promName maps an arbitrary metric or label name into the exposition
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing anything else with '_'.
+func promName(s string) string {
+	var b strings.Builder
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

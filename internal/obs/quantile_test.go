@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantileEdgeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// All mass in the first bucket: interpolates from 0 up to bound 1.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("first-bucket Quantile(0.5) = %v, want 0.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("first-bucket Quantile(1) = %v, want 1", got)
+	}
+
+	// Push mass into the overflow bucket: estimates clamp to the last
+	// finite bound because the estimator cannot see past it.
+	h2 := r.Histogram("lat2", []float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h2.Observe(100)
+	}
+	if got := h2.Quantile(0.99); got != 8 {
+		t.Errorf("overflow Quantile(0.99) = %v, want 8 (last bound)", got)
+	}
+	if got := h2.Quantile(0); got != 8 {
+		t.Errorf("overflow Quantile(0) = %v, want 8", got)
+	}
+
+	// Mixed: 50 in (1,2], 50 in (2,4] — the median sits at the 2 boundary
+	// and p75 interpolates halfway into (2,4].
+	h3 := r.Histogram("lat3", []float64{1, 2, 4, 8})
+	for i := 0; i < 50; i++ {
+		h3.Observe(1.5)
+		h3.Observe(3)
+	}
+	if got := h3.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("mixed Quantile(0.5) = %v, want 2", got)
+	}
+	if got := h3.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Errorf("mixed Quantile(0.75) = %v, want 3", got)
+	}
+
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h3.Quantile(-1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Quantile(-1) = %v, want 1 (clamped to q=0, lands at bucket lo)", got)
+	}
+	if got := h3.Quantile(2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Quantile(2) = %v, want 4 (clamped to q=1)", got)
+	}
+
+	// Nil histogram.
+	var hn *Histogram
+	if got := hn.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramBoundsValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+	}{
+		{"empty", []float64{}},
+		{"descending", []float64{2, 1}},
+		{"duplicate", []float64{1, 1, 2}},
+		{"nan-hole", []float64{1, math.NaN(), 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Histogram(%v) did not panic", c.bounds)
+				}
+			}()
+			NewRegistry().Histogram("bad", c.bounds)
+		})
+	}
+
+	// Valid bounds must not panic, and re-registration ignores bounds
+	// (so a second caller passing garbage for an existing name is fine).
+	r := NewRegistry()
+	r.Histogram("ok", []float64{1, 2, 3})
+	r.Histogram("ok", []float64{9, 1}) // existing name: bounds ignored
+}

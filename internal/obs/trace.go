@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"sync"
@@ -11,7 +13,7 @@ import (
 // Tracer records nested timed spans — one tree per trip around the live
 // loop — and emits each completed span as one JSON line on its sink:
 //
-//	{"ev":"span","id":4,"parent":1,"name":"codegen",
+//	{"ev":"span","id":4,"parent":1,"trace":"9f86d081884c7d65","name":"codegen",
 //	 "start_us":182,"dur_us":913,"attrs":{"version":"v1","cycle":2000}}
 //
 // start_us is microseconds since the tracer was created, so a trace file
@@ -19,11 +21,29 @@ import (
 // spans (the session derives its ChangeReport breakdown from them); a
 // nil *Tracer hands out nil spans, and every Span method is a no-op on a
 // nil receiver.
+//
+// The trace field correlates spans across tracers: the server stamps
+// each request span with the client's wire TraceID (StartTrace), sets
+// the same id as the session tracer's implicit trace (SetTrace) for the
+// duration of the request, and every span the live loop starts inherits
+// it — one hot reload reads as a single tree from client call to verify
+// completion even though the request span and the live-loop spans come
+// from different tracers.
 type Tracer struct {
 	mu     sync.Mutex
 	sink   io.Writer
 	nextID atomic.Uint64
 	epoch  time.Time
+	trace  atomic.Value // string: implicit trace id for new root spans
+}
+
+// NewTraceID returns a random 16-hex-character trace id — what clients
+// stamp on wire requests. Collisions across a daemon's lifetime are
+// vanishingly unlikely (64 random bits).
+func NewTraceID() string {
+	var b [8]byte
+	rand.Read(b[:]) // never fails on supported platforms
+	return hex.EncodeToString(b[:])
 }
 
 // NewTracer returns a tracer writing JSONL span events to sink (nil sink
@@ -50,6 +70,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64 // 0 = root
+	trace  string // wire trace id, "" = uncorrelated
 	name   string
 	start  time.Time
 	dur    time.Duration
@@ -57,9 +78,42 @@ type Span struct {
 	ended  bool
 }
 
-// Start begins a root span (a nil tracer returns a nil span).
+// SetTrace sets the implicit wire trace id inherited by root spans
+// started after this call ("" clears it). Callers that serialize work —
+// the session worker runs one request at a time — bracket each request
+// with SetTrace(id) / SetTrace("") so the live loop's spans carry the
+// request's id without the loop knowing about the wire. Nil-safe.
+func (t *Tracer) SetTrace(id string) {
+	if t != nil {
+		t.trace.Store(id)
+	}
+}
+
+func (t *Tracer) curTrace() string {
+	if t == nil {
+		return ""
+	}
+	if v := t.trace.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Start begins a root span (a nil tracer returns a nil span), carrying
+// the tracer's implicit trace id if one is set.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
-	return t.start(name, 0, attrs)
+	return t.StartTrace(t.curTrace(), name, attrs...)
+}
+
+// StartTrace begins a root span explicitly bound to a wire trace id —
+// the server uses it to parent each request span on the id the client
+// stamped.
+func (t *Tracer) StartTrace(trace, name string, attrs ...Attr) *Span {
+	sp := t.start(name, 0, attrs)
+	if sp != nil {
+		sp.trace = trace
+	}
+	return sp
 }
 
 func (t *Tracer) start(name string, parent uint64, attrs []Attr) *Span {
@@ -76,12 +130,25 @@ func (t *Tracer) start(name string, parent uint64, attrs []Attr) *Span {
 	}
 }
 
-// Child begins a span nested under s (nil-safe: a nil span yields nil).
+// Child begins a span nested under s, inheriting its trace id (nil-safe:
+// a nil span yields nil).
 func (s *Span) Child(name string, attrs ...Attr) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tr.start(name, s.id, attrs)
+	sp := s.tr.start(name, s.id, attrs)
+	if sp != nil {
+		sp.trace = s.trace
+	}
+	return sp
+}
+
+// Trace returns the span's wire trace id ("" when uncorrelated or nil).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // Annotate attaches attributes to a not-yet-ended span.
@@ -116,6 +183,7 @@ type spanEvent struct {
 	Ev      string         `json:"ev"`
 	ID      uint64         `json:"id"`
 	Parent  uint64         `json:"parent,omitempty"`
+	Trace   string         `json:"trace,omitempty"`
 	Name    string         `json:"name"`
 	StartUS int64          `json:"start_us"`
 	DurUS   int64          `json:"dur_us"`
@@ -130,6 +198,7 @@ func (t *Tracer) emit(s *Span) {
 		Ev:      "span",
 		ID:      s.id,
 		Parent:  s.parent,
+		Trace:   s.trace,
 		Name:    s.name,
 		StartUS: s.start.Sub(t.epoch).Microseconds(),
 		DurUS:   s.dur.Microseconds(),

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window is a bounded rolling sample window: the last N observations
+// with their arrival times. Where Histogram answers "what has the
+// latency been since boot", Window answers the operational question
+// "what is it right now" — p50/p95/p99 over the most recent requests
+// and a request rate that decays as traffic stops. The server keeps one
+// per verb and one per hosted session for the /metrics quantile gauges
+// and the `top` table.
+//
+// Quantiles are exact over the retained samples (sorted copy, linear
+// interpolation between ranks), not bucket estimates — N is small, so
+// the copy is cheap and the answer is sharp. Nil is the off switch:
+// every method no-ops (or returns zero) on a nil receiver.
+type Window struct {
+	mu    sync.Mutex
+	vals  []float64
+	times []int64 // unix nanos, parallel to vals
+	next  int     // ring cursor
+	n     int     // live samples, ≤ len(vals)
+}
+
+// NewWindow returns a window retaining the last capacity samples
+// (capacity <= 0 defaults to 256).
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Window{
+		vals:  make([]float64, capacity),
+		times: make([]int64, capacity),
+	}
+}
+
+// Observe records one sample, evicting the oldest when full. Nil-safe.
+func (w *Window) Observe(v float64) {
+	if w == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	w.mu.Lock()
+	w.vals[w.next] = v
+	w.times[w.next] = now
+	w.next = (w.next + 1) % len(w.vals)
+	if w.n < len(w.vals) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Len returns the number of retained samples (0 on nil).
+func (w *Window) Len() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the exact q-quantile of the retained samples
+// (linear interpolation between adjacent ranks; q outside [0,1] is
+// clamped). Returns 0 when the window is empty or nil.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	// Until the ring wraps the live samples are the prefix; after, the
+	// whole array is live. Order is irrelevant — we sort anyway.
+	samples := append([]float64(nil), w.vals[:w.n]...)
+	w.mu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	q = math.Max(0, math.Min(1, q))
+	pos := q * float64(len(samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return samples[lo]
+	}
+	frac := pos - float64(lo)
+	return samples[lo] + (samples[hi]-samples[lo])*frac
+}
+
+// Rate returns the observation rate in samples/second: the retained
+// sample count divided by the age of the oldest retained sample. The
+// rate decays naturally once traffic stops (the window ages without
+// refilling). Returns 0 with fewer than 2 samples or on nil.
+func (w *Window) Rate() float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	n := w.n
+	var oldest int64
+	if n == len(w.vals) {
+		oldest = w.times[w.next] // cursor points at the next victim = oldest
+	} else if n > 0 {
+		oldest = w.times[0]
+	}
+	w.mu.Unlock()
+	if n < 2 {
+		return 0
+	}
+	span := time.Since(time.Unix(0, oldest)).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(n) / span
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestWindowQuantileExact(t *testing.T) {
+	w := NewWindow(16)
+	if got := w.Quantile(0.5); got != 0 {
+		t.Fatalf("empty window quantile = %v, want 0", got)
+	}
+	for i := 1; i <= 10; i++ {
+		w.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 10}, {0.5, 5.5}, {0.25, 3.25},
+		{-1, 1}, {2, 10}, // out-of-range clamps
+	}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	if got := w.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	// Only 97..100 retained: the minimum (q=0) must be 97.
+	if got := w.Quantile(0); got != 97 {
+		t.Errorf("Quantile(0) = %v, want 97", got)
+	}
+	if got := w.Quantile(1); got != 100 {
+		t.Errorf("Quantile(1) = %v, want 100", got)
+	}
+}
+
+func TestWindowRate(t *testing.T) {
+	w := NewWindow(8)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("empty window rate = %v, want 0", got)
+	}
+	w.Observe(1)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("single-sample rate = %v, want 0", got)
+	}
+	for i := 0; i < 20; i++ {
+		w.Observe(1)
+	}
+	if got := w.Rate(); got <= 0 {
+		t.Errorf("rate = %v, want > 0", got)
+	}
+}
+
+func TestWindowNilSafe(t *testing.T) {
+	var w *Window
+	w.Observe(1)
+	if w.Len() != 0 || w.Quantile(0.5) != 0 || w.Rate() != 0 {
+		t.Error("nil window must return zeros")
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(float64(i))
+				_ = w.Quantile(0.99)
+				_ = w.Rate()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Len(); got != 64 {
+		t.Errorf("Len = %d, want 64", got)
+	}
+}

@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"livesim/internal/obs"
+	"livesim/internal/server"
+)
+
+func adminGet(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestAdminEndpoints drives the admin plane against a live server with
+// one active session: /healthz reports ok with counts, /metrics renders
+// valid-looking Prometheus text with server and per-session families,
+// /eventsz exposes the event ring, and pprof answers.
+func TestAdminEndpoints(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Metrics: obs.NewRegistry()})
+	c := dial(t, addr)
+	createTiny(t, c, "adm0", 20)
+	mustOK(t, c, &server.Request{Session: "adm0", Verb: "run", Args: []string{"clock", "p0", "50"}})
+
+	h := srv.AdminHandler()
+
+	// /healthz: serving, one session, nothing recovering or quarantined.
+	rec := adminGet(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200; body %s", rec.Code, rec.Body)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		Sessions    int    `json:"sessions"`
+		Recovering  int    `json:"recovering"`
+		Quarantined int    `json:"quarantined"`
+		Draining    bool   `json:"draining"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz body: %v", err)
+	}
+	if health.Status != "ok" || health.Sessions != 1 || health.Recovering != 0 ||
+		health.Quarantined != 0 || health.Draining {
+		t.Fatalf("/healthz = %+v", health)
+	}
+
+	// /metrics: exposition-format basics plus server and session families.
+	rec = adminGet(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE livesim_server_requests counter",
+		"livesim_server_requests ",
+		`livesim_session_requests{session="adm0"}`,
+		`livesim_session_request_latency_seconds{quantile="0.5",session="adm0"}`,
+		`livesim_request_latency_seconds{quantile="0.99",verb="run"}`,
+		"_bucket{le=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	// One # TYPE line per family even with several labeled sources.
+	if n := strings.Count(body, "# TYPE livesim_session_requests "); n != 1 {
+		t.Errorf("%d TYPE lines for livesim_session_requests, want 1", n)
+	}
+
+	// /eventsz: the create above must be in the ring.
+	rec = adminGet(t, h, "/eventsz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/eventsz = %d", rec.Code)
+	}
+	var evs []obs.Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("/eventsz body: %v", err)
+	}
+	created := false
+	var last uint64
+	for _, ev := range evs {
+		if ev.Type == "session_created" && ev.Session == "adm0" {
+			created = true
+		}
+		last = ev.Seq
+	}
+	if !created {
+		t.Fatalf("/eventsz has no session_created for adm0: %+v", evs)
+	}
+	// ?since filters strictly-after.
+	rec = adminGet(t, h, "/eventsz?since="+jsonUint(last))
+	var tail []obs.Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &tail); err != nil {
+		t.Fatalf("/eventsz?since body: %v", err)
+	}
+	if len(tail) != 0 {
+		t.Errorf("/eventsz?since=%d returned %d events, want 0", last, len(tail))
+	}
+	if rec = adminGet(t, h, "/eventsz?since=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/eventsz?since=bogus = %d, want 400", rec.Code)
+	}
+
+	// pprof is mounted.
+	if rec = adminGet(t, h, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", rec.Code)
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestAdminHealthzDegraded checks the quarantine-aware branch: a
+// quarantined session keeps the daemon serving (200) but flips status
+// to degraded.
+func TestAdminHealthzDegraded(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Metrics: obs.NewRegistry(), QuarantineAfter: 1})
+	c := dial(t, addr)
+	createTiny(t, c, "q0", 20)
+	// One failure trips the breaker at QuarantineAfter=1.
+	resp, err := c.Do(&server.Request{Session: "q0", Verb: "testpanic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("testpanic unexpectedly succeeded")
+	}
+
+	rec := adminGet(t, srv.AdminHandler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200 (degraded still serves)", rec.Code)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		Quarantined int    `json:"quarantined"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Quarantined != 1 {
+		t.Fatalf("/healthz = %+v, want degraded with 1 quarantined", health)
+	}
+}

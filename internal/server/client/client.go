@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"livesim/internal/command"
+	"livesim/internal/obs"
 	"livesim/internal/server"
 )
 
@@ -154,7 +155,7 @@ func SplitAddr(addr string) (network, target string) {
 // have applied them before the connection died.
 func Idempotent(verb string) bool {
 	switch strings.ToLower(verb) {
-	case "ping", "help", "metricz", "sessions":
+	case "ping", "help", "metricz", "sessions", "events", "top":
 		return true
 	case "create", "close", "subscribe", "unquarantine":
 		return false
@@ -166,10 +167,17 @@ func Idempotent(verb string) bool {
 }
 
 // Do sends one request and waits for its response. The request's ID is
-// assigned by the client.
+// assigned by the client, and a TraceID is stamped if the caller didn't
+// set one — the id the server's request span and the session's
+// live-loop spans inherit, so one client call reads as one span tree
+// end to end. The stamp happens before the line is encoded, so a
+// reconnect resend carries the same id.
 func (c *Client) Do(req *server.Request) (*server.Response, error) {
 	id := c.nextID.Add(1)
 	req.ID = id
+	if req.TraceID == "" {
+		req.TraceID = obs.NewTraceID()
+	}
 	line, err := json.Marshal(req)
 	if err != nil {
 		return nil, err

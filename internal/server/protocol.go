@@ -29,6 +29,8 @@ package server
 import (
 	"encoding/json"
 	"errors"
+
+	"livesim/internal/obs"
 )
 
 // Request is one client → server message.
@@ -40,6 +42,12 @@ type Request struct {
 	Session string `json:"session,omitempty"`
 	// Verb is a server verb or a session verb from internal/command.
 	Verb string `json:"verb"`
+	// TraceID correlates this request across process boundaries: the
+	// client stamps it (see client.Do), the server opens its request span
+	// with it, and the session's live-loop spans inherit it — one hot
+	// reload reads as a single span tree from client call to verify
+	// completion. Empty means "server, mint one".
+	TraceID string `json:"trace,omitempty"`
 	// Args are the verb's positional arguments, shell-style.
 	Args []string `json:"args,omitempty"`
 	// Files carries design source text: the full design for create (dir
@@ -138,13 +146,35 @@ type DrainReport struct {
 	Timeout bool `json:"timeout,omitempty"`
 }
 
-// DrainedSession records the checkpoints saved for one dirty session.
+// DrainedSession records what one drained session left behind: the
+// checkpoints saved when it was dirty, and its final metrics snapshot
+// either way (drain.json is the post-mortem record — a SIGTERM must not
+// discard the numbers that explain the run).
 type DrainedSession struct {
 	Name  string            `json:"name"`
-	Files map[string]string `json:"files"` // pipe -> checkpoint path
+	Files map[string]string `json:"files,omitempty"` // pipe -> checkpoint path
 	// Errors records pipes whose checkpoint save failed even after the
 	// bounded retries (pipe -> error). A drain with any entry here makes
 	// Shutdown return an error so the daemon exits nonzero — the manifest
 	// carries the evidence instead of silently dropping it.
 	Errors map[string]string `json:"errors,omitempty"`
+	// Metrics is the session registry's final snapshot.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// TopRow is one session's row in the `top` verb's Data payload — the
+// live operational view: current request rate and latency quantiles
+// from the session's rolling window, plus queue and health flags.
+type TopRow struct {
+	Name        string  `json:"name"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Queued      int     `json:"queued"`
+	Requests    uint64  `json:"requests"`
+	Version     string  `json:"version"`
+	Dirty       bool    `json:"dirty,omitempty"`
+	Quarantined bool    `json:"quarantined,omitempty"`
+	Recovering  bool    `json:"recovering,omitempty"`
 }

@@ -83,7 +83,7 @@ func (b *breaker) clear() {
 func (s *Server) noteFailure(h *hosted, reason string) {
 	if h.brk.fail(reason) {
 		s.reg.Counter("server_sessions_quarantined").Inc()
-		s.logf("session %s quarantined: %s", h.name, reason)
+		s.event("quarantine_trip", h.name, reason)
 		s.updateQuarantineGauge()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"livesim/internal/command"
 	"livesim/internal/core"
 	"livesim/internal/liveparser"
+	"livesim/internal/obs"
 	"livesim/internal/wal"
 )
 
@@ -118,10 +119,12 @@ func (s *Server) recoverSession(h *hosted, path string) {
 			h.wal.Close()
 		}
 		if rerr := os.Rename(path, path+".failed"); rerr != nil {
-			s.logf("recover %s: set-aside failed too: %v", h.name, rerr)
+			s.log.Error("recovery set-aside failed",
+				obs.Str("session", h.name), obs.Str("err", rerr.Error()))
 		}
 		s.reg.Counter("server_recoveries_failed").Inc()
-		s.logf("recover %s: %v (journal set aside as %s.failed)", h.name, cause, filepath.Base(path))
+		s.event("recovery_failed", h.name,
+			fmt.Sprintf("%v (journal set aside as %s.failed)", cause, filepath.Base(path)))
 	}
 
 	w, recs, err := wal.Open(path, s.walOpts())
@@ -148,7 +151,8 @@ func (s *Server) recoverSession(h *hosted, path string) {
 	if err != nil && rep != nil && rep.FastPath {
 		// The checkpoint fast path diverged (e.g. a stale watermark file):
 		// re-boot and re-execute everything — slower, always faithful.
-		s.logf("recover %s: fast path failed (%v); replaying in full", h.name, err)
+		s.event("wal_fallback", h.name,
+			fmt.Sprintf("checkpoint fast path failed (%v); replaying in full", err))
 		if sess, err = s.bootFromRecord(h, recs[0]); err == nil {
 			s.mu.Lock()
 			h.sess = sess
@@ -167,9 +171,10 @@ func (s *Server) recoverSession(h *hosted, path string) {
 	h.recovering.Store(false)
 	s.reg.Counter("server_sessions_recovered").Inc()
 	s.reg.Histogram("server_recover_seconds", nil).Observe(time.Since(t0).Seconds())
-	s.logf("session %s recovered in %v (%d records: %d replayed, %d skipped via %d checkpoints, fast=%v)",
-		h.name, time.Since(t0).Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped,
-		rep.Checkpoints, rep.FastPath)
+	s.event("recovery", h.name,
+		fmt.Sprintf("recovered in %v (%d records: %d replayed, %d skipped via %d checkpoints, fast=%v)",
+			time.Since(t0).Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped,
+			rep.Checkpoints, rep.FastPath))
 }
 
 // bootFromRecord re-creates a session from its journal's boot record,
@@ -228,7 +233,7 @@ func (s *Server) journalMutation(h *hosted, req *Request) {
 	}
 	if err != nil {
 		s.reg.Counter("wal_append_failures").Inc()
-		s.logf("session %s: journal append: %v", h.name, err)
+		s.event("wal_append_failure", h.name, err.Error())
 		s.noteFailure(h, fmt.Sprintf("journal append: %v", err))
 		return
 	}
@@ -251,7 +256,8 @@ func (s *Server) saveWatermark(h *hosted) {
 		base := fmt.Sprintf("%s.%s.lscp", h.name, pipe)
 		path := filepath.Join(s.cfg.StateDir, base)
 		if err := s.saveCheckpointRetry(h, pipe, path); err != nil {
-			s.logf("session %s: watermark %s: %v", h.name, pipe, err)
+			s.log.Error("watermark save failed",
+				obs.Str("session", h.name), obs.Str("pipe", pipe), obs.Str("err", err.Error()))
 			continue
 		}
 		cycle, histLen, ok := h.sess.PipeStatus(pipe)
@@ -260,11 +266,13 @@ func (s *Server) saveWatermark(h *hosted) {
 		}
 		mark := &wal.Record{Type: wal.TypeMark, Pipe: pipe, Path: base, Cycle: cycle, HistoryLen: histLen}
 		if err := h.wal.Append(mark); err != nil {
-			s.logf("session %s: watermark mark %s: %v", h.name, pipe, err)
+			s.log.Error("watermark mark append failed",
+				obs.Str("session", h.name), obs.Str("pipe", pipe), obs.Str("err", err.Error()))
 		}
 	}
 	if err := h.wal.Sync(); err != nil {
-		s.logf("session %s: watermark sync: %v", h.name, err)
+		s.log.Error("watermark sync failed",
+			obs.Str("session", h.name), obs.Str("err", err.Error()))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -86,8 +87,21 @@ type Config struct {
 	// TraceOut, when set, receives the server's per-request span JSONL in
 	// addition to any `subscribe` clients.
 	TraceOut io.Writer
-	// Logf receives operational log lines. Nil discards them.
+	// Log receives structured JSONL operational logs (see obs.Logger).
+	// Takes precedence over Logf.
+	Log *obs.Logger
+	// Logf receives operational log lines printf-style; each structured
+	// line is rendered through it. Superseded by Log; nil with Log nil
+	// discards logs.
 	Logf func(format string, args ...any)
+	// SlowRequest, when positive, logs a warning and records an event for
+	// every request slower than this threshold, with its trace id — the
+	// paper's latency claim made greppable per offending request.
+	SlowRequest time.Duration
+	// EventRingCap bounds the in-memory operational event ring (rollbacks,
+	// quarantine trips, recoveries, watchdog cancels, evictions, WAL
+	// fallbacks) served by the `events` verb and /eventsz. Default 256.
+	EventRingCap int
 }
 
 // Server hosts sessions and serves connections. Create one with New,
@@ -97,7 +111,12 @@ type Server struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
 	fan    *obs.Fanout // server-level span subscribers
+	log    *obs.Logger
+	events *obs.EventRing
 	start  time.Time
+
+	winMu    sync.Mutex
+	verbWins map[string]*obs.Window // per-verb rolling request latencies
 
 	mu        sync.Mutex
 	sessions  map[string]*hosted
@@ -145,11 +164,18 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	log := cfg.Log
+	if log == nil && cfg.Logf != nil {
+		log = obs.NewLogger(logfWriter{cfg.Logf}, obs.LevelDebug)
+	}
 	s := &Server{
 		cfg:         cfg,
 		reg:         reg,
 		fan:         obs.NewFanout(),
+		log:         log, // nil discards: obs.Logger methods are nil-safe
+		events:      obs.NewEventRing(cfg.EventRingCap),
 		start:       time.Now(),
+		verbWins:    make(map[string]*obs.Window),
 		sessions:    make(map[string]*hosted),
 		conns:       make(map[*conn]bool),
 		listeners:   make(map[net.Listener]bool),
@@ -168,10 +194,43 @@ func New(cfg Config) *Server {
 // Metrics returns the server-level registry.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
+// Events returns the server's operational event ring.
+func (s *Server) Events() *obs.EventRing { return s.events }
+
+// logfWriter adapts a legacy printf-style Logf into a structured log
+// sink: each JSONL line is forwarded as one formatted message.
+type logfWriter struct{ f func(format string, args ...any) }
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.f("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+// event records one operational incident in the ring and mirrors it to
+// the structured log — the ring is the queryable flight recorder, the
+// log the durable trail.
+func (s *Server) event(typ, session, msg string) {
+	s.events.Add(typ, session, msg)
+	s.log.Info(msg, obs.Str("event", typ), obs.Str("session", session))
+}
+
+// verbWindow returns the rolling latency window for a verb. Unknown
+// verbs share one bucket so a misbehaving client cannot grow the map
+// without bound.
+func (s *Server) verbWindow(verb string) *obs.Window {
+	if !serverVerbs[verb] {
+		if _, ok := command.Lookup(verb); !ok {
+			verb = "_unknown"
+		}
 	}
+	s.winMu.Lock()
+	defer s.winMu.Unlock()
+	w := s.verbWins[verb]
+	if w == nil {
+		w = obs.NewWindow(512)
+		s.verbWins[verb] = w
+	}
+	return w
 }
 
 func (s *Server) isDraining() bool {
@@ -222,7 +281,7 @@ type conn struct {
 func (c *conn) write(resp *Response) {
 	line, err := json.Marshal(resp)
 	if err != nil {
-		c.s.logf("marshal response: %v", err)
+		c.s.log.Error("marshal response failed", obs.Str("err", err.Error()))
 		return
 	}
 	line = append(line, '\n')
@@ -303,6 +362,7 @@ func (s *Server) handleConn(nc net.Conn) {
 var serverVerbs = map[string]bool{
 	"ping": true, "help": true, "metricz": true, "sessions": true,
 	"create": true, "close": true, "subscribe": true, "unquarantine": true,
+	"events": true, "top": true,
 }
 
 // dispatch routes one request: server verbs run inline, session verbs
@@ -311,17 +371,36 @@ var serverVerbs = map[string]bool{
 func (s *Server) dispatch(c *conn, req *Request) {
 	s.inflight.Add(1)
 	s.reg.Counter("server_requests").Inc()
-	sp := s.tracer.Start("request", obs.Str("verb", req.Verb), obs.Str("session", req.Session))
+	verb := strings.ToLower(req.Verb)
+	trace := req.TraceID
+	if trace == "" {
+		trace = obs.NewTraceID() // unstamped client: still one correlatable tree
+	}
+	sp := s.tracer.StartTrace(trace, "request", obs.Str("verb", req.Verb), obs.Str("session", req.Session))
 	t0 := time.Now()
+	var h *hosted // set before any finish call; read by the waiter goroutine
 	finish := func(resp *Response) {
 		sp.Annotate(obs.Bool("ok", resp.OK), obs.Str("code", resp.Code))
 		sp.End()
-		s.reg.Histogram("server_request_seconds", nil).Observe(time.Since(t0).Seconds())
+		dur := time.Since(t0)
+		secs := dur.Seconds()
+		s.reg.Histogram("server_request_seconds", nil).Observe(secs)
+		s.verbWindow(verb).Observe(secs)
+		if h != nil {
+			h.win.Observe(secs)
+		}
+		if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+			s.reg.Counter("server_slow_requests").Inc()
+			s.events.Add("slow_request", req.Session,
+				fmt.Sprintf("%s took %v (trace %s)", verb, dur.Round(time.Microsecond), trace))
+			s.log.Warn("slow request",
+				obs.Str("verb", verb), obs.Str("session", req.Session),
+				obs.Str("trace", trace), obs.Str("dur", dur.String()))
+		}
 		c.write(resp)
 		s.inflight.Done()
 	}
 
-	verb := strings.ToLower(req.Verb)
 	if s.isDraining() {
 		s.reg.Counter("server_draining_rejects").Inc()
 		finish(errResp(req, CodeDraining, ErrDraining))
@@ -335,7 +414,6 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	// Session verb: resolve and enqueue under the lock so an eviction
 	// cannot close the queue between lookup and enqueue.
 	var (
-		h          *hosted
 		t          *task
 		enqErr     error
 		recovering bool
@@ -348,7 +426,7 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		// queue yet, so enqueueing would just wedge until backpressure.
 		recovering = true
 	} else if h != nil {
-		t = &task{req: req, reply: make(chan *Response, 1), span: sp}
+		t = &task{req: req, reply: make(chan *Response, 1), span: sp, trace: trace}
 		if s.cfg.RequestTimeout > 0 {
 			t.deadline = time.Now().Add(s.cfg.RequestTimeout)
 		}
@@ -424,6 +502,8 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		b.WriteString("  unquarantine                  clear a session's failure breaker\n")
 		b.WriteString("  stats [json]                  per-session metrics registry\n")
 		b.WriteString("  metricz                       server-level metrics registry\n")
+		b.WriteString("  events [since-seq]            recent operational events (flight recorder)\n")
+		b.WriteString("  top                           live per-session req/s + latency table\n")
 		b.WriteString("  ping                          liveness + uptime\n")
 		return &Response{ID: req.ID, OK: true, Output: b.String()}
 
@@ -435,6 +515,12 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 
 	case "sessions":
 		return s.listSessions(req)
+
+	case "events":
+		return s.listEvents(req)
+
+	case "top":
+		return s.topReport(req)
 
 	case "create":
 		return s.createSession(req)
@@ -454,7 +540,7 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		}
 		h.brk.clear()
 		s.updateQuarantineGauge()
-		s.logf("session %s unquarantined", req.Session)
+		s.event("unquarantine", req.Session, "failure breaker cleared by operator")
 		return &Response{ID: req.ID, OK: true,
 			Output: fmt.Sprintf("session %s unquarantined\n", req.Session)}
 	}
@@ -505,6 +591,88 @@ func (s *Server) listSessions(req *Request) *Response {
 	}
 	s.mu.Unlock()
 	data, _ := json.Marshal(infos)
+	return &Response{ID: req.ID, OK: true, Output: out.String(), Data: data}
+}
+
+// listEvents serves the flight recorder: `events [since-seq]` returns
+// the retained operational events newer than since-seq (all of them
+// without an argument), oldest first.
+func (s *Server) listEvents(req *Request) *Response {
+	since := uint64(0)
+	if len(req.Args) > 0 {
+		n, err := strconv.ParseUint(req.Args[0], 10, 64)
+		if err != nil {
+			return errResp(req, CodeBadRequest, fmt.Errorf("events [since-seq]: %w", err))
+		}
+		since = n
+	}
+	evs := s.events.Since(since)
+	var out strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&out, "  #%-5d %s  %-16s %-12s %s\n",
+			e.Seq, e.TS.Format("15:04:05.000"), e.Type, e.Session, e.Msg)
+	}
+	if len(evs) == 0 {
+		out.WriteString("  (no events)\n")
+	}
+	data, _ := json.Marshal(evs)
+	return &Response{ID: req.ID, OK: true, Output: out.String(), Data: data}
+}
+
+// topReport renders the live per-session table behind the `top` verb:
+// request rate and latency quantiles from each session's rolling
+// window, queue depth, and health flags.
+func (s *Server) topReport(req *Request) *Response {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	for n, h := range s.sessions {
+		if h.sess != nil {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	rows := make([]TopRow, 0, len(names))
+	for _, n := range names {
+		h := s.sessions[n]
+		row := TopRow{
+			Name:       n,
+			ReqPerSec:  h.win.Rate(),
+			P50Ms:      h.win.Quantile(0.50) * 1e3,
+			P95Ms:      h.win.Quantile(0.95) * 1e3,
+			P99Ms:      h.win.Quantile(0.99) * 1e3,
+			Queued:     len(h.queue),
+			Requests:   h.reg.Counter("session_requests").Value(),
+			Version:    h.sess.Version(),
+			Dirty:      h.dirty.Load(),
+			Recovering: h.recovering.Load(),
+		}
+		row.Quarantined, _ = h.brk.quarantined()
+		rows = append(rows, row)
+	}
+	s.mu.Unlock()
+
+	var out strings.Builder
+	fmt.Fprintf(&out, "  %-16s %8s %9s %9s %9s %6s %8s %-6s %s\n",
+		"SESSION", "REQ/S", "P50(ms)", "P95(ms)", "P99(ms)", "QUEUE", "REQS", "VER", "FLAGS")
+	for _, r := range rows {
+		flags := ""
+		if r.Dirty {
+			flags += "dirty "
+		}
+		if r.Quarantined {
+			flags += "QUARANTINED "
+		}
+		if r.Recovering {
+			flags += "RECOVERING "
+		}
+		fmt.Fprintf(&out, "  %-16s %8.1f %9.3f %9.3f %9.3f %6d %8d %-6s %s\n",
+			r.Name, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.Queued, r.Requests, r.Version,
+			strings.TrimRight(flags, " "))
+	}
+	if len(rows) == 0 {
+		out.WriteString("  (no sessions)\n")
+	}
+	data, _ := json.Marshal(rows)
 	return &Response{ID: req.ID, OK: true, Output: out.String(), Data: data}
 }
 
@@ -628,7 +796,7 @@ func (s *Server) createSession(req *Request) *Response {
 	s.mu.Unlock()
 	go s.worker(h)
 	s.reg.Counter("server_sessions_created").Inc()
-	s.logf("session %s created (%s)", name, desc)
+	s.event("session_created", name, desc)
 	return &Response{ID: req.ID, OK: true,
 		Output: fmt.Sprintf("created session %s (%s)\n", name, desc)}
 }
@@ -657,6 +825,7 @@ func (s *Server) closeSession(req *Request) *Response {
 		s.removeSessionState(h.name)
 	}
 	s.reg.Counter("server_sessions_closed").Inc()
+	s.event("session_closed", req.Session, "closed by client; state discarded")
 	return &Response{ID: req.ID, OK: true, Output: fmt.Sprintf("closed session %s\n", req.Session)}
 }
 
@@ -731,9 +900,10 @@ func (s *Server) evictIdle() {
 		h.sess.Quiesce()
 		if h.dirty.Load() && s.cfg.DrainDir != "" {
 			ds := s.saveSession(h)
-			s.logf("evicted idle session %s (checkpointed %d pipes)", h.name, len(ds.Files))
+			s.event("eviction", h.name,
+				fmt.Sprintf("idle %v; checkpointed %d pipes", h.idle().Round(time.Second), len(ds.Files)))
 		} else {
-			s.logf("evicted idle session %s", h.name)
+			s.event("eviction", h.name, fmt.Sprintf("idle %v", h.idle().Round(time.Second)))
 		}
 		if h.wal != nil {
 			// Watermark + keep the journal: the eviction only reclaims
@@ -757,7 +927,8 @@ func (s *Server) saveSession(h *hosted) DrainedSession {
 	for _, pipe := range h.sess.PipeNames() {
 		path := filepath.Join(s.cfg.DrainDir, fmt.Sprintf("%s.%s.lscp", h.name, pipe))
 		if err := s.saveCheckpointRetry(h, pipe, path); err != nil {
-			s.logf("drain save %s/%s: %v", h.name, pipe, err)
+			s.log.Error("drain save failed",
+				obs.Str("session", h.name), obs.Str("pipe", pipe), obs.Str("err", err.Error()))
 			if ds.Errors == nil {
 				ds.Errors = map[string]string{}
 			}
@@ -826,13 +997,19 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 		if !waitClosed(h.stopped, 2*time.Second) {
 			// The worker is wedged mid-operation; saving now would race
 			// the running simulation, so skip this session.
-			s.logf("drain: session %s worker did not stop; skipping save", h.name)
+			s.event("drain_stuck", h.name, "worker did not stop; skipping save")
 			continue
 		}
 		h.sess.Quiesce()
+		ds := DrainedSession{Name: h.name}
 		if h.dirty.Load() && s.cfg.DrainDir != "" {
-			rep.Sessions = append(rep.Sessions, s.saveSession(h))
+			ds = s.saveSession(h)
 		}
+		// Every drained session's final metrics ride in the manifest —
+		// drain.json is the post-mortem record, and a SIGTERM must not
+		// discard the numbers that explain the run.
+		ds.Metrics = h.reg.Snapshot()
+		rep.Sessions = append(rep.Sessions, ds)
 		if h.wal != nil {
 			// Watermark the journal so the restart replays from these
 			// checkpoints, then release it. The journal stays on disk — it
@@ -849,7 +1026,7 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 		if err == nil {
 			manifest := filepath.Join(s.cfg.DrainDir, "drain.json")
 			if werr := checkpoint.WriteFileAtomic(manifest, data, nil); werr != nil {
-				s.logf("drain manifest: %v", werr)
+				s.log.Error("drain manifest write failed", obs.Str("err", werr.Error()))
 			}
 		}
 	}

@@ -401,6 +401,11 @@ func TestDrainCheckpointsDirtySessions(t *testing.T) {
 		if _, fromBackup, err := checkpoint.LoadFile(path); err != nil || fromBackup {
 			t.Errorf("checkpoint %s: err=%v fromBackup=%v", path, err, fromBackup)
 		}
+		// Every stopped session's final metrics snapshot rides in the
+		// manifest for post-mortem inspection.
+		if ds.Metrics == nil || ds.Metrics.Counters["session_requests"] == 0 {
+			t.Errorf("session %s drain metrics missing or empty: %+v", ds.Name, ds.Metrics)
+		}
 	}
 
 	data, err := os.ReadFile(filepath.Join(drainDir, "drain.json"))

@@ -1,0 +1,140 @@
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"livesim/internal/obs"
+	"livesim/internal/pgas"
+	"livesim/internal/server"
+)
+
+// spanEv mirrors the JSONL span event shape the fanouts stream to
+// subscribed clients (internal/obs spanEvent).
+type spanEv struct {
+	Ev    string         `json:"ev"`
+	Name  string         `json:"name"`
+	Trace string         `json:"trace"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+// TestTracePropagation is the end-to-end trace correlation check: a
+// client-stamped TraceID must appear on the server's request span AND
+// on the session's live-loop spans (apply_change/swap/verify) for the
+// same hot reload — one connected span tree across the wire.
+func TestTracePropagation(t *testing.T) {
+	_, addr := startServer(t, server.Config{Metrics: obs.NewRegistry()})
+	c := dial(t, addr)
+
+	mustOK(t, c, &server.Request{Session: "tr0", Verb: "create", PGAS: 1, CheckpointEvery: 16})
+	mustOK(t, c, &server.Request{Session: "tr0", Verb: "instpipe", Args: []string{"p0"}})
+	// Enough cycles for checkpoints at the 16-cycle interval, so the
+	// apply below schedules background verifications (verify spans).
+	mustOK(t, c, &server.Request{Session: "tr0", Verb: "run", Args: []string{"tb0", "p0", "60"}})
+
+	// Both scopes stream onto this connection's event channel: server
+	// request spans and the session's live-loop spans.
+	mustOK(t, c, &server.Request{Verb: "subscribe"})
+	mustOK(t, c, &server.Request{Session: "tr0", Verb: "subscribe"})
+
+	edited, err := pgas.Changes[0].Apply(pgas.Source(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceID = "feedbeefcafe0042"
+	mustOK(t, c, &server.Request{
+		Session: "tr0", Verb: "apply", TraceID: traceID, Files: edited.Files,
+	})
+
+	// The apply verb waits for verification before responding, so every
+	// span we care about has ended; collect until all arrive.
+	want := map[string]bool{"request": false, "apply_change": false, "swap": false, "verify": false}
+	deadline := time.After(15 * time.Second)
+	for {
+		done := true
+		for _, seen := range want {
+			done = done && seen
+		}
+		if done {
+			break
+		}
+		select {
+		case raw, ok := <-c.Events():
+			if !ok {
+				t.Fatalf("event stream closed; still missing %v", missing(want))
+			}
+			var ev spanEv
+			if err := json.Unmarshal(raw, &ev); err != nil || ev.Ev != "span" {
+				continue
+			}
+			if _, tracked := want[ev.Name]; !tracked {
+				continue
+			}
+			if ev.Trace != traceID {
+				// Spans from the setup requests (create/run/subscribe)
+				// carry their own client-minted ids; only the stamped
+				// apply may produce tracked span names. A request span
+				// for the apply with the wrong trace is a real failure.
+				if ev.Name == "request" && ev.Attrs["verb"] == "apply" {
+					t.Fatalf("apply request span has trace %q, want %q", ev.Trace, traceID)
+				}
+				continue
+			}
+			if ev.Name == "request" && ev.Attrs["verb"] != "apply" {
+				t.Fatalf("request span for verb %v unexpectedly carries the apply trace", ev.Attrs["verb"])
+			}
+			want[ev.Name] = true
+		case <-deadline:
+			t.Fatalf("timed out waiting for spans with trace %s; missing %v", traceID, missing(want))
+		}
+	}
+}
+
+func missing(want map[string]bool) []string {
+	var out []string
+	for name, seen := range want {
+		if !seen {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestTraceStampedByClient verifies the client fills in a TraceID when
+// the caller leaves it empty, and that the server echoes work under
+// that id (visible via the request span on a server subscription).
+func TestTraceStampedByClient(t *testing.T) {
+	_, addr := startServer(t, server.Config{Metrics: obs.NewRegistry()})
+	c := dial(t, addr)
+	mustOK(t, c, &server.Request{Verb: "subscribe"})
+
+	req := &server.Request{Verb: "ping"}
+	mustOK(t, c, req)
+	if req.TraceID == "" {
+		t.Fatal("client did not stamp a TraceID on the request")
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case raw, ok := <-c.Events():
+			if !ok {
+				t.Fatal("event stream closed before the ping request span arrived")
+			}
+			var ev spanEv
+			if err := json.Unmarshal(raw, &ev); err != nil || ev.Ev != "span" || ev.Name != "request" {
+				continue
+			}
+			if ev.Attrs["verb"] != "ping" {
+				continue
+			}
+			if ev.Trace != req.TraceID {
+				t.Fatalf("ping request span trace = %q, want client-stamped %q", ev.Trace, req.TraceID)
+			}
+			return
+		case <-deadline:
+			t.Fatal("timed out waiting for the ping request span")
+		}
+	}
+}

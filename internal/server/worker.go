@@ -25,6 +25,7 @@ type hosted struct {
 	reg  *obs.Registry // per-session registry (always on)
 	fan  *obs.Fanout   // live-loop span subscribers
 	out  *boundedBuf   // captured $display text
+	win  *obs.Window   // rolling request latencies for top and /metrics
 
 	queue   chan *task
 	stopped chan struct{} // closed when the worker exits
@@ -55,6 +56,7 @@ type task struct {
 	reply     chan *Response
 	abandoned atomic.Bool
 	span      *obs.Span
+	trace     string // wire trace id the session's live-loop spans inherit
 }
 
 func (s *Server) newHosted(name string) *hosted {
@@ -63,6 +65,7 @@ func (s *Server) newHosted(name string) *hosted {
 		reg:     obs.NewRegistry(),
 		fan:     obs.NewFanout(),
 		out:     &boundedBuf{max: 1 << 16},
+		win:     obs.NewWindow(256),
 		queue:   make(chan *task, s.cfg.QueueDepth),
 		stopped: make(chan struct{}),
 	}
@@ -140,6 +143,15 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 	sp := t.span.Child("exec")
 	defer sp.End()
 
+	// Hand the session tracer the request's wire trace id for the
+	// duration of this verb: every live-loop span it starts (swap,
+	// reload, verify, …) joins the request's tree. The worker serializes
+	// the session, so the bracketing cannot interleave with another
+	// request — except verify spans ended by background workers, which
+	// captured the id at Child() time and keep it.
+	h.sess.SetTraceID(t.trace)
+	defer h.sess.SetTraceID("")
+
 	var out bytes.Buffer
 	env := &command.Env{
 		Session: h.sess,
@@ -159,10 +171,14 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 			h.dirty.Store(true)
 			h.brk.success()
 			s.journalMutation(h, t.req)
-		case errors.Is(err, core.ErrRolledBack), errors.Is(err, core.ErrRunCancelled):
-			// The session actively failed — a rolled-back change, a
-			// cancelled runaway run — as opposed to merely rejecting bad
-			// arguments; those streaks are what quarantine watches.
+		case errors.Is(err, core.ErrRunCancelled):
+			// The session actively failed — a cancelled runaway run — as
+			// opposed to merely rejecting bad arguments; those streaks are
+			// what quarantine watches.
+			s.events.Add("watchdog_cancel", h.name, err.Error())
+			s.noteFailure(h, err.Error())
+		case errors.Is(err, core.ErrRolledBack):
+			s.events.Add("rollback", h.name, err.Error())
 			s.noteFailure(h, err.Error())
 		}
 	}

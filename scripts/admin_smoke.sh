@@ -1,0 +1,113 @@
+#!/bin/sh
+# admin-smoke: end-to-end check of the observability plane — boot
+# livesimd with -admin-addr, drive a session so per-session metrics and
+# events exist, then curl /healthz, /metrics and /eventsz and assert
+# the known families and events are present. `make check` runs this
+# after serve-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DPID=""
+trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+SOCK="$TMP/d.sock"
+PORT=$((20000 + $$ % 20000))
+ADMIN="127.0.0.1:$PORT"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+"$TMP/livesimd" -unix "$SOCK" -admin-addr "$ADMIN" -metrics=false \
+    >"$TMP/daemon.log" 2>&1 &
+DPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "admin-smoke: FAIL (daemon never listened)"
+        cat "$TMP/daemon.log"
+        exit 1
+    fi
+    sleep 0.05
+done
+
+"$TMP/livesim" -connect "unix:$SOCK" -session s1 >"$TMP/client.log" <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 50
+top
+events
+exit
+EOF
+
+# The structured log should be JSONL: every daemon line parses as JSON.
+if grep -v '^{' "$TMP/daemon.log" | grep -q .; then
+    echo "admin-smoke: FAIL (non-JSONL daemon log line)"
+    cat "$TMP/daemon.log"
+    exit 1
+fi
+
+fetch() {
+    # curl when present, else a tiny Go fallback (the CI image may be bare).
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://$ADMIN$1"
+    else
+        $GO run ./scripts/httpget "http://$ADMIN$1"
+    fi
+}
+
+fetch /healthz >"$TMP/healthz.json"
+if ! grep -q '"status":"ok"' "$TMP/healthz.json"; then
+    echo "admin-smoke: FAIL (/healthz not ok)"
+    cat "$TMP/healthz.json"
+    exit 1
+fi
+
+fetch /metrics >"$TMP/metrics.txt"
+for want in \
+    '^# TYPE livesim_server_requests counter' \
+    '^livesim_server_requests ' \
+    '^livesim_session_requests{session="s1"}' \
+    '^livesim_request_latency_seconds{quantile="0.99",verb="run"}'; do
+    if ! grep -q "$want" "$TMP/metrics.txt"; then
+        echo "admin-smoke: FAIL (/metrics missing $want)"
+        cat "$TMP/metrics.txt"
+        exit 1
+    fi
+done
+
+fetch /eventsz >"$TMP/events.json"
+if ! grep -q '"session_created"' "$TMP/events.json"; then
+    echo "admin-smoke: FAIL (/eventsz missing session_created)"
+    cat "$TMP/events.json"
+    exit 1
+fi
+
+# The client-side verbs ride the same plumbing.
+if ! grep -q 'SESSION' "$TMP/client.log"; then
+    echo "admin-smoke: FAIL (top table missing from client transcript)"
+    cat "$TMP/client.log"
+    exit 1
+fi
+if ! grep -q 'session_created' "$TMP/client.log"; then
+    echo "admin-smoke: FAIL (events listing missing from client transcript)"
+    cat "$TMP/client.log"
+    exit 1
+fi
+
+kill -TERM "$DPID"
+if wait "$DPID"; then
+    rc=0
+else
+    rc=$?
+fi
+DPID=""
+if [ "$rc" -ne 0 ]; then
+    echo "admin-smoke: FAIL (daemon exited $rc on SIGTERM)"
+    cat "$TMP/daemon.log"
+    exit 1
+fi
+
+echo "admin-smoke: OK (/healthz ok, /metrics exposes server+session families, /eventsz live)"

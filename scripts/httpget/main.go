@@ -1,0 +1,34 @@
+// Command httpget is a minimal curl stand-in for the smoke scripts: GET
+// one URL, copy the body to stdout, exit non-zero on any error or
+// non-2xx status. It keeps scripts/admin_smoke.sh runnable on images
+// that have a Go toolchain but no curl.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	resp, err := http.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		io.Copy(os.Stderr, resp.Body)
+		fmt.Fprintln(os.Stderr, "httpget:", resp.Status)
+		os.Exit(1)
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintln(os.Stderr, "httpget:", err)
+		os.Exit(1)
+	}
+}

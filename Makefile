@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke
 
-check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,3 +50,8 @@ crash-recovery-smoke:
 # /metrics (server + per-session families) and /eventsz answer sanely.
 admin-smoke:
 	GO="$(GO)" sh scripts/admin_smoke.sh
+
+# Simulation-core profiler smoke: profile a session over the wire,
+# assert `profile report` and /profilez agree on what they profiled.
+profile-smoke:
+	GO="$(GO)" sh scripts/profile_smoke.sh

@@ -1,7 +1,9 @@
 // Command livesim is an interactive shell speaking the command vocabulary
 // of the paper's Table I against a live session: load a design, instantiate
-// pipes, run testbenches, take and reload checkpoints, and hot-reload code
-// edits without restarting the simulation.
+// pipes, run testbenches, take and reload checkpoints, hot-reload code
+// edits without restarting the simulation, and profile where the
+// simulation's time goes (`profile start` / `profile report` — per-instance
+// heat, activity and quiescence from internal/prof).
 //
 // Usage:
 //

@@ -15,8 +15,10 @@
 //	livesimd -listen :9310 -admin-addr 127.0.0.1:9311   # + HTTP admin plane
 //
 // Drive it with `livesim -connect <addr>` or any NDJSON-speaking client.
-// The admin plane serves /metrics (Prometheus text), /healthz, /eventsz
-// and /debug/pprof; operational logs are structured JSONL on stderr.
+// The admin plane serves /metrics (Prometheus text), /healthz, /eventsz,
+// /profilez (per-session activity-profiler snapshots; enable recording
+// with the `profile start` verb) and /debug/pprof; operational logs are
+// structured JSONL on stderr.
 package main
 
 import (

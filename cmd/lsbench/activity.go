@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+
+	"livesim/internal/prof"
+)
+
+// activityBench exercises the simulation-core activity profiler
+// (internal/prof) as an experiment in its own right:
+//
+//  1. a quiescence-vs-mesh-size table — for each PGAS mesh, how many of
+//     the per-instance clock-edge commits changed nothing. This is the
+//     raw material for activity-driven scheduling (ROADMAP item 1): a
+//     high quiescent fraction means most seq evals could be skipped.
+//  2. a profiler-overhead figure in ABBA order — simulation speed with
+//     the profiler never attached, attached-then-detached, and
+//     recording. The bar: recording costs < 3%, detached is noise.
+func activityBench(sizes []int) {
+	fmt.Println("== Activity: per-instance quiescence and profiler overhead ==")
+
+	const profiledCycles = 4096
+	fmt.Printf("   (profile of %d cycles per mesh; streaks in cycles)\n", profiledCycles)
+	fmt.Printf("%-8s %8s %8s %12s %12s %10s  %s\n",
+		"PGAS", "insts", "levels", "seq evals", "quiescent", "eval ms", "quietest instance")
+	for _, n := range sizes {
+		s, _, err := buildLive(n)
+		if err != nil {
+			fatal(err)
+		}
+		if err := loadLive(s, n); err != nil {
+			fatal(err)
+		}
+		s.SetProfiler(prof.New())
+		must(s.Tick(profiledCycles))
+		snap := s.Profiler().Snapshot()
+
+		quiet := "-"
+		var maxStreak uint64
+		for i := range snap.Insts {
+			if st := &snap.Insts[i]; st.MaxQuietStreak > maxStreak {
+				maxStreak = st.MaxQuietStreak
+				quiet = fmt.Sprintf("%s (%d)", st.Path, st.MaxQuietStreak)
+			}
+		}
+		fmt.Printf("%-8s %8d %8d %12d %11.1f%% %10.3f  %s\n",
+			meshLabel(n), snap.Instances, len(snap.Levels), snap.SeqEvals,
+			100*snap.QuiescentFraction, float64(snap.EvalNs)/1e6, quiet)
+	}
+	fmt.Println()
+
+	// Overhead, ABBA order so machine drift cancels: off, detached, on,
+	// then the mirror. "off" never attaches a profiler; "detached"
+	// attaches one and removes it again (the state a `profile stop`
+	// leaves behind — must be indistinguishable from off); "on" records.
+	const n = 4
+	arm := func(mode string) float64 {
+		s, _, err := buildLive(n)
+		if err != nil {
+			fatal(err)
+		}
+		if err := loadLive(s, n); err != nil {
+			fatal(err)
+		}
+		switch mode {
+		case "detached":
+			s.SetProfiler(prof.New())
+			s.SetProfiler(nil)
+		case "on":
+			s.SetProfiler(prof.New())
+		}
+		return measureKHz(func(c int) { must(s.Tick(c)) }, s.Cycle)
+	}
+	modes := []string{"off", "detached", "on"}
+	khz := map[string]float64{}
+	for _, m := range modes { // A B C
+		khz[m] = arm(m)
+	}
+	for i := len(modes) - 1; i >= 0; i-- { // C B A
+		m := modes[i]
+		khz[m] = (khz[m] + arm(m)) / 2
+	}
+
+	fmt.Printf("profiler overhead (PGAS %s, %v per arm, ABBA averaged):\n", meshLabel(n), *flagBudget)
+	fmt.Printf("%-10s %12s %12s\n", "profiler", "KHz", "overhead")
+	for _, m := range modes {
+		over := "-"
+		if m != "off" && khz["off"] > 0 {
+			over = fmt.Sprintf("%+.2f%%", (khz["off"]-khz[m])/khz["off"]*100)
+		}
+		fmt.Printf("%-10s %12.1f %12s\n", m, khz[m], over)
+	}
+	fmt.Println()
+}

@@ -53,6 +53,7 @@ var (
 	flagServe   = flag.Bool("serve", false, "server throughput: req/s vs concurrent clients against an in-process livesimd")
 	flagRecover = flag.Bool("recovery", false, "durability: WAL journaling overhead and crash-recovery replay latency")
 	flagObs     = flag.Bool("obs", false, "observability: hot-reload latency with the admin plane off vs on")
+	flagAct     = flag.Bool("activity", false, "activity profiler: quiescent-eval fraction per mesh and profiler overhead")
 	flagBudget  = flag.Duration("budget", 3*time.Second, "time budget per speed measurement")
 	flagProfCyc = flag.Int("profcycles", 300, "profiled cycles for Table VII")
 	flagMetrics = flag.Bool("metrics", false, "attach a metrics registry to session-based experiments and embed its JSON snapshot in the output")
@@ -79,10 +80,10 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover || *flagObs
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover || *flagObs || *flagAct
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
-		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover, *flagObs = true, true, true, true, true, true, true
+		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover, *flagObs, *flagAct = true, true, true, true, true, true, true, true
 	}
 	fmt.Printf("lsbench: sizes=%v budget=%v GOMAXPROCS=%d\n\n", sizes, *flagBudget, runtime.GOMAXPROCS(0))
 
@@ -118,6 +119,9 @@ func main() {
 	}
 	if *flagObs {
 		obsBench()
+	}
+	if *flagAct {
+		activityBench(sizes)
 	}
 }
 

@@ -70,7 +70,12 @@ type Store struct {
 
 	// metrics, when set, receives checkpoint_* counters and encode
 	// latency (all on the background writer, never the hot path).
-	metrics *obs.Registry
+	// The per-take instruments are resolved once in SetMetrics so Add
+	// never pays a registry lookup; all are nil-safe no-ops when unset.
+	metrics       *obs.Registry
+	cTakes        *obs.Counter
+	cEncodedBytes *obs.Counter
+	hEncode       *obs.Histogram
 }
 
 // NewStore returns a store with the paper's defaults.
@@ -84,6 +89,9 @@ func NewStore() *Store {
 func (s *Store) SetMetrics(reg *obs.Registry) {
 	s.mu.Lock()
 	s.metrics = reg
+	s.cTakes = reg.Counter("checkpoint_takes")
+	s.cEncodedBytes = reg.Counter("checkpoint_encoded_bytes")
+	s.hEncode = reg.Histogram("checkpoint_encode_seconds", nil)
 	s.mu.Unlock()
 }
 
@@ -103,20 +111,18 @@ func (s *Store) Add(st *sim.State, version string, historyPos int) *Checkpoint {
 	s.nextID++
 	s.cps = append(s.cps, cp)
 	s.gcLocked()
-	reg := s.metrics
+	cTakes, cBytes, hEncode := s.cTakes, s.cEncodedBytes, s.hEncode
 	s.mu.Unlock()
 
-	reg.Counter("checkpoint_takes").Inc()
+	cTakes.Inc()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		t0 := time.Now()
 		cp.encoded = encodeState(st)
 		close(cp.ready)
-		if reg != nil {
-			reg.Histogram("checkpoint_encode_seconds", nil).Observe(time.Since(t0).Seconds())
-			reg.Counter("checkpoint_encoded_bytes").Add(uint64(len(cp.encoded)))
-		}
+		hEncode.Observe(time.Since(t0).Seconds())
+		cBytes.Add(uint64(len(cp.encoded)))
 	}()
 	return cp
 }

@@ -7,6 +7,7 @@
 package command
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -339,6 +340,84 @@ func init() {
 			return nil
 		},
 	})
+
+	// profile is deliberately Mutates: false — it changes only
+	// observability state, never simulated state, so the server neither
+	// journals it nor needs a checkpoint before eviction, and a client
+	// may safely resend it after a reconnect.
+	Register(minMax(&Command{
+		Name: "profile", Usage: "profile <start|stop|report|reset> [pipe] [json]",
+		Help: "control the activity/heat profiler",
+		Run: func(env *Env, args []string) error {
+			sub := args[0]
+			rest := args[1:]
+			wantJSON := false
+			if n := len(rest); n > 0 && rest[n-1] == "json" {
+				wantJSON = true
+				rest = rest[:n-1]
+			}
+			pipe := ""
+			if len(rest) > 0 {
+				pipe = rest[0]
+			}
+			if wantJSON && sub != "report" {
+				return fmt.Errorf("usage: profile %s [pipe]", sub)
+			}
+			switch sub {
+			case "start":
+				n, err := env.Session.ProfileStart(pipe)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(env.Out, "  profiling %d pipe(s)\n", n)
+				return nil
+			case "stop":
+				n, err := env.Session.ProfileStop(pipe)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(env.Out, "  stopped %d pipe(s)\n", n)
+				return nil
+			case "reset":
+				n, err := env.Session.ProfileReset(pipe)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(env.Out, "  reset %d profiler(s)\n", n)
+				return nil
+			case "report":
+				profiles, err := env.Session.ProfileSnapshot(pipe)
+				if err != nil {
+					return err
+				}
+				if wantJSON {
+					data, err := json.Marshal(profiles)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(env.Out, "%s\n", data)
+					return nil
+				}
+				if len(profiles) == 0 {
+					fmt.Fprintln(env.Out, "  no profile data (run `profile start` first)")
+					return nil
+				}
+				for _, pp := range profiles {
+					state := "stopped"
+					if pp.Enabled {
+						state = "recording"
+					}
+					fmt.Fprintf(env.Out, "pipe %s (%s):\n", pp.Pipe, state)
+					var b strings.Builder
+					pp.Snapshot.Render(&b)
+					fmt.Fprintln(env.Out, indent(strings.TrimRight(b.String(), "\n")))
+				}
+				return nil
+			default:
+				return fmt.Errorf("usage: profile <start|stop|report|reset> [pipe] [json]")
+			}
+		},
+	}, 1, 3))
 
 	Register(minMax(&Command{
 		Name: "stats", Usage: "stats [json]", Help: "dump the metrics registry",

@@ -111,3 +111,55 @@ func TestHelpTextCoversEveryVerb(t *testing.T) {
 		t.Errorf("All()=%d Names()=%d", len(All()), len(Names()))
 	}
 }
+
+func TestProfileVerb(t *testing.T) {
+	var out strings.Builder
+	env := &Env{Session: bootTiny(t), Out: &out}
+	for _, line := range []string{
+		"instpipe p0",
+		"profile start",
+		"run clock p0 80",
+		"profile report",
+	} {
+		if err := DispatchLine(env, line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "pipe p0 (recording):") {
+		t.Errorf("report missing pipe header: %q", text)
+	}
+	if !strings.Contains(text, "u0") || !strings.Contains(text, "quiescence:") {
+		t.Errorf("report missing heat tree content: %q", text)
+	}
+
+	// JSON form round-trips through the same snapshot.
+	out.Reset()
+	if err := DispatchLine(env, "profile report p0 json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"pipe":"p0"`) {
+		t.Errorf("json report: %q", out.String())
+	}
+
+	// stop / reset are acknowledged; report with no data explains itself.
+	out.Reset()
+	for _, line := range []string{"profile stop", "profile reset"} {
+		if err := DispatchLine(env, line); err != nil {
+			t.Fatalf("%s: %v", line, err)
+		}
+	}
+	if err := DispatchLine(env, "profile bogus"); err == nil || !strings.Contains(err.Error(), "usage: profile") {
+		t.Errorf("bad subverb: %v", err)
+	}
+	if err := DispatchLine(env, "profile start json"); err == nil {
+		t.Error("json on non-report subverb should fail")
+	}
+	// The verb must stay non-mutating: journaled replay and client
+	// resend correctness both depend on it.
+	for _, c := range All() {
+		if c.Name == "profile" && c.Mutates {
+			t.Error("profile verb marked Mutates")
+		}
+	}
+}

@@ -46,6 +46,13 @@ type Health struct {
 	// describes the newest.
 	WatchdogCancels uint64
 	LastWatchdog    string
+	// ProfiledPipes counts pipes with the activity profiler currently
+	// recording; ProfInstances the instances bound across all profilers
+	// (recording or stopped); ProfQuiescentPct the fraction of observed
+	// instance-evals that committed no state change.
+	ProfiledPipes    int
+	ProfInstances    int
+	ProfQuiescentPct float64
 }
 
 // Ok reports whether nothing has gone wrong since the session started.
@@ -72,6 +79,10 @@ func (h Health) String() string {
 	if h.WatchdogCancels > 0 {
 		out += fmt.Sprintf("\nwatchdog cancels: %d (last: %s)", h.WatchdogCancels, h.LastWatchdog)
 	}
+	if h.ProfInstances > 0 {
+		out += fmt.Sprintf("\nprofiler: %d pipes recording, %d instances, %.1f%% quiescent evals",
+			h.ProfiledPipes, h.ProfInstances, h.ProfQuiescentPct)
+	}
 	if h.Ok() {
 		out += "\nstatus: ok"
 	}
@@ -80,9 +91,15 @@ func (h Health) String() string {
 
 // Health returns the current robustness summary.
 func (s *Session) Health() Health {
+	// The profile summary takes s.mu; gather it before healthMu so the
+	// two locks are never nested.
+	pp, pi, pq := s.profileSummary()
 	s.healthMu.Lock()
 	defer s.healthMu.Unlock()
 	return Health{
+		ProfiledPipes:    pp,
+		ProfInstances:    pi,
+		ProfQuiescentPct: pq,
 		ChangesApplied:   s.health.changesApplied,
 		ChangesFailed:    s.health.changesFailed,
 		RolledBack:       s.health.rolledBack,

@@ -165,6 +165,11 @@ func (s *Session) restorePipeSnapshot(snap *pipeSnapshot) error {
 
 	p := snap.p
 	s.mu.Lock()
+	// The rebuild replaced the kernel, so a recording profiler must be
+	// re-attached (Bind carries the accumulated heat over by path).
+	if p.profiler != nil && p.Sim.Profiler() != nil {
+		sm.SetProfiler(p.profiler)
+	}
 	p.Sim = sm
 	p.Version = snap.version
 	p.History = snap.history

@@ -22,6 +22,7 @@ import (
 	"livesim/internal/livecompiler"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
+	"livesim/internal/prof"
 	"livesim/internal/sim"
 	"livesim/internal/vm"
 	"livesim/internal/xform"
@@ -124,6 +125,12 @@ type Pipe struct {
 	tbs map[string]Testbench // live testbench instances by handle
 
 	lastCheckpoint uint64
+
+	// profiler is the pipe's activity profiler (internal/prof); nil until
+	// the first ProfileStart. It outlives attach/detach so statistics stay
+	// readable after a ProfileStop, and it is carried across the sim
+	// rebuilds of rollback.
+	profiler *prof.Profiler
 }
 
 // Config tunes a Session.
@@ -200,6 +207,14 @@ type Session struct {
 	// times spans, which ApplyChange's ChangeReport is derived from.
 	metrics *obs.Registry
 	tracer  *obs.Tracer
+
+	// Hot-path instruments, resolved once at construction (the PR 1
+	// pattern): Run and takeCheckpoint fire per cycle batch / per
+	// checkpoint and must not pay a registry map lookup each time. All
+	// nil (and no-op) when metrics are off.
+	cRuns        *obs.Counter
+	cCyclesRun   *obs.Counter
+	hCkptCapture *obs.Histogram
 }
 
 // NewSession creates an empty session for the given top module.
@@ -225,10 +240,14 @@ func NewSession(top string, cfg Config) *Session {
 		metrics:        cfg.Metrics,
 		tracer:         obs.NewTracer(cfg.TraceOut),
 	}
+	s.cRuns = s.metrics.Counter("session_runs")
+	s.cCyclesRun = s.metrics.Counter("session_cycles_run")
+	s.hCkptCapture = s.metrics.Histogram("checkpoint_capture_seconds", nil)
 	// Bridge: the VM/kernel hot loop keeps its existing Stats fast path;
-	// its counters are published into the registry only when a snapshot
-	// is taken.
+	// its counters (and the activity profiler's totals) are published
+	// into the registry only when a snapshot is taken.
 	s.metrics.OnSnapshot(s.publishVMStats)
+	s.metrics.OnSnapshot(s.publishProfStats)
 	return s
 }
 
@@ -516,8 +535,8 @@ func (s *Session) Run(tbHandle, pipeName string, cycles int) error {
 		}
 		s.mu.Unlock()
 	}
-	s.metrics.Counter("session_runs").Inc()
-	s.metrics.Counter("session_cycles_run").Add(p.Sim.Cycle() - start)
+	s.cRuns.Inc()
+	s.cCyclesRun.Add(p.Sim.Cycle() - start)
 	return err
 }
 
@@ -592,7 +611,7 @@ func (s *Session) takeCheckpoint(p *Pipe) *checkpoint.Checkpoint {
 	if s.metrics != nil {
 		// The stop-the-world part only — serialization is async and
 		// measured by the store as checkpoint_encode_seconds.
-		s.metrics.Histogram("checkpoint_capture_seconds", nil).Observe(time.Since(t0).Seconds())
+		s.hCkptCapture.Observe(time.Since(t0).Seconds())
 	}
 	return cp
 }

@@ -1,0 +1,258 @@
+package prof
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// chain3 is a three-instance hierarchy: top -> a -> b.
+func chain3() []InstMeta {
+	return []InstMeta{
+		{Path: "top", Key: "top", Parent: -1, Depth: 0},
+		{Path: "top.a", Key: "mod_a", Parent: 0, Depth: 1},
+		{Path: "top.a.b", Key: "mod_b", Parent: 1, Depth: 2},
+	}
+}
+
+func TestSampleCadence(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	sampled := 0
+	for i := 1; i <= 2*SampleEvery; i++ {
+		if t0 := p.SampleStart(); t0 != 0 {
+			sampled++
+			if i%SampleEvery != 0 {
+				t.Errorf("sampled on call %d, want multiples of %d only", i, SampleEvery)
+			}
+		}
+	}
+	if sampled != 2 {
+		t.Errorf("sampled %d of %d calls, want 2", sampled, 2*SampleEvery)
+	}
+}
+
+func TestCommitAndStreaks(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	// Instance 1 toggles for 5 cycles then stalls; 0 and 2 never toggle.
+	const cycles = 20
+	for c := uint64(0); c < cycles; c++ {
+		for i := 0; i < 3; i++ {
+			p.SeqDone(i, 0)
+			p.Commit(i, i == 1 && c < 5)
+		}
+		p.EndCycle(c)
+	}
+	s := p.Snapshot()
+	if s.Cycles != cycles || s.SeqEvals != 3*cycles {
+		t.Fatalf("cycles %d seqEvals %d", s.Cycles, s.SeqEvals)
+	}
+	a := s.Insts[1]
+	if a.Toggles != 5 || a.QuiescentEvals != 15 {
+		t.Errorf("toggles %d quiescent %d, want 5/15", a.Toggles, a.QuiescentEvals)
+	}
+	if !a.EverActive || a.LastActiveCycle != 4 {
+		t.Errorf("everActive %v lastActive %d, want true/4", a.EverActive, a.LastActiveCycle)
+	}
+	if a.QuietStreak != 15 || a.MaxQuietStreak != 15 {
+		t.Errorf("streak %d max %d, want 15/15", a.QuietStreak, a.MaxQuietStreak)
+	}
+	// Activity series: one active cycle in each of the first 5 buckets.
+	active := uint32(0)
+	for _, b := range a.Activity {
+		active += b
+	}
+	if active != 5 || s.BucketWidth != 1 {
+		t.Errorf("active sum %d width %d, want 5/1", active, s.BucketWidth)
+	}
+	if top := s.Insts[0]; top.EverActive || top.QuiescentEvals != cycles {
+		t.Errorf("top everActive %v quiescent %d", top.EverActive, top.QuiescentEvals)
+	}
+	if s.QuiescentEvals != 3*cycles-5 {
+		t.Errorf("total quiescent %d want %d", s.QuiescentEvals, 3*cycles-5)
+	}
+}
+
+func TestActivityCoarsening(t *testing.T) {
+	p := New()
+	p.Bind(chain3()[:1], 0)
+	// 300 cycles, every one active: the 64-bucket grid must coarsen from
+	// width 1 to width 8 (64*4=256 < 300 <= 64*8) without losing counts.
+	const cycles = 300
+	for c := uint64(0); c < cycles; c++ {
+		p.Commit(0, true)
+		p.EndCycle(c)
+	}
+	s := p.Snapshot()
+	if s.BucketWidth != 8 {
+		t.Errorf("width %d want 8", s.BucketWidth)
+	}
+	total := uint32(0)
+	for _, b := range s.Insts[0].Activity {
+		total += b
+	}
+	if total != cycles {
+		t.Errorf("bucket sum %d want %d", total, cycles)
+	}
+}
+
+func TestBindCarriesStatsByPath(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	for i := 0; i < 3; i++ {
+		p.SeqDone(i, 0)
+		p.Commit(i, true)
+	}
+	p.EndCycle(0)
+
+	// A hot reload restructures the tree: top.a survives (new key, new
+	// position), top.a.b disappears, top.c is new.
+	p.Bind([]InstMeta{
+		{Path: "top", Key: "top_v2", Parent: -1, Depth: 0},
+		{Path: "top.c", Key: "mod_c", Parent: 0, Depth: 1},
+		{Path: "top.a", Key: "mod_a_v2", Parent: 0, Depth: 1},
+	}, 1)
+	s := p.Snapshot()
+	if s.Instances != 3 {
+		t.Fatalf("instances %d", s.Instances)
+	}
+	byPath := map[string]InstStat{}
+	for _, st := range s.Insts {
+		byPath[st.Path] = st
+	}
+	if byPath["top.a"].SeqEvals != 1 || byPath["top.a"].Toggles != 1 {
+		t.Errorf("top.a did not carry: %+v", byPath["top.a"])
+	}
+	if byPath["top.a"].Key != "mod_a_v2" {
+		t.Errorf("top.a key %q", byPath["top.a"].Key)
+	}
+	if byPath["top.c"].SeqEvals != 0 {
+		t.Errorf("top.c should start cold: %+v", byPath["top.c"])
+	}
+}
+
+func TestResetKeepsBinding(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	for c := uint64(0); c < 10; c++ {
+		p.SeqDone(0, 0)
+		p.Commit(0, true)
+		p.EndCycle(c)
+	}
+	p.Reset()
+	s := p.Snapshot()
+	if s.Instances != 3 {
+		t.Fatalf("binding lost: %d instances", s.Instances)
+	}
+	if s.SeqEvals != 0 || s.Cycles != 0 || s.Insts[0].Toggles != 0 {
+		t.Errorf("not zeroed: %+v", s)
+	}
+	if s.BucketBase != 9 {
+		t.Errorf("bucket base %d, want restart at last cycle 9", s.BucketBase)
+	}
+}
+
+func TestSnapshotRollupAndLevels(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	// Give each instance a known sampled eval time via the hot setters.
+	p.hot[0].evalNs.Store(100)
+	p.hot[1].evalNs.Store(30)
+	p.hot[2].evalNs.Store(7)
+	s := p.Snapshot()
+	if s.Insts[0].SelfNs != 100 || s.Insts[0].TotalNs != 137 {
+		t.Errorf("top self %d total %d, want 100/137", s.Insts[0].SelfNs, s.Insts[0].TotalNs)
+	}
+	if s.Insts[1].TotalNs != 37 || s.Insts[2].TotalNs != 7 {
+		t.Errorf("rollup wrong: a=%d b=%d", s.Insts[1].TotalNs, s.Insts[2].TotalNs)
+	}
+	if len(s.Levels) != 3 {
+		t.Fatalf("levels %d", len(s.Levels))
+	}
+	for d, lv := range s.Levels {
+		if lv.Depth != d || lv.Instances != 1 {
+			t.Errorf("level %d: %+v", d, lv)
+		}
+	}
+	if s.EvalNs != 137 {
+		t.Errorf("total eval ns %d", s.EvalNs)
+	}
+}
+
+func TestTotalsMatchesSnapshot(t *testing.T) {
+	p := New()
+	p.Bind(chain3(), 0)
+	for c := uint64(0); c < 7; c++ {
+		for i := 0; i < 3; i++ {
+			p.CombDone(i, 0)
+			p.SeqDone(i, 0)
+			p.Commit(i, c%2 == 0)
+		}
+		p.EndCycle(c)
+	}
+	tot := p.Totals()
+	s := p.Snapshot()
+	if tot.SeqEvals != s.SeqEvals || tot.CombEvals != s.CombEvals ||
+		tot.QuiescentEvals != s.QuiescentEvals || tot.Cycles != s.Cycles ||
+		tot.Instances != s.Instances {
+		t.Errorf("totals %+v disagree with snapshot", tot)
+	}
+}
+
+// TestRenderGolden pins the human-readable report format. Regenerate
+// with `go test ./internal/prof -run Golden -update` after a deliberate
+// format change.
+func TestRenderGolden(t *testing.T) {
+	s := &Snapshot{
+		Instances:         3,
+		FirstCycle:        0,
+		LastCycle:         99,
+		Cycles:            100,
+		SeqEvals:          300,
+		QuiescentEvals:    180,
+		QuiescentFraction: 0.6,
+		CombEvals:         450,
+		EvalNs:            2_500_000,
+		BucketBase:        0,
+		BucketWidth:       2,
+		Insts: []InstStat{
+			{Path: "top", Key: "top", Depth: 0, Parent: -1, CombEvals: 150, SeqEvals: 100,
+				SelfNs: 1_000_000, TotalNs: 2_500_000, Toggles: 0, QuiescentEvals: 100,
+				QuietStreak: 100, MaxQuietStreak: 100},
+			{Path: "top.cnt", Key: "counter", Depth: 1, Parent: 0, CombEvals: 150, SeqEvals: 100,
+				SelfNs: 900_000, TotalNs: 900_000, Toggles: 80, QuiescentEvals: 20,
+				QuietStreak: 20, MaxQuietStreak: 20, LastActiveCycle: 79, EverActive: true},
+			{Path: "top.mem", Key: "memory", Depth: 1, Parent: 0, CombEvals: 150, SeqEvals: 100,
+				SelfNs: 600_000, TotalNs: 600_000, Toggles: 40, QuiescentEvals: 60,
+				QuietStreak: 55, MaxQuietStreak: 55, LastActiveCycle: 44, EverActive: true},
+		},
+		Levels: []LevelStat{
+			{Depth: 0, Instances: 1, CombEvals: 150, SeqEvals: 100, EvalNs: 1_000_000},
+			{Depth: 1, Instances: 2, CombEvals: 300, SeqEvals: 200, EvalNs: 1_500_000},
+		},
+	}
+	var buf bytes.Buffer
+	s.Render(&buf)
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

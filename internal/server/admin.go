@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"livesim/internal/core"
 	"livesim/internal/obs"
 )
 
@@ -22,6 +23,8 @@ import (
 //	                  and the rolling-window latency quantiles
 //	GET /healthz      liveness with drain/recovery/quarantine awareness
 //	GET /eventsz      the operational event ring as JSON (?since=seq)
+//	GET /profilez     per-session activity-profiler snapshots as JSON
+//	                  (?session=name to select one, ?pipe=name within it)
 //	GET /debug/pprof  the stdlib profiler endpoints
 //
 // The handler holds no state of its own — every request renders the
@@ -35,6 +38,7 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/eventsz", s.handleEventsz)
+	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -144,6 +148,55 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+// handleProfilez serves the simulation-core activity profiles: a JSON
+// object mapping session name to the per-pipe profile list the `profile
+// report json` verb would print for that session. Snapshots are safe
+// against a concurrently ticking session, so this endpoint never routes
+// through the per-session worker queue — a scrape cannot be delayed by
+// (or delay) a long run.
+func (s *Server) handleProfilez(w http.ResponseWriter, r *http.Request) {
+	wantSess := r.URL.Query().Get("session")
+	wantPipe := r.URL.Query().Get("pipe")
+
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sessions))
+	bySess := make(map[string]*core.Session, len(s.sessions))
+	for name, h := range s.sessions {
+		if h.sess == nil {
+			continue
+		}
+		if wantSess != "" && name != wantSess {
+			continue
+		}
+		names = append(names, name)
+		bySess[name] = h.sess
+	}
+	s.mu.Unlock()
+	if wantSess != "" && len(names) == 0 {
+		http.Error(w, fmt.Sprintf("no session %q", wantSess), http.StatusNotFound)
+		return
+	}
+	sort.Strings(names)
+
+	out := make(map[string][]core.PipeProfile, len(names))
+	for _, name := range names {
+		profiles, err := bySess[name].ProfileSnapshot(wantPipe)
+		if err != nil {
+			// An unknown pipe is only an error when the caller named one
+			// session explicitly; across sessions it just means "not here".
+			if wantSess != "" {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			continue
+		}
+		out[name] = profiles
+	}
+	body, _ := json.Marshal(out)
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(body, '\n'))
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"livesim/internal/core"
 	"livesim/internal/obs"
 	"livesim/internal/server"
 )
@@ -112,6 +113,89 @@ func TestAdminEndpoints(t *testing.T) {
 	// pprof is mounted.
 	if rec = adminGet(t, h, "/debug/pprof/"); rec.Code != http.StatusOK {
 		t.Errorf("/debug/pprof/ = %d", rec.Code)
+	}
+}
+
+// TestAdminProfilez drives the activity profiler end to end over the
+// wire and asserts the three surfaces agree: the `profile report json`
+// verb, the /profilez admin endpoint, and the prof_* gauges on
+// /metrics all see the same session with the same instance count.
+func TestAdminProfilez(t *testing.T) {
+	srv, addr := startServer(t, server.Config{Metrics: obs.NewRegistry()})
+	c := dial(t, addr)
+	createTiny(t, c, "prof0", 20)
+	mustOK(t, c, &server.Request{Session: "prof0", Verb: "profile", Args: []string{"start"}})
+	mustOK(t, c, &server.Request{Session: "prof0", Verb: "run", Args: []string{"clock", "p0", "40"}})
+
+	h := srv.AdminHandler()
+
+	// Before any profiling surface: the verb's own JSON report.
+	resp := mustOK(t, c, &server.Request{Session: "prof0", Verb: "profile", Args: []string{"report", "json"}})
+	var fromVerb []core.PipeProfile
+	if err := json.Unmarshal([]byte(resp.Output), &fromVerb); err != nil {
+		t.Fatalf("profile report json: %v\n%s", err, resp.Output)
+	}
+	if len(fromVerb) != 1 || !fromVerb[0].Enabled {
+		t.Fatalf("verb profiles = %+v", fromVerb)
+	}
+	// tinyDesign: top + u0.
+	if fromVerb[0].Snapshot.Instances != 2 {
+		t.Fatalf("verb instance count %d, want 2", fromVerb[0].Snapshot.Instances)
+	}
+
+	// /profilez sweep: same session, same pipe, same counts.
+	rec := adminGet(t, h, "/profilez")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/profilez = %d: %s", rec.Code, rec.Body)
+	}
+	var all map[string][]core.PipeProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatalf("/profilez body: %v", err)
+	}
+	got, ok := all["prof0"]
+	if !ok || len(got) != 1 {
+		t.Fatalf("/profilez = %+v", all)
+	}
+	if got[0].Pipe != "p0" || got[0].Snapshot.Instances != fromVerb[0].Snapshot.Instances {
+		t.Errorf("/profilez disagrees with verb: %+v vs %+v", got[0], fromVerb[0])
+	}
+	if got[0].Snapshot.Cycles != 40 {
+		t.Errorf("/profilez cycles %d, want 40", got[0].Snapshot.Cycles)
+	}
+
+	// Query filters: named session and pipe narrow the sweep; unknown
+	// names are 404s rather than silently-empty responses.
+	rec = adminGet(t, h, "/profilez?session=prof0&pipe=p0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/profilez?session&pipe = %d", rec.Code)
+	}
+	if rec = adminGet(t, h, "/profilez?session=ghost"); rec.Code != http.StatusNotFound {
+		t.Errorf("/profilez?session=ghost = %d, want 404", rec.Code)
+	}
+	if rec = adminGet(t, h, "/profilez?session=prof0&pipe=ghost"); rec.Code != http.StatusNotFound {
+		t.Errorf("/profilez?pipe=ghost = %d, want 404", rec.Code)
+	}
+
+	// /metrics: the per-session prof gauges carry the same numbers.
+	body := adminGet(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		`livesim_prof_instances{session="prof0"} 2`,
+		`livesim_prof_pipes_enabled{session="prof0"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Stop over the wire; the endpoint must reflect it immediately.
+	mustOK(t, c, &server.Request{Session: "prof0", Verb: "profile", Args: []string{"stop"}})
+	rec = adminGet(t, h, "/profilez?session=prof0")
+	var stopped map[string][]core.PipeProfile
+	if err := json.Unmarshal(rec.Body.Bytes(), &stopped); err != nil {
+		t.Fatal(err)
+	}
+	if stopped["prof0"][0].Enabled {
+		t.Error("still enabled after profile stop")
 	}
 }
 

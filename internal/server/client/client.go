@@ -152,7 +152,10 @@ func SplitAddr(addr string) (network, target string) {
 // session verbs (from the shared command table's Mutates flag) and
 // read-only server verbs. Mutations and one-shot server verbs (create,
 // close, subscribe, unquarantine) are not resendable — the daemon may
-// have applied them before the connection died.
+// have applied them before the connection died. Verbs that change only
+// observability state (profile start/stop/reset) are deliberately
+// marked non-mutating in the table: resending one after a reconnect is
+// harmless, so they stay on the resend path.
 func Idempotent(verb string) bool {
 	switch strings.ToLower(verb) {
 	case "ping", "help", "metricz", "sessions", "events", "top":

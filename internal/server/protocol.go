@@ -19,8 +19,9 @@
 // The protocol is one JSON object per line in each direction. Requests
 // name a verb: either a server verb (create, close, sessions, ping,
 // metricz, subscribe, help) or any session verb from internal/command —
-// the same table the interactive shell dispatches into, so the wire
-// vocabulary and `help` can never drift from the shell. Responses echo
+// run, apply, profile, stats and the rest of the same table the
+// interactive shell dispatches into, so the wire vocabulary and `help`
+// can never drift from the shell. Responses echo
 // the request id; `subscribe` additionally streams span events (objects
 // with an "ev" field, no "id") onto the connection as the watched
 // session works.

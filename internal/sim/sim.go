@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"livesim/internal/obs"
+	"livesim/internal/prof"
 	"livesim/internal/vm"
 )
 
@@ -47,6 +48,11 @@ type Node struct {
 	Children []*Node
 	parent   *Node
 
+	// idx is the node's position in the pre-order index, maintained by
+	// rebuildIndex; the activity profiler keys its per-instance counters
+	// on it so the hot path never does a map lookup.
+	idx int
+
 	// dirty marks that an input or internal state changed since the last
 	// combinational evaluation (event-driven settle).
 	dirty bool
@@ -73,6 +79,10 @@ type Sim struct {
 
 	codeBase uint64
 	dataBase uint64
+
+	// sp is the attached activity profiler; nil means off, and every
+	// instrumented site below pays exactly one nil check.
+	sp *prof.Profiler
 
 	// Cached registry instruments (nil when metrics are disabled; every
 	// method on a nil instrument is a no-op, so the hot path below pays
@@ -169,12 +179,45 @@ func (s *Sim) rebuildIndex() {
 	s.nodes = s.nodes[:0]
 	var walk func(n *Node)
 	walk = func(n *Node) {
+		n.idx = len(s.nodes)
 		s.nodes = append(s.nodes, n)
 		for _, c := range n.Children {
 			walk(c)
 		}
 	}
 	walk(s.Root)
+	if s.sp != nil {
+		s.bindProfiler()
+	}
+}
+
+// SetProfiler attaches (or, with nil, detaches) the activity profiler.
+// The profiler is rebound automatically when a hot reload restructures
+// the hierarchy, carrying per-instance statistics across the swap. Must
+// not be called concurrently with Tick/Settle — the session worker
+// serializes both.
+func (s *Sim) SetProfiler(p *prof.Profiler) {
+	s.sp = p
+	if p != nil {
+		s.bindProfiler()
+	}
+}
+
+// Profiler returns the attached activity profiler (nil when off).
+func (s *Sim) Profiler() *prof.Profiler { return s.sp }
+
+// bindProfiler hands the profiler the current pre-order topology.
+func (s *Sim) bindProfiler() {
+	metas := make([]prof.InstMeta, len(s.nodes))
+	for i, n := range s.nodes {
+		m := prof.InstMeta{Path: n.Path, Key: n.Obj.Key, Parent: -1}
+		if n.parent != nil {
+			m.Parent = n.parent.idx
+			m.Depth = metas[n.parent.idx].Depth + 1
+		}
+		metas[i] = m
+	}
+	s.sp.Bind(metas, s.cycle)
 }
 
 // Cycle returns the current simulation cycle.
@@ -192,6 +235,11 @@ func (s *Sim) Nodes() []*Node { return s.nodes }
 // Settle runs the combinational fixed point. It must be called after
 // changing root inputs if outputs are read before the next Tick.
 func (s *Sim) Settle() error { return s.settle(nil) }
+
+// SettleProfiled is Settle with an instruction-stream profiler attached
+// — the settle-path counterpart of TickProfiled, so a profiled session
+// never has to fall back to the unprofiled fixed point.
+func (s *Sim) SettleProfiled(prof vm.Profiler) error { return s.settle(prof) }
 
 func (s *Sim) settle(prof vm.Profiler) error {
 	if s.settled {
@@ -218,7 +266,15 @@ func (s *Sim) settle(prof vm.Profiler) error {
 				continue
 			}
 			n.dirty = false
-			if prof == nil {
+			if sp := s.sp; sp != nil {
+				t0 := sp.SampleStart()
+				if prof == nil {
+					n.Inst.RunComb(&s.Stats)
+				} else {
+					n.Inst.RunCombProfiled(&s.Stats, prof)
+				}
+				sp.CombDone(n.idx, t0)
+			} else if prof == nil {
 				n.Inst.RunComb(&s.Stats)
 			} else {
 				n.Inst.RunCombProfiled(&s.Stats, prof)
@@ -270,19 +326,34 @@ func (s *Sim) tick(n int, prof vm.Profiler) error {
 			return fmt.Errorf("cycle %d: %w", s.cycle, err)
 		}
 		for _, nd := range s.nodes {
-			if prof == nil {
+			if sp := s.sp; sp != nil {
+				t0 := sp.SampleStart()
+				if prof == nil {
+					nd.Inst.RunSeq(&s.Stats)
+				} else {
+					nd.Inst.RunSeqProfiled(&s.Stats, prof)
+				}
+				sp.SeqDone(nd.idx, t0)
+			} else if prof == nil {
 				nd.Inst.RunSeq(&s.Stats)
 			} else {
 				nd.Inst.RunSeqProfiled(&s.Stats, prof)
 			}
 		}
 		for _, nd := range s.nodes {
-			if nd.Inst.Commit() {
+			changed := nd.Inst.Commit()
+			if changed {
 				nd.dirty = true
+			}
+			if s.sp != nil {
+				s.sp.Commit(nd.idx, changed)
 			}
 			if nd.Inst.FinishReq {
 				s.finished = true
 			}
+		}
+		if s.sp != nil {
+			s.sp.EndCycle(s.cycle)
 		}
 		s.settled = false
 		s.cycle++

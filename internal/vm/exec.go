@@ -27,6 +27,22 @@ func (s *Stats) Add(other Stats) {
 // Profiler receives the dynamic instruction and data streams of a profiled
 // execution. The host cache model implements this to estimate I$/D$/branch
 // behaviour (Table VII of the paper).
+//
+// The seam is threaded through every execution path — RunComb/RunSeq via
+// their *Profiled variants, and the kernel's Tick/Settle via
+// sim.TickProfiled/sim.SettleProfiled — so a profiled run sees exactly
+// the address stream an unprofiled run would execute. Callbacks fire
+// synchronously on the executing goroutine, once per instruction in
+// program order, with Data calls for an instruction following its Instr
+// call; implementations must be fast and must not re-enter the instance.
+// Code addresses are Object.BaseAddr-relative modeled addresses (one
+// instruction = InstrBytes); data addresses come from Instance.DataBase
+// and Instance.MemBases. A nil Profiler selects the unprofiled fast
+// path; this interface costs the hot loop nothing when unused.
+//
+// Note this is the instruction-level profiler. Instance-level activity
+// and eval-time profiling (heat maps, quiescence) is internal/prof,
+// attached with sim.SetProfiler — the two compose.
 type Profiler interface {
 	// Instr is called once per executed instruction with its code address.
 	Instr(codeAddr uint64, isBranch, taken bool)
@@ -106,12 +122,17 @@ func (in *Instance) RunComb(st *Stats) { in.exec(in.Obj.Comb, st, nil, 0) }
 // RunSeq executes the sequential program: register next values default to
 // their current values, the program overwrites some of them and buffers
 // memory writes.
-func (in *Instance) RunSeq(st *Stats) {
+func (in *Instance) RunSeq(st *Stats) { in.runSeq(st, nil, 0) }
+
+// runSeq is the single sequential-eval implementation behind RunSeq and
+// RunSeqProfiled (they previously duplicated the next-value default
+// loop).
+func (in *Instance) runSeq(st *Stats, p Profiler, base uint64) {
 	s := in.Slots
 	for _, r := range in.Obj.Regs {
 		s[r.Next] = s[r.Cur]
 	}
-	in.exec(in.Obj.Seq, st, nil, 0)
+	in.exec(in.Obj.Seq, st, p, base)
 }
 
 // Commit moves register next values into place and applies buffered memory
@@ -145,11 +166,7 @@ func (in *Instance) RunCombProfiled(st *Stats, p Profiler) {
 
 // RunSeqProfiled is RunSeq with a profiler attached.
 func (in *Instance) RunSeqProfiled(st *Stats, p Profiler) {
-	s := in.Slots
-	for _, r := range in.Obj.Regs {
-		s[r.Next] = s[r.Cur]
-	}
-	in.exec(in.Obj.Seq, st, p, in.Obj.BaseAddr+uint64(len(in.Obj.Comb)*InstrBytes))
+	in.runSeq(st, p, in.Obj.BaseAddr+uint64(len(in.Obj.Comb)*InstrBytes))
 }
 
 // exec interprets code against the instance state. base is the modeled

@@ -1,0 +1,104 @@
+#!/bin/sh
+# profile-smoke: end-to-end check of the simulation-core profiler —
+# boot livesimd, start profiling a session over the wire, run cycles,
+# then assert the `profile report` verb and the /profilez admin
+# endpoint describe the same simulation: identical instance counts and
+# a live quiescence figure. `make check` runs this after admin-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DPID=""
+trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+SOCK="$TMP/d.sock"
+PORT=$((21000 + $$ % 20000))
+ADMIN="127.0.0.1:$PORT"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+"$TMP/livesimd" -unix "$SOCK" -admin-addr "$ADMIN" -metrics=false \
+    >"$TMP/daemon.log" 2>&1 &
+DPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "profile-smoke: FAIL (daemon never listened)"
+        cat "$TMP/daemon.log"
+        exit 1
+    fi
+    sleep 0.05
+done
+
+"$TMP/livesim" -connect "unix:$SOCK" -session s1 >"$TMP/client.log" <<'EOF'
+create pgas 2
+instpipe p0
+profile start
+run tb0 p0 200
+profile report
+exit
+EOF
+
+# The report must show a recording pipe with a quiescence line.
+if ! grep -q 'pipe p0 (recording):' "$TMP/client.log"; then
+    echo "profile-smoke: FAIL (report missing recording pipe header)"
+    cat "$TMP/client.log"
+    exit 1
+fi
+if ! grep -q 'quiescence:' "$TMP/client.log"; then
+    echo "profile-smoke: FAIL (report missing quiescence line)"
+    cat "$TMP/client.log"
+    exit 1
+fi
+
+# Instance count as the verb reports it: "profile: N instances, ...".
+VERB_INSTS=$(sed -n 's/.*profile: \([0-9][0-9]*\) instances.*/\1/p' "$TMP/client.log" | head -1)
+if [ -z "$VERB_INSTS" ] || [ "$VERB_INSTS" -lt 1 ]; then
+    echo "profile-smoke: FAIL (no instance count in profile report)"
+    cat "$TMP/client.log"
+    exit 1
+fi
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://$ADMIN$1"
+    else
+        $GO run ./scripts/httpget "http://$ADMIN$1"
+    fi
+}
+
+fetch "/profilez?session=s1" >"$TMP/profilez.json"
+ADMIN_INSTS=$(sed -n 's/.*"snapshot":{"instances":\([0-9][0-9]*\),.*/\1/p' "$TMP/profilez.json" | head -1)
+if [ "$ADMIN_INSTS" != "$VERB_INSTS" ]; then
+    echo "profile-smoke: FAIL (verb says $VERB_INSTS instances, /profilez says ${ADMIN_INSTS:-none})"
+    cat "$TMP/profilez.json"
+    exit 1
+fi
+if ! grep -q '"enabled":true' "$TMP/profilez.json"; then
+    echo "profile-smoke: FAIL (/profilez session not recording)"
+    cat "$TMP/profilez.json"
+    exit 1
+fi
+if ! grep -q '"cycles":200' "$TMP/profilez.json"; then
+    echo "profile-smoke: FAIL (/profilez cycle count is not 200)"
+    cat "$TMP/profilez.json"
+    exit 1
+fi
+
+kill -TERM "$DPID"
+if wait "$DPID"; then
+    rc=0
+else
+    rc=$?
+fi
+DPID=""
+if [ "$rc" -ne 0 ]; then
+    echo "profile-smoke: FAIL (daemon exited $rc on SIGTERM)"
+    cat "$TMP/daemon.log"
+    exit 1
+fi
+
+echo "profile-smoke: OK (profile report and /profilez agree on $VERB_INSTS instances, 200 cycles profiled)"

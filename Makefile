@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke
 
-check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,3 +55,10 @@ admin-smoke:
 # assert `profile report` and /profilez agree on what they profiled.
 profile-smoke:
 	GO="$(GO)" sh scripts/profile_smoke.sh
+
+# Resource-governance smoke: lsbench -overload (typed rejections +
+# recovery at 4x admission capacity), then a real livesimd under a
+# forced critical disk rung (NONDURABLE session, degraded /healthz,
+# clean SIGTERM drain).
+overload-smoke:
+	GO="$(GO)" sh scripts/overload_smoke.sh

@@ -29,6 +29,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,7 +64,30 @@ var (
 	flagWALSync   = flag.Duration("wal-fsync-every", 100*time.Millisecond, "journal fsync batching interval; 0 = fsync on every append (durable but slow)")
 	flagJournalCk = flag.Int("journal-ckpt-every", 0, "save watermark checkpoints every N journaled mutations (0 = only on drain/evict)")
 	flagCrashWAL  = flag.Int64("crash-wal-offset", -1, "TESTING: SIGKILL self once any session journal reaches this byte offset")
+
+	// Resource governance (see README "Overload & degradation").
+	flagAdmitBudget = flag.Int64("admit-budget", 0, "global admission budget in verb-cost units; excess requests are rejected with a retry hint (0 = default 256, negative = off)")
+	flagDiskPoll    = flag.Duration("disk-poll", 0, "resource-governor probe cadence for the disk-pressure ladder and memory gauges (0 = default 2s)")
+	flagMemBudget   = flag.Uint64("mem-budget", 0, "shed idle sessions once summed per-session memory estimates exceed this many bytes (0 = unlimited)")
+	flagResume      = flag.Duration("journal-resume-delay", 0, "cooldown before a paused (nondurable) journal may resume and reanchor (0 = default 250ms)")
+	flagFaultFull   = flag.String("fault-disk-full", "", "TESTING: inject ENOSPC into WAL appends, format from:count (1-based append index)")
+	flagFaultFree   = flag.String("fault-disk-free", "", "TESTING: force the disk probe to report free:total bytes, walking the pressure ladder without filling a filesystem")
 )
+
+// parsePair splits a "from:count"-style flag into two non-negative ints.
+func parsePair(flagName, v string) (a, b int64, err error) {
+	parts := strings.SplitN(v, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-%s: want A:B, got %q", flagName, v)
+	}
+	if a, err = strconv.ParseInt(parts[0], 10, 64); err != nil || a < 0 {
+		return 0, 0, fmt.Errorf("-%s: bad first field %q", flagName, parts[0])
+	}
+	if b, err = strconv.ParseInt(parts[1], 10, 64); err != nil || b < 0 {
+		return 0, 0, fmt.Errorf("-%s: bad second field %q", flagName, parts[1])
+	}
+	return a, b, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -101,23 +126,46 @@ func run() int {
 		RunBudget:              *flagRunBudget,
 		QuarantineAfter:        *flagQuarAfter,
 		JournalCheckpointEvery: *flagJournalCk,
+
+		AdmitBudget:        *flagAdmitBudget,
+		DiskPollEvery:      *flagDiskPoll,
+		MemBudget:          *flagMemBudget,
+		JournalResumeDelay: *flagResume,
 	}
 	if *flagWALSync <= 0 {
 		cfg.WALSyncEvery = -1 // fsync on every append
 	} else {
 		cfg.WALSyncEvery = *flagWALSync
 	}
-	if *flagCrashWAL >= 0 {
-		// Crash-matrix harness: die hard (no drain, no deferred cleanup)
-		// the moment any session journal's durable size crosses the
-		// offset, so recovery tests exercise a genuinely torn process.
+	if *flagCrashWAL >= 0 || *flagFaultFull != "" || *flagFaultFree != "" {
 		plan := faultinject.New()
-		plan.CrashWALAt(*flagCrashWAL)
 		cfg.Faults = plan
-		cfg.WALOnWrite = func(size int64) {
-			if plan.WALSize(size) {
-				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		if *flagCrashWAL >= 0 {
+			// Crash-matrix harness: die hard (no drain, no deferred cleanup)
+			// the moment any session journal's durable size crosses the
+			// offset, so recovery tests exercise a genuinely torn process.
+			plan.CrashWALAt(*flagCrashWAL)
+			cfg.WALOnWrite = func(size int64) {
+				if plan.WALSize(size) {
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
 			}
+		}
+		if *flagFaultFull != "" {
+			from, count, err := parsePair("fault-disk-full", *flagFaultFull)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livesimd:", err)
+				return 2
+			}
+			plan.DiskFullAppends(int(from), int(count))
+		}
+		if *flagFaultFree != "" {
+			free, total, err := parsePair("fault-disk-free", *flagFaultFree)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livesimd:", err)
+				return 2
+			}
+			plan.ForceDiskFree(uint64(free), uint64(total))
 		}
 	}
 	if *flagTrace != "" {

@@ -51,6 +51,7 @@ var (
 	flagAblate  = flag.Bool("ablation", false, "codegen-style ablation (grouped vs mux)")
 	flagRollbck = flag.Bool("rollback", false, "robustness: rollback latency after an injected hot-reload failure")
 	flagServe   = flag.Bool("serve", false, "server throughput: req/s vs concurrent clients against an in-process livesimd")
+	flagOver    = flag.Bool("overload", false, "overload: typed rejections, latency and recovery blackout at 1x/2x/4x admission capacity")
 	flagRecover = flag.Bool("recovery", false, "durability: WAL journaling overhead and crash-recovery replay latency")
 	flagObs     = flag.Bool("obs", false, "observability: hot-reload latency with the admin plane off vs on")
 	flagAct     = flag.Bool("activity", false, "activity profiler: quiescent-eval fraction per mesh and profiler overhead")
@@ -80,10 +81,11 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagRecover || *flagObs || *flagAct
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagOver || *flagRecover || *flagObs || *flagAct
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
 		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover, *flagObs, *flagAct = true, true, true, true, true, true, true, true
+		*flagOver = true
 	}
 	fmt.Printf("lsbench: sizes=%v budget=%v GOMAXPROCS=%d\n\n", sizes, *flagBudget, runtime.GOMAXPROCS(0))
 
@@ -113,6 +115,9 @@ func main() {
 	}
 	if *flagServe {
 		serveBench()
+	}
+	if *flagOver {
+		overloadBench()
 	}
 	if *flagRecover {
 		recoveryBench(sizes)

@@ -130,6 +130,31 @@ func (s *Store) Add(st *sim.State, version string, historyPos int) *Checkpoint {
 // Wait blocks until all background serializations have finished.
 func (s *Store) Wait() { s.wg.Wait() }
 
+// ApproxBytes estimates the store's in-memory footprint: every live
+// checkpoint's state copy plus its encoded blob (when the background
+// serialization has landed — the estimate never blocks on it) plus Aux
+// side state. Feeds the governance plane's per-session memory gauges;
+// an estimate that lags one encode is fine for ranking and alarming.
+func (s *Store) ApproxBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, cp := range s.cps {
+		if cp.State != nil {
+			n += uint64(cp.State.Bytes())
+		}
+		select {
+		case <-cp.ready:
+			n += uint64(len(cp.encoded))
+		default:
+		}
+		for _, aux := range cp.Aux {
+			n += uint64(len(aux))
+		}
+	}
+	return n
+}
+
 // Len returns the number of live checkpoints.
 func (s *Store) Len() int {
 	s.mu.Lock()

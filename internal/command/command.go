@@ -45,7 +45,11 @@ type Command struct {
 	// Mutates marks verbs that change session state; the server uses it
 	// to track sessions that need a checkpoint on drain or eviction.
 	Mutates bool
-	Run     func(env *Env, args []string) error
+	// Cost weights this verb against the server's global admission
+	// budget: a 200-cycle run occupies more of the daemon than a cycle
+	// query. Zero means the default weight of 1.
+	Cost int
+	Run  func(env *Env, args []string) error
 }
 
 var registry = map[string]*Command{}
@@ -87,6 +91,16 @@ func HelpText() string {
 	return b.String()
 }
 
+// CostOf returns a verb's admission-budget weight: its registered Cost,
+// or 1 for unweighted verbs and unknown names (an unknown verb still
+// occupies a queue slot until it is rejected).
+func CostOf(name string) int {
+	if c, ok := Lookup(name); ok && c.Cost > 0 {
+		return c.Cost
+	}
+	return 1
+}
+
 // Dispatch validates the argument count and runs the named command.
 func Dispatch(env *Env, name string, args []string) error {
 	c, ok := Lookup(name)
@@ -123,7 +137,7 @@ func init() {
 	})
 
 	Register(minMax(&Command{
-		Name: "instpipe", Usage: "instpipe <name>", Help: "instantiate a pipeline", Mutates: true,
+		Name: "instpipe", Usage: "instpipe <name>", Help: "instantiate a pipeline", Mutates: true, Cost: 4,
 		Run: func(env *Env, args []string) error {
 			_, err := env.Session.InstPipe(args[0])
 			return err
@@ -131,7 +145,7 @@ func init() {
 	}, 1, 1))
 
 	Register(minMax(&Command{
-		Name: "copypipe", Usage: "copypipe <new> <old>", Help: "copy a pipeline including state", Mutates: true,
+		Name: "copypipe", Usage: "copypipe <new> <old>", Help: "copy a pipeline including state", Mutates: true, Cost: 4,
 		Run: func(env *Env, args []string) error {
 			_, err := env.Session.CopyPipe(args[0], args[1])
 			return err
@@ -163,7 +177,7 @@ func init() {
 	}, 1, 1))
 
 	Register(minMax(&Command{
-		Name: "run", Usage: "run <tb> <pipe> <cycles>", Help: "run a testbench", Mutates: true,
+		Name: "run", Usage: "run <tb> <pipe> <cycles>", Help: "run a testbench", Mutates: true, Cost: 8,
 		Run: func(env *Env, args []string) error {
 			cycles, err := strconv.Atoi(args[2])
 			if err != nil {
@@ -186,14 +200,14 @@ func init() {
 	}, 2, 2))
 
 	Register(minMax(&Command{
-		Name: "ldch", Usage: "ldch <pipe> <path>", Help: "load a checkpoint file", Mutates: true,
+		Name: "ldch", Usage: "ldch <pipe> <path>", Help: "load a checkpoint file", Mutates: true, Cost: 2,
 		Run: func(env *Env, args []string) error {
 			return env.Session.LoadCheckpoint(args[0], args[1])
 		},
 	}, 2, 2))
 
 	Register(&Command{
-		Name: "apply", Usage: "apply", Help: "re-read sources and hot reload (ERD loop)", Mutates: true,
+		Name: "apply", Usage: "apply", Help: "re-read sources and hot reload (ERD loop)", Mutates: true, Cost: 8,
 		Run: func(env *Env, _ []string) error {
 			if env.ApplySource == nil {
 				return fmt.Errorf("apply is not available here (no source provider)")
@@ -253,7 +267,7 @@ func init() {
 	}, 2, 2))
 
 	Register(minMax(&Command{
-		Name: "poke", Usage: "poke <pipe> <hier.signal> <v>", Help: "write a signal", Mutates: true,
+		Name: "poke", Usage: "poke <pipe> <hier.signal> <v>", Help: "write a signal", Mutates: true, Cost: 2,
 		Run: func(env *Env, args []string) error {
 			p, ok := env.Session.Pipe(args[0])
 			if !ok {
@@ -269,7 +283,7 @@ func init() {
 
 	Register(minMax(&Command{
 		Name: "trace", Usage: "trace <tb> <pipe> <cycles> <file.vcd> [scope]",
-		Help: "run while dumping a VCD waveform", Mutates: true,
+		Help: "run while dumping a VCD waveform", Mutates: true, Cost: 8,
 		Run: func(env *Env, args []string) error {
 			cycles, err := strconv.Atoi(args[2])
 			if err != nil {

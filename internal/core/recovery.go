@@ -94,16 +94,38 @@ func (s *Session) replayFrom(dir string, recs []*wal.Record, exec ExecRecord, al
 	}
 	rep.FastPath = fast
 
+	// Reanchor records (journal-pause recovery, see wal.TypeReanchor) are
+	// authoritative in BOTH gears: the journal has a gap before each one
+	// — mutations committed while journaling was paused were never
+	// appended — so records before a pipe's newest anchor cannot be
+	// meaningfully re-executed and are superseded by the anchor's
+	// checkpoint + inline history.
+	anchorAt := make(map[string]int) // pipe -> record index of newest reanchor
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Type == wal.TypeReanchor {
+			if _, seen := anchorAt[r.Pipe]; !seen {
+				anchorAt[r.Pipe] = i
+			}
+		}
+	}
+
 	// Pick each pipe's newest *intact* watermark: a mark whose checkpoint
 	// file (or its .bak) still loads. Damaged or missing files just push
 	// recovery to an earlier mark — or to full re-execution of that
-	// pipe's records.
+	// pipe's records. Marks older than the pipe's newest reanchor are
+	// never chosen: the anchor supersedes them (and the records between
+	// them are incomplete anyway).
 	markAt := make(map[string]int) // pipe -> record index of chosen mark
 	if fast {
 		checked := make(map[string]bool)
 		for i := len(recs) - 1; i >= 0; i-- {
 			r := recs[i]
 			if r.Type != wal.TypeMark || checked[r.Pipe] {
+				continue
+			}
+			if ai, anchored := anchorAt[r.Pipe]; anchored && i < ai {
+				checked[r.Pipe] = true
 				continue
 			}
 			if _, _, err := checkpoint.LoadFile(filepath.Join(dir, r.Path)); err == nil {
@@ -150,9 +172,69 @@ func (s *Session) replayFrom(dir string, recs []*wal.Record, exec ExecRecord, al
 			}
 			rep.Checkpoints++
 			continue
+		case wal.TypeReanchor:
+			ai, chosen := anchorAt[r.Pipe]
+			if !chosen || ai != i {
+				continue // older anchor, superseded by a newer one
+			}
+			if mi, marked := markAt[r.Pipe]; fast && marked && mi > i {
+				// A later watermark supersedes this anchor: adopt its
+				// recorded cycle/history as the virtual-reconstruction
+				// baseline (no file IO) so the mark's own history-length
+				// check still lines up.
+				virtCycle[r.Pipe] = r.Cycle
+				virtHist[r.Pipe] = historyFromSteps(r.History)
+				continue
+			}
+			// Apply the anchor: install its inline history verbatim, then
+			// load its checkpoint. Unlike watermarks there is no earlier
+			// fallback — the pre-anchor gap is unreconstructable — so a
+			// load failure fails the replay (honest degradation: the
+			// journal is set aside, not silently mis-served).
+			s.mu.Lock()
+			p, ok := s.pipes[r.Pipe]
+			if ok {
+				p.History = historyFromSteps(r.History)
+			}
+			s.mu.Unlock()
+			if !ok {
+				return rep, fmt.Errorf("record %d: reanchor for unknown pipe %q: %w", i, r.Pipe, ErrReplayDiverged)
+			}
+			if err := s.LoadCheckpoint(r.Pipe, filepath.Join(dir, r.Path)); err != nil {
+				return rep, fmt.Errorf("record %d: reanchor %s: %w", i, r.Path, err)
+			}
+			if c := p.Sim.Cycle(); c != r.Cycle {
+				return rep, fmt.Errorf("record %d: reanchor restored cycle %d, journal says %d: %w",
+					i, c, r.Cycle, ErrReplayDiverged)
+			}
+			if got := s.historyLen(p); got != r.HistoryLen {
+				return rep, fmt.Errorf("record %d: reanchor restored %d journal ops, journal says %d: %w",
+					i, got, r.HistoryLen, ErrReplayDiverged)
+			}
+			if r.Version != "" {
+				if v := s.Version(); v != r.Version {
+					return rep, fmt.Errorf("record %d: version %s at reanchor, journal says %s (mutation lost in journal-pause gap): %w",
+						i, v, r.Version, ErrReplayDiverged)
+				}
+			}
+			virtCycle[r.Pipe] = r.Cycle
+			virtHist[r.Pipe] = historyFromSteps(r.History)
+			rep.Checkpoints++
+			continue
 		}
 
-		// TypeCmd. Skip records a chosen watermark covers, reconstructing
+		// TypeCmd. Records older than the pipe's newest reanchor are
+		// superseded by it in both gears — the anchor's checkpoint and
+		// inline history are the ground truth for that pipe. Structural
+		// and design-wide verbs (instpipe, copypipe, apply) still execute
+		// so the pipe table and version graph exist for the anchor to
+		// land on.
+		if ai, anchored := anchorAt[cmdPipe(r)]; anchored && i < ai {
+			rep.Skipped++
+			continue
+		}
+
+		// Skip records a chosen watermark covers, reconstructing
 		// the run journal they would have produced.
 		if mi, ok := markAt[cmdPipe(r)]; fast && ok && i < mi {
 			switch r.Verb {
@@ -197,19 +279,51 @@ func (s *Session) replayFrom(dir string, recs []*wal.Record, exec ExecRecord, al
 	return rep, nil
 }
 
-// cmdPipe names the pipe a fast-path-eligible command targets.
+// cmdPipe names the single pipe a state-mutating command targets, or
+// "" for structural/design-wide verbs (instpipe, copypipe, apply) that
+// must always re-execute.
 func cmdPipe(r *wal.Record) string {
 	switch r.Verb {
-	case "run":
+	case "run", "trace":
 		if len(r.Args) >= 2 {
 			return r.Args[1]
 		}
-	case "poke":
+	case "poke", "ldch":
 		if len(r.Args) >= 1 {
 			return r.Args[0]
 		}
 	}
 	return ""
+}
+
+// historyFromSteps converts a reanchor record's inline history to the
+// session's run-journal representation.
+func historyFromSteps(steps []wal.RunStep) []RunOp {
+	if len(steps) == 0 {
+		return nil
+	}
+	ops := make([]RunOp, len(steps))
+	for i, st := range steps {
+		ops[i] = RunOp{TB: st.TB, Cycles: st.Cycles, StartCycle: st.StartCycle}
+	}
+	return ops
+}
+
+// HistorySteps exports a pipe's run journal in the WAL's reanchor
+// representation (the inverse of historyFromSteps), read under the
+// session lock. Unknown pipes return nil.
+func (s *Session) HistorySteps(pipe string) []wal.RunStep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pipes[pipe]
+	if !ok || len(p.History) == 0 {
+		return nil
+	}
+	steps := make([]wal.RunStep, len(p.History))
+	for i, op := range p.History {
+		steps[i] = wal.RunStep{TB: op.TB, Cycles: op.Cycles, StartCycle: op.StartCycle}
+	}
+	return steps
 }
 
 // historyLen reads a pipe's journal length under the session lock.

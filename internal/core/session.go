@@ -777,6 +777,26 @@ func (s *Session) PipeStatus(name string) (cycle uint64, historyLen int, ok bool
 	return p.Sim.Cycle(), len(p.History), true
 }
 
+// MemUsage estimates the session's in-memory footprint for the
+// governance plane: checkpoint history (state copies + encoded blobs +
+// Aux) and live pipe state (register slots + memories), in bytes. The
+// server calls it on the session's worker goroutine after mutations, so
+// the sums read settled state; the WAL tail is the server's to add (the
+// session does not own its journal).
+func (s *Session) MemUsage() (checkpoints, state uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pipes {
+		if p.Checkpoints != nil {
+			checkpoints += p.Checkpoints.ApproxBytes()
+		}
+		if p.Sim != nil {
+			state += uint64(p.Sim.StateBytes())
+		}
+	}
+	return checkpoints, state
+}
+
 // PipeNames returns the instantiated pipe names in creation order.
 func (s *Session) PipeNames() []string {
 	s.mu.Lock()

@@ -47,6 +47,12 @@ type Plan struct {
 	crashWALAt    int64           // WAL size threshold for kill-at-offset, -1 = unarmed
 	stallCycle    int64           // run-chunk cycle to stall at, -1 = unarmed
 	stallFor      time.Duration   // how long the stalled chunk sleeps
+	fullFrom      int             // first WAL append (1-based) to ENOSPC-fail, -1 = unarmed
+	fullLeft      int             // how many consecutive appends fail from fullFrom
+	diskDelay     time.Duration   // per-WAL-append artificial disk latency
+	diskDelayLeft int             // appends the delay still applies to
+	forceFree     int64           // DiskFree override: free bytes, -1 = unarmed
+	forceTotal    int64           // DiskFree override: total bytes
 
 	fired []string
 }
@@ -54,7 +60,8 @@ type Plan struct {
 // New returns an empty plan.
 func New() *Plan {
 	return &Plan{corruptAt: -1, panicCycle: -1, dropConnAt: -1,
-		crashWALAt: -1, stallCycle: -1, tearAppend: -1}
+		crashWALAt: -1, stallCycle: -1, tearAppend: -1,
+		fullFrom: -1, forceFree: -1}
 }
 
 // FailCompileAt arms a one-shot failure at the named compiler phase
@@ -173,6 +180,52 @@ func (p *Plan) StallRunAt(cycle uint64, d time.Duration) *Plan {
 	defer p.mu.Unlock()
 	p.stallCycle = int64(cycle)
 	p.stallFor = d
+	return p
+}
+
+// DiskFullAppends arms ENOSPC failures on count consecutive WAL appends
+// starting at the from-th (1-based, counted per plan across all WALs
+// consulting it). Unlike TornWALWrite nothing reaches the disk — the
+// write fails up front, the way a full filesystem fails it — so the
+// journal stays frame-aligned and the session must degrade to
+// journal-paused rather than quarantine.
+func (p *Plan) DiskFullAppends(from, count int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fullFrom = from
+	p.fullLeft = count
+	return p
+}
+
+// SlowDisk arms an artificial latency before each of the next n WAL
+// appends, simulating a saturated or throttled device so backoff and
+// group-commit behavior can be exercised deterministically.
+func (p *Plan) SlowDisk(d time.Duration, n int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.diskDelay = d
+	p.diskDelayLeft = n
+	return p
+}
+
+// ForceDiskFree arms a persistent (not one-shot) override of the disk
+// probe: every DiskFree call reports the given free/total bytes until
+// re-armed or cleared with ClearDiskFree. This is how tests and the
+// smoke script walk the pressure ladder without actually filling a
+// filesystem.
+func (p *Plan) ForceDiskFree(free, total uint64) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.forceFree = int64(free)
+	p.forceTotal = int64(total)
+	return p
+}
+
+// ClearDiskFree disarms the ForceDiskFree override.
+func (p *Plan) ClearDiskFree() *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.forceFree = -1
 	return p
 }
 
@@ -351,6 +404,59 @@ func (p *Plan) RunStall(cycle uint64) time.Duration {
 	p.stallCycle = -1
 	p.fired = append(p.fired, fmt.Sprintf("run-stall:%d", cycle))
 	return p.stallFor
+}
+
+// WALWriteErr is consulted by the WAL at the top of each append with
+// the 1-based append count. It returns a wrapped ErrInjected for each
+// armed ENOSPC append (DiskFullAppends), before any bytes are written.
+// Nil-safe.
+func (p *Plan) WALWriteErr(appendIdx int) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fullFrom < 0 || p.fullLeft <= 0 || appendIdx < p.fullFrom {
+		return nil
+	}
+	p.fullLeft--
+	if p.fullLeft == 0 {
+		p.fullFrom = -1
+	}
+	p.fired = append(p.fired, fmt.Sprintf("disk-full:%d", appendIdx))
+	return fmt.Errorf("faultinject: write wal append %d: no space left on device: %w", appendIdx, ErrInjected)
+}
+
+// DiskDelay is consulted by the WAL before each append; it returns the
+// armed slow-disk latency (consuming one use) or zero. Nil-safe.
+func (p *Plan) DiskDelay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.diskDelayLeft <= 0 {
+		return 0
+	}
+	p.diskDelayLeft--
+	if p.diskDelayLeft == 0 {
+		p.fired = append(p.fired, "slow-disk")
+	}
+	return p.diskDelay
+}
+
+// DiskFree reports the armed free-space override, if any. Nil-safe;
+// ok=false means the probe should consult the real filesystem.
+func (p *Plan) DiskFree() (free, total uint64, ok bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.forceFree < 0 {
+		return 0, 0, false
+	}
+	return uint64(p.forceFree), uint64(p.forceTotal), true
 }
 
 // SaveStage is consulted by the atomic checkpoint-file writer at each

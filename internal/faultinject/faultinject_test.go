@@ -146,3 +146,65 @@ func TestSaveStage(t *testing.T) {
 		t.Error("fired twice")
 	}
 }
+
+func TestDiskFullAppends(t *testing.T) {
+	p := New().DiskFullAppends(3, 2)
+	for i := 1; i <= 2; i++ {
+		if err := p.WALWriteErr(i); err != nil {
+			t.Fatalf("append %d should succeed: %v", i, err)
+		}
+	}
+	for i := 3; i <= 4; i++ {
+		if err := p.WALWriteErr(i); !errors.Is(err, ErrInjected) {
+			t.Fatalf("append %d: %v, want ErrInjected", i, err)
+		}
+	}
+	if err := p.WALWriteErr(5); err != nil {
+		t.Fatalf("append 5 after faults consumed: %v", err)
+	}
+	f := p.Fired()
+	if len(f) != 2 || f[0] != "disk-full:3" || f[1] != "disk-full:4" {
+		t.Errorf("fired %v", f)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.WALWriteErr(1); err != nil {
+		t.Errorf("nil plan injected: %v", err)
+	}
+}
+
+func TestSlowDiskConsumesUses(t *testing.T) {
+	p := New().SlowDisk(2*time.Millisecond, 1)
+	if d := p.DiskDelay(); d != 2*time.Millisecond {
+		t.Fatalf("delay = %v", d)
+	}
+	if d := p.DiskDelay(); d != 0 {
+		t.Fatalf("delay after consumed = %v", d)
+	}
+	var nilPlan *Plan
+	if d := nilPlan.DiskDelay(); d != 0 {
+		t.Errorf("nil plan delayed: %v", d)
+	}
+}
+
+func TestForceDiskFree(t *testing.T) {
+	p := New()
+	if _, _, ok := p.DiskFree(); ok {
+		t.Fatal("unarmed plan reported an override")
+	}
+	p.ForceDiskFree(5, 100)
+	// Persistent, not one-shot: the ladder re-probes on a ticker.
+	for i := 0; i < 3; i++ {
+		free, total, ok := p.DiskFree()
+		if !ok || free != 5 || total != 100 {
+			t.Fatalf("probe %d: free=%d total=%d ok=%v", i, free, total, ok)
+		}
+	}
+	p.ClearDiskFree()
+	if _, _, ok := p.DiskFree(); ok {
+		t.Fatal("cleared plan still reports an override")
+	}
+	var nilPlan *Plan
+	if _, _, ok := nilPlan.DiskFree(); ok {
+		t.Error("nil plan reported an override")
+	}
+}

@@ -1,0 +1,127 @@
+package govern
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Admission is the process-wide in-flight budget. Every admitted
+// request holds `cost` units (verb-weighted: a 200-cycle run is not a
+// status poll) from TryAcquire until Release; when the budget is
+// exhausted new work is rejected with a retry-after hint sized to the
+// overshoot, so the hint grows as the daemon falls further behind.
+//
+// This layers ON TOP of the per-session bounded queues: queues bound
+// how much work one session can stage, the admission budget bounds how
+// much work the whole process has accepted. Both are needed — 64
+// sessions × 32-deep queues is 2048 staged requests on one core unless
+// something global says no.
+type Admission struct {
+	budget   int64
+	inflight atomic.Int64
+	rejects  atomic.Int64
+	// RetryBase is the hint for an infinitesimal overshoot; the hint
+	// scales linearly with (inflight-budget)/budget and is capped at
+	// RetryCap. Zero values take defaults (25ms base, 1s cap).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+// NewAdmission returns an admission controller with the given budget in
+// cost units. budget <= 0 disables admission control entirely (every
+// TryAcquire admits) — the nil-cost configuration for tests and
+// single-user runs.
+func NewAdmission(budget int64) *Admission {
+	return &Admission{budget: budget, RetryBase: 25 * time.Millisecond, RetryCap: time.Second}
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (a *Admission) Budget() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.budget
+}
+
+// TryAcquire attempts to admit a request of the given cost. On success
+// it returns (true, 0) and the caller MUST Release(cost) exactly once
+// when the request finishes. On rejection it returns (false, hint)
+// where hint is the suggested client backoff before retrying.
+//
+// A request is never rejected for being individually bigger than the
+// budget — if the daemon is idle, the heaviest verb still runs (the
+// budget bounds concurrency, not request size).
+func (a *Admission) TryAcquire(cost int64) (bool, time.Duration) {
+	if a == nil || a.budget <= 0 {
+		return true, 0
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	for {
+		cur := a.inflight.Load()
+		if cur > 0 && cur+cost > a.budget {
+			a.rejects.Add(1)
+			return false, a.retryAfter(cur + cost)
+		}
+		if a.inflight.CompareAndSwap(cur, cur+cost) {
+			return true, 0
+		}
+	}
+}
+
+// Release returns cost units to the budget. It must pair 1:1 with a
+// successful TryAcquire.
+func (a *Admission) Release(cost int64) {
+	if a == nil || a.budget <= 0 {
+		return
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	if n := a.inflight.Add(-cost); n < 0 {
+		// Defensive: an unbalanced Release would otherwise silently
+		// widen the budget forever. Clamp and keep serving.
+		a.inflight.CompareAndSwap(n, 0)
+	}
+}
+
+// Inflight returns the currently-held cost units.
+func (a *Admission) Inflight() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}
+
+// Rejects returns the cumulative count of rejected acquisitions.
+func (a *Admission) Rejects() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.rejects.Load()
+}
+
+// retryAfter sizes the backoff hint to the overshoot: just past the
+// budget → ~base, 2× over → ~2×base+, always within [base, cap]. The
+// client adds jitter; the server hint is deterministic so tests can
+// assert on it.
+func (a *Admission) retryAfter(wanted int64) time.Duration {
+	base, cap := a.RetryBase, a.RetryCap
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = time.Second
+	}
+	over := float64(wanted-a.budget) / float64(a.budget)
+	ns := float64(base) * (1 + 4*over)
+	if ns >= float64(cap) { // compare in float: huge overshoots overflow Duration
+		return cap
+	}
+	d := time.Duration(ns)
+	if d < base {
+		d = base
+	}
+	return d
+}

@@ -1,0 +1,191 @@
+package govern
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// PressureLevel is one rung of the disk-pressure ladder. Rungs are
+// ordered: every degradation active at Elevated stays active at
+// Critical, and so on — clearing pressure walks back down through the
+// same rungs (with hysteresis so a byte of freed space doesn't flap
+// the level).
+type PressureLevel int
+
+const (
+	// LevelOK: full durability — inline fsync, normal checkpoint
+	// cadence, everything journaled.
+	LevelOK PressureLevel = iota
+	// LevelElevated: disk is filling. WAL switches to group-commit
+	// fsync, checkpoint watermark cadence widens, redundant checkpoint
+	// backups are GC'd. Durability window widens but nothing is lost.
+	LevelElevated
+	// LevelCritical: writes may start failing. Journaling pauses and
+	// sessions are marked nondurable (visible in /healthz, sessions,
+	// and the event ring); committed in-memory state is preserved and
+	// re-anchored into the journal once space returns.
+	LevelCritical
+	// LevelEmergency: no room to even checkpoint. Mutations are
+	// rejected with ErrDiskFull (reads still work) so the daemon never
+	// accepts state changes it has no way to make durable or recover.
+	LevelEmergency
+)
+
+func (l PressureLevel) String() string {
+	switch l {
+	case LevelOK:
+		return "ok"
+	case LevelElevated:
+		return "elevated"
+	case LevelCritical:
+		return "critical"
+	case LevelEmergency:
+		return "emergency"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Watermarks are the free-space fractions (free/total) at which each
+// rung engages. A level engages when free drops BELOW its watermark and
+// disengages when free rises back above watermark*(1+Hysteresis), so a
+// workload oscillating around a threshold doesn't toggle degradations
+// every probe.
+type Watermarks struct {
+	Elevated  float64 // default 0.20: <20% free → elevated
+	Critical  float64 // default 0.10: <10% free → critical
+	Emergency float64 // default 0.03: <3% free → emergency
+	// Hysteresis is the fractional margin required to step back down
+	// (default 0.25: elevated at <20% clears at >25% of the 20% mark,
+	// i.e. 25% free... no — clears at free > 20%*1.25 = 25%).
+	Hysteresis float64
+}
+
+// DefaultWatermarks returns the stock ladder thresholds.
+func DefaultWatermarks() Watermarks {
+	return Watermarks{Elevated: 0.20, Critical: 0.10, Emergency: 0.03, Hysteresis: 0.25}
+}
+
+// DiskProbe reports free and total bytes for the filesystem holding
+// path. The default uses Statfs; tests and fault injection substitute
+// their own.
+type DiskProbe func(path string) (free, total uint64, err error)
+
+// StatfsProbe is the production DiskProbe: Statfs on the state dir,
+// counting blocks available to unprivileged callers (Bavail, not
+// Bfree) because that is what a write from the daemon can actually
+// use.
+func StatfsProbe(path string) (free, total uint64, err error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, 0, err
+	}
+	bs := uint64(st.Bsize)
+	return uint64(st.Bavail) * bs, uint64(st.Blocks) * bs, nil
+}
+
+// DiskMonitor classifies successive (free, total) probes into a
+// PressureLevel with hysteresis. It holds no goroutine of its own —
+// the server's governor ticker calls Eval at its own cadence, and
+// tests call it with synthetic numbers.
+type DiskMonitor struct {
+	mu    sync.Mutex
+	wm    Watermarks
+	probe DiskProbe
+	path  string
+	level PressureLevel
+	free  uint64
+	total uint64
+}
+
+// NewDiskMonitor builds a monitor over path using probe (nil → Statfs)
+// and watermarks (zero-value → defaults).
+func NewDiskMonitor(path string, probe DiskProbe, wm Watermarks) *DiskMonitor {
+	if probe == nil {
+		probe = StatfsProbe
+	}
+	if wm.Elevated == 0 && wm.Critical == 0 && wm.Emergency == 0 {
+		wm = DefaultWatermarks()
+	}
+	if wm.Hysteresis == 0 {
+		wm.Hysteresis = 0.25
+	}
+	return &DiskMonitor{wm: wm, probe: probe, path: path}
+}
+
+// Eval probes the disk and returns the (possibly unchanged) pressure
+// level plus whether it changed since the previous Eval. A probe error
+// leaves the level where it was — a transient statfs failure must not
+// drop degradations that a genuinely full disk earned.
+func (m *DiskMonitor) Eval() (level PressureLevel, changed bool, err error) {
+	free, total, err := m.probe(m.path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		return m.level, false, err
+	}
+	m.free, m.total = free, total
+	next := m.classify(free, total)
+	changed = next != m.level
+	m.level = next
+	return next, changed, nil
+}
+
+// Level returns the last evaluated level without probing.
+func (m *DiskMonitor) Level() PressureLevel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.level
+}
+
+// Free returns the last probed (free, total) bytes.
+func (m *DiskMonitor) Free() (free, total uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.free, m.total
+}
+
+// classify maps a free fraction to a rung, honoring hysteresis
+// relative to the current level. Escalation is immediate (a filling
+// disk is an emergency in the making); de-escalation one rung at a
+// time requires clearing the rung's watermark by the hysteresis
+// margin.
+func (m *DiskMonitor) classify(free, total uint64) PressureLevel {
+	if total == 0 {
+		return m.level
+	}
+	frac := float64(free) / float64(total)
+	raw := LevelOK
+	switch {
+	case frac < m.wm.Emergency:
+		raw = LevelEmergency
+	case frac < m.wm.Critical:
+		raw = LevelCritical
+	case frac < m.wm.Elevated:
+		raw = LevelElevated
+	}
+	if raw >= m.level {
+		return raw // escalate (or hold) immediately
+	}
+	// De-escalate one rung at a time; each step requires clearing the
+	// rung's own engage watermark by the hysteresis margin, so a big
+	// reclaim drops several rungs in one probe while a marginal one
+	// holds inside the band.
+	lvl := m.level
+	for lvl > raw {
+		mark := 0.0
+		switch lvl {
+		case LevelEmergency:
+			mark = m.wm.Emergency
+		case LevelCritical:
+			mark = m.wm.Critical
+		case LevelElevated:
+			mark = m.wm.Elevated
+		}
+		if frac <= mark*(1+m.wm.Hysteresis) {
+			break
+		}
+		lvl--
+	}
+	return lvl
+}

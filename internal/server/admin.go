@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"livesim/internal/core"
+	"livesim/internal/govern"
 	"livesim/internal/obs"
 )
 
@@ -108,16 +109,19 @@ func formatQ(q float64) string {
 }
 
 // handleHealthz maps daemon state to status codes a load balancer can
-// act on: 503 while draining (stop routing here) or while any session
-// is still replaying its journal (state not yet servable); 200 with
-// status "degraded" when sessions are quarantined (serving, but an
-// operator should look); 200 "ok" otherwise.
+// act on: 503 while draining (stop routing here), while any session is
+// still replaying its journal (state not yet servable), or at the
+// emergency disk rung (mutations rejected — route writes elsewhere);
+// 200 with status "degraded" when sessions are quarantined or
+// nondurable, or the disk ladder is engaged (serving, but an operator
+// should look); 200 "ok" otherwise.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	total := 0
 	recovering := 0
 	quarantined := 0
+	nondurable := 0
 	for _, h := range s.sessions {
 		total++
 		if h.recovering.Load() {
@@ -126,8 +130,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if q, _ := h.brk.quarantined(); q {
 			quarantined++
 		}
+		if h.journalPaused.Load() {
+			nondurable++
+		}
 	}
 	s.mu.Unlock()
+	disk := s.diskLevelNow()
 
 	status, code := "ok", http.StatusOK
 	switch {
@@ -135,16 +143,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	case recovering > 0:
 		status, code = "recovering", http.StatusServiceUnavailable
-	case quarantined > 0:
+	case disk >= govern.LevelEmergency:
+		status, code = "disk_emergency", http.StatusServiceUnavailable
+	case quarantined > 0 || nondurable > 0 || disk > govern.LevelOK:
 		status = "degraded"
 	}
 	body, _ := json.Marshal(map[string]any{
-		"status":      status,
-		"uptime_secs": time.Since(s.start).Seconds(),
-		"sessions":    total,
-		"recovering":  recovering,
-		"quarantined": quarantined,
-		"draining":    draining,
+		"status":           status,
+		"uptime_secs":      time.Since(s.start).Seconds(),
+		"sessions":         total,
+		"recovering":       recovering,
+		"quarantined":      quarantined,
+		"nondurable":       nondurable,
+		"draining":         draining,
+		"disk_level":       disk.String(),
+		"admit_inflight":   s.admit.Inflight(),
+		"admit_budget":     s.admit.Budget(),
+		"overload_rejects": s.admit.Rejects(),
 	})
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -13,6 +13,11 @@
 // server — are never resent, because the client cannot know whether the
 // daemon applied them before the connection died; those calls fail with
 // ErrDisconnected and the caller decides.
+//
+// Overload rejections are different: the server's admission controller
+// rejects before executing, so Do transparently retries any verb the
+// daemon answered with code "overloaded", honoring the response's
+// retry_after_ms hint with jitter (see Options.OverloadRetries).
 package client
 
 import (
@@ -20,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"livesim/internal/command"
+	"livesim/internal/govern"
 	"livesim/internal/obs"
 	"livesim/internal/server"
 )
@@ -52,7 +59,19 @@ type Options struct {
 	// the attempt count it took (for logging). Called off the caller's
 	// goroutine.
 	OnReconnect func(attempts int)
+	// OverloadRetries bounds Do's automatic retries of requests the
+	// server rejected with CodeOverloaded. An overload rejection happens
+	// before the verb executes, so retrying is safe for any verb —
+	// mutations included. Each retry sleeps the server's retry_after_ms
+	// hint with ±20% jitter so rejected callers spread out. Default 4;
+	// negative disables (the caller sees the overloaded response).
+	OverloadRetries int
 }
+
+// redialJitter is the ±fraction applied to every redial backoff and
+// overload-retry sleep: N clients cut off by one daemon restart must
+// not reconnect (or re-send) in lockstep.
+const redialJitter = 0.2
 
 type connState int
 
@@ -81,6 +100,20 @@ type Client struct {
 
 	closed chan struct{}
 	events chan json.RawMessage
+
+	// rng is this client's private jitter source (seeded off govern's
+	// shared source): two clients created in the same instant still
+	// draw divergent backoff schedules. Guarded by rngMu — Do's
+	// overload-retry path and the redial loop both draw from it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// jitter applies ±redialJitter to a delay using the client's source.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return govern.Jitter(d, redialJitter, c.rng)
 }
 
 // pendingCall is one request awaiting its response. The encoded line is
@@ -115,6 +148,9 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	if opts.BackoffCap <= 0 {
 		opts.BackoffCap = 2 * time.Second
 	}
+	if opts.OverloadRetries == 0 {
+		opts.OverloadRetries = 4
+	}
 	network, target := SplitAddr(addr)
 	nc, err := net.Dial(network, target)
 	if err != nil {
@@ -128,6 +164,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		pending: make(map[uint64]*pendingCall),
 		closed:  make(chan struct{}),
 		events:  make(chan json.RawMessage, 256),
+		rng:     govern.NewRand(),
 	}
 	go c.readLoop(nc)
 	return c, nil
@@ -175,7 +212,33 @@ func Idempotent(verb string) bool {
 // live-loop spans inherit, so one client call reads as one span tree
 // end to end. The stamp happens before the line is encoded, so a
 // reconnect resend carries the same id.
+//
+// Overload rejections (code "overloaded") are retried automatically up
+// to Options.OverloadRetries times, sleeping the server's
+// retry_after_ms hint with ±20% jitter between attempts. This is safe
+// for every verb: an admission rejection happens before the request
+// executes, so nothing was applied. A still-overloaded daemon after the
+// retry budget returns the overloaded response to the caller.
 func (c *Client) Do(req *server.Request) (*server.Response, error) {
+	retries := c.opts.OverloadRetries
+	if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(req)
+		if err != nil || resp == nil || resp.Code != server.CodeOverloaded || attempt >= retries {
+			return resp, err
+		}
+		hint := time.Duration(resp.RetryAfterMs) * time.Millisecond
+		if hint <= 0 {
+			hint = 25 * time.Millisecond
+		}
+		time.Sleep(c.jitter(hint))
+	}
+}
+
+// doOnce runs one request/response exchange on the wire.
+func (c *Client) doOnce(req *server.Request) (*server.Response, error) {
 	id := c.nextID.Add(1)
 	req.ID = id
 	if req.TraceID == "" {
@@ -309,8 +372,25 @@ func (c *Client) disconnected(nc net.Conn, err error) {
 	go c.redial()
 }
 
-// redial reconnects with capped exponential backoff, then resends every
-// registered idempotent call on the new connection.
+// backoffDelays computes the first n redial sleeps for opts drawing
+// jitter from rng: base doubling up to cap, each ±redialJitter. Split
+// out so tests can assert two clients' schedules diverge.
+func backoffDelays(opts Options, rng *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, 0, n)
+	backoff := opts.BackoffBase
+	for i := 0; i < n; i++ {
+		out = append(out, govern.Jitter(backoff, redialJitter, rng))
+		backoff *= 2
+		if backoff > opts.BackoffCap {
+			backoff = opts.BackoffCap
+		}
+	}
+	return out
+}
+
+// redial reconnects with capped exponential backoff (jittered so a
+// daemon restart doesn't herd every client back at once), then resends
+// every registered idempotent call on the new connection.
 func (c *Client) redial() {
 	backoff := c.opts.BackoffBase
 	var lastErr error
@@ -352,7 +432,7 @@ func (c *Client) redial() {
 			return
 		}
 		lastErr = err
-		time.Sleep(backoff)
+		time.Sleep(c.jitter(backoff))
 		backoff *= 2
 		if backoff > c.opts.BackoffCap {
 			backoff = c.opts.BackoffCap

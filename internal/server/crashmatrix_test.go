@@ -267,3 +267,107 @@ func TestCrashMatrixSIGKILLAtWALOffsets(t *testing.T) {
 		})
 	}
 }
+
+// waitSessionDurable polls `sessions` until s1's nondurable flag
+// reaches want, failing fast if the session ever lands in quarantine —
+// an ENOSPC incident must degrade durability, not condemn the session.
+func waitSessionDurable(t *testing.T, c *client.Client, nondurable bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Do(&server.Request{Verb: "sessions"})
+		if err != nil {
+			t.Fatalf("sessions: %v", err)
+		}
+		var infos []server.SessionInfo
+		if err := json.Unmarshal(resp.Data, &infos); err != nil {
+			t.Fatalf("sessions data: %v", err)
+		}
+		for _, info := range infos {
+			if info.Name != "s1" {
+				continue
+			}
+			if info.Quarantined {
+				t.Fatalf("session quarantined during ENOSPC incident: %+v", info)
+			}
+			if info.Nondurable == nondurable {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never reached nondurable=%v: %s", nondurable, resp.Data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashMatrixENOSPCDuringAppend extends the matrix with the
+// disk-full row: a real livesimd child whose 4th WAL append (run 100)
+// and its retries fail with injected ENOSPC. The mutation must still
+// succeed, the session must land journal-paused (nondurable) — NOT
+// quarantined — and once space returns the next mutation resumes
+// durability via reanchor, proven by a clean drain, a restart
+// recovering the exact state, and continued service.
+func TestCrashMatrixENOSPCDuringAppend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and restarts livesimd subprocesses")
+	}
+	bin := buildLivesimd(t)
+	dir := shortDir(t)
+	sock, state := filepath.Join(dir, "d.sock"), filepath.Join(dir, "state")
+
+	// Appends for s1: 1 boot, 2 instpipe, 3 run(200), 4 run(100) — fail
+	// append 4 plus both bounded retries so the journal pauses.
+	d := startDaemon(t, bin, sock, state,
+		"-fault-disk-full", "4:3", "-journal-resume-delay", "50ms")
+	c := waitDial(t, sock)
+	for _, req := range []*server.Request{
+		{Session: "s1", Verb: "create", PGAS: 1, CheckpointEvery: 25},
+		{Session: "s1", Verb: "instpipe", Args: []string{"p0"}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "200"}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "100"}},
+	} {
+		resp, err := c.Do(req)
+		if err != nil || !resp.OK {
+			d.dumpLog(t)
+			t.Fatalf("%s %v: resp=%+v err=%v", req.Verb, req.Args, resp, err)
+		}
+	}
+	waitSessionDurable(t, c, true)
+
+	// The fault plan is exhausted — space has "returned". The next
+	// mutation after the cooldown must resume and reanchor the journal.
+	time.Sleep(80 * time.Millisecond)
+	if resp, err := c.Do(&server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "50"}}); err != nil || !resp.OK {
+		d.dumpLog(t)
+		t.Fatalf("post-incident run: resp=%+v err=%v", resp, err)
+	}
+	waitSessionDurable(t, c, false)
+
+	// A daemon that weathered ENOSPC must still drain cleanly.
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if ws := d.wait(t); ws.ExitStatus() != 0 {
+		d.dumpLog(t)
+		t.Fatalf("daemon exit = %d on SIGTERM after ENOSPC incident", ws.ExitStatus())
+	}
+
+	// Restart: the reanchored journal recovers everything, including the
+	// mutations made while nondurable (200 + 100 + 50 = 350).
+	d2 := startDaemon(t, bin, sock, state)
+	c2 := waitDial(t, sock)
+	info := waitSessionSettled(t, c2)
+	if info.Nondurable || info.Quarantined {
+		t.Fatalf("recovered session not healthy: %+v", info)
+	}
+	resp := mustOK(t, c2, &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}})
+	if !strings.Contains(resp.Output, "350 (version") {
+		d2.dumpLog(t)
+		t.Fatalf("recovered cycle = %q, want 350", resp.Output)
+	}
+	mustOK(t, c2, &server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "10"}})
+	d2.cmd.Process.Signal(syscall.SIGTERM)
+	if ws := d2.wait(t); ws.ExitStatus() != 0 {
+		d2.dumpLog(t)
+		t.Fatalf("restarted daemon exit = %d on SIGTERM", ws.ExitStatus())
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 
+	"livesim/internal/govern"
 	"livesim/internal/obs"
 )
 
@@ -73,6 +74,11 @@ type Response struct {
 	// constants so clients can react without parsing Error text.
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`
+	// RetryAfterMs accompanies CodeOverloaded: the server's suggested
+	// backoff before retrying, sized to how far over budget the daemon
+	// is. Clients add jitter (see client.Do) so rejected callers don't
+	// retry in lockstep.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 	// Data carries structured payloads (stats snapshots, session lists).
 	Data json.RawMessage `json:"data,omitempty"`
 }
@@ -99,6 +105,20 @@ const (
 	// CodeQuarantined: the session's failure breaker is open — mutating
 	// verbs are rejected until an operator runs `unquarantine`.
 	CodeQuarantined = "quarantined"
+	// CodeOverloaded: the process-wide admission budget is exhausted —
+	// too much work in flight across all sessions. The response carries
+	// retry_after_ms; retrying after that backoff is always safe because
+	// an overload rejection happens before the verb executes.
+	CodeOverloaded = "overloaded"
+	// CodeSessionLimit: create was rejected because MaxSessions hosted
+	// sessions already exist. Distinct from CodeBackpressure (a transient
+	// full queue): the limit clears only when a session is closed or
+	// evicted, so retrying without acting on that is pointless.
+	CodeSessionLimit = "session_limit"
+	// CodeDiskFull: the state disk is at the emergency rung of the
+	// pressure ladder; mutating verbs are rejected (reads still work)
+	// until space is reclaimed.
+	CodeDiskFull = "disk_full"
 	// CodeError: any other execution failure.
 	CodeError = "error"
 )
@@ -121,6 +141,17 @@ var ErrRecovering = errors.New("session is recovering; retry shortly")
 // quarantined session.
 var ErrQuarantined = errors.New("session is quarantined")
 
+// ErrOverloaded and ErrDiskFull are the typed resource-governance
+// rejections (re-exported so wire clients don't import internal/govern).
+var (
+	ErrOverloaded = govern.ErrOverloaded
+	ErrDiskFull   = govern.ErrDiskFull
+)
+
+// ErrSessionLimit is wrapped by create rejections once MaxSessions
+// sessions are hosted.
+var ErrSessionLimit = errors.New("session limit reached")
+
 // SessionInfo is one row of the `sessions` verb's Data payload.
 type SessionInfo struct {
 	Name      string   `json:"name"`
@@ -135,6 +166,14 @@ type SessionInfo struct {
 	// it after a restart (all session verbs rejected).
 	Quarantined bool `json:"quarantined,omitempty"`
 	Recovering  bool `json:"recovering,omitempty"`
+	// Nondurable is set while the session's journal is paused (disk
+	// pressure or repeated append failures): it keeps serving from
+	// memory, but mutations made now would not survive a crash until the
+	// journal resumes and re-anchors.
+	Nondurable bool `json:"nondurable,omitempty"`
+	// MemBytes is the session's estimated memory footprint (checkpoint
+	// history + live pipe state + journal tail).
+	MemBytes uint64 `json:"mem_bytes,omitempty"`
 }
 
 // DrainReport is what Shutdown returns: which sessions were checkpointed
@@ -178,4 +217,5 @@ type TopRow struct {
 	Dirty       bool    `json:"dirty,omitempty"`
 	Quarantined bool    `json:"quarantined,omitempty"`
 	Recovering  bool    `json:"recovering,omitempty"`
+	Nondurable  bool    `json:"nondurable,omitempty"`
 }

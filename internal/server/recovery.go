@@ -11,6 +11,7 @@ import (
 
 	"livesim/internal/command"
 	"livesim/internal/core"
+	"livesim/internal/govern"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
 	"livesim/internal/wal"
@@ -167,6 +168,7 @@ func (s *Server) recoverSession(h *hosted, path string) {
 
 	h.dirty.Store(rep.Executed+rep.Skipped > 0)
 	h.touch()
+	s.updateMemUsage(h) // safe: the worker has not started yet
 	go s.worker(h)
 	h.recovering.Store(false)
 	s.reg.Counter("server_sessions_recovered").Inc()
@@ -205,12 +207,36 @@ func (s *Server) execRecord(h *hosted, rec *wal.Record) error {
 // is its durability record). Run-style verbs also record the cycle the
 // pipe ended on, so replay is verified — and the checkpoint fast path
 // can reconstruct the run journal — from actual, not requested, cycles.
-// A journal that stays broken past the bounded retries degrades to a
-// breaker failure per mutation: the session keeps serving, loses
-// durability, and quarantines after the configured streak.
+//
+// A journal that stays broken past the bounded retries (ENOSPC, a
+// yanked volume) pauses: the session keeps serving from memory, marked
+// nondurable in sessions/top/healthz, and every further mutation counts
+// as missed. It does NOT feed the quarantine breaker — a full disk is
+// the daemon's condition, not the session's fault, and quarantining
+// every session the moment the disk fills would turn a disk incident
+// into a total mutation outage. Once pressure clears (and the resume
+// cooldown passes), the next mutation re-anchors the journal: fresh
+// checkpoints plus a reanchor record carrying cycle/history/version
+// that both replay gears treat as authoritative, so the unjournaled gap
+// can never silently diverge a recovery.
 func (s *Server) journalMutation(h *hosted, req *Request) {
 	if h.wal == nil {
 		return
+	}
+	if h.journalPaused.Load() {
+		// The mutation triggering this call is already applied (write-
+		// behind), so a resume's reanchor checkpoint includes it: when an
+		// anchor is written (something was missed), appending the record
+		// too would replay the mutation twice on top of the anchor.
+		covered := h.missedAppends.Load() > 0
+		if !s.tryResumeJournal(h) {
+			h.missedAppends.Add(1)
+			s.reg.Counter("server_journal_missed_appends").Inc()
+			return
+		}
+		if covered {
+			return
+		}
 	}
 	rec := &wal.Record{
 		Type:    wal.TypeCmd,
@@ -224,24 +250,95 @@ func (s *Server) journalMutation(h *hosted, req *Request) {
 			rec.Cycle = cycle
 		}
 	}
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		if err = h.wal.Append(rec); err == nil {
-			break
-		}
-		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
-	}
+	err := govern.Retry(3, 5*time.Millisecond, nil, func() error {
+		return h.wal.Append(rec)
+	})
 	if err != nil {
 		s.reg.Counter("wal_append_failures").Inc()
 		s.event("wal_append_failure", h.name, err.Error())
-		s.noteFailure(h, fmt.Sprintf("journal append: %v", err))
+		s.pauseJournal(h, fmt.Sprintf("journal append failed: %v", err))
+		h.missedAppends.Add(1)
+		s.reg.Counter("server_journal_missed_appends").Inc()
 		return
 	}
 	h.mutations++
-	if s.cfg.JournalCheckpointEvery > 0 && h.mutations >= s.cfg.JournalCheckpointEvery {
+	every := s.cfg.JournalCheckpointEvery * int(s.ckptFactor.Load())
+	if s.cfg.JournalCheckpointEvery > 0 && h.mutations >= every {
 		h.mutations = 0
 		s.saveWatermark(h)
 	}
+}
+
+// tryResumeJournal attempts to end a journal pause. Worker goroutine
+// only (it touches the live session). Resume requires the cooldown to
+// have passed and the disk ladder to be below the critical rung; then:
+//
+//   - nothing was missed: just lift the pause — the journal tail is
+//     still a faithful prefix.
+//   - mutations were missed: the gap is unreconstructable from records,
+//     so re-anchor — checkpoint every pipe and append one TypeReanchor
+//     record per pipe carrying cycle, history and version. Replay (both
+//     gears) skips everything before the anchor and restores from it,
+//     which is exactly what the journal can now honestly promise.
+//
+// Any IO failure re-arms the cooldown and keeps the pause: a resume
+// must be all-or-nothing, half an anchor is worse than none.
+func (s *Server) tryResumeJournal(h *hosted) bool {
+	if time.Since(time.Unix(0, h.pausedAt.Load())) < s.cfg.JournalResumeDelay {
+		return false
+	}
+	if s.diskLevelNow() >= govern.LevelCritical {
+		return false
+	}
+	rearm := func(stage string, err error) bool {
+		h.pausedAt.Store(time.Now().UnixNano())
+		s.reg.Counter("server_journal_resume_failures").Inc()
+		s.log.Warn("journal resume failed; staying nondurable",
+			obs.Str("session", h.name), obs.Str("stage", stage), obs.Str("err", err.Error()))
+		return false
+	}
+	missed := h.missedAppends.Load()
+	if missed > 0 {
+		for _, pipe := range h.sess.PipeNames() {
+			base := fmt.Sprintf("%s.%s.lscp", h.name, pipe)
+			path := filepath.Join(s.cfg.StateDir, base)
+			err := govern.Retry(3, 10*time.Millisecond, nil, func() error {
+				return h.sess.SaveCheckpoint(pipe, path)
+			})
+			if err != nil {
+				return rearm("checkpoint "+pipe, err)
+			}
+			cycle, histLen, ok := h.sess.PipeStatus(pipe)
+			if !ok {
+				continue
+			}
+			anchor := &wal.Record{
+				Type: wal.TypeReanchor, Pipe: pipe, Path: base,
+				Cycle: cycle, HistoryLen: histLen,
+				Version: h.sess.Version(),
+				History: h.sess.HistorySteps(pipe),
+			}
+			if err := h.wal.Append(anchor); err != nil {
+				return rearm("anchor "+pipe, err)
+			}
+		}
+		if err := h.wal.Sync(); err != nil {
+			return rearm("sync", err)
+		}
+	}
+	h.missedAppends.Store(0)
+	h.mutations = 0
+	h.journalPaused.Store(false)
+	s.updateNondurableGauge()
+	s.reg.Counter("server_journal_resumes").Inc()
+	msg := "durable again (no mutations missed)"
+	if missed > 0 {
+		// The anchor closes over the missed mutations plus the one that
+		// triggered this resume (already applied, included in the anchor).
+		msg = fmt.Sprintf("durable again (%d mutation(s) closed over by reanchor)", missed+1)
+	}
+	s.event("journal_resumed", h.name, msg)
+	return true
 }
 
 // saveWatermark checkpoints every pipe into the state dir and journals
@@ -276,20 +373,19 @@ func (s *Server) saveWatermark(h *hosted) {
 	}
 }
 
-// saveCheckpointRetry is checkpoint-save IO with bounded
-// retry-with-backoff; only an exhausted retry budget feeds the
-// session's quarantine breaker.
+// saveCheckpointRetry is checkpoint-save IO with bounded jittered
+// retry-with-backoff (the shared govern.Retry loop); only an exhausted
+// retry budget feeds the session's quarantine breaker.
 func (s *Server) saveCheckpointRetry(h *hosted, pipe, path string) error {
-	var err error
-	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+	err := govern.Retry(3, 10*time.Millisecond, nil, func() error {
+		if serr := h.sess.SaveCheckpoint(pipe, path); serr != nil {
+			s.reg.Counter("server_checkpoint_save_retries").Inc()
+			return serr
 		}
-		if err = h.sess.SaveCheckpoint(pipe, path); err == nil {
-			return nil
-		}
-		s.reg.Counter("server_checkpoint_save_retries").Inc()
+		return nil
+	})
+	if err != nil {
+		s.noteFailure(h, fmt.Sprintf("checkpoint save %s: %v", pipe, err))
 	}
-	s.noteFailure(h, fmt.Sprintf("checkpoint save %s: %v", pipe, err))
 	return err
 }

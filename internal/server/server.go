@@ -15,12 +15,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"livesim/internal/checkpoint"
 	"livesim/internal/command"
 	"livesim/internal/core"
 	"livesim/internal/faultinject"
+	"livesim/internal/govern"
 	"livesim/internal/obs"
 	"livesim/internal/wal"
 )
@@ -102,6 +104,34 @@ type Config struct {
 	// quarantine trips, recoveries, watchdog cancels, evictions, WAL
 	// fallbacks) served by the `events` verb and /eventsz. Default 256.
 	EventRingCap int
+
+	// AdmitBudget is the process-wide in-flight admission budget in verb
+	// cost units (see command.Command.Cost), layered on top of the
+	// per-session queues. Requests past the budget are rejected with
+	// CodeOverloaded and a retry_after_ms hint. 0 uses the default (256);
+	// negative disables admission control.
+	AdmitBudget int64
+	// DiskPollEvery is the resource governor's probe cadence (disk
+	// pressure ladder, memory gauges, journal-resume sweep). Default 2s.
+	DiskPollEvery time.Duration
+	// DiskWatermarks are the free-space fractions at which the pressure
+	// ladder's rungs engage; zero-value uses govern.DefaultWatermarks.
+	DiskWatermarks govern.Watermarks
+	// DiskProbe overrides the free-space probe (tests); nil uses Statfs
+	// on StateDir. A Faults plan's ForceDiskFree always wins over both.
+	DiskProbe govern.DiskProbe
+	// MemBudget caps the summed per-session memory estimate (checkpoint
+	// history + pipe state + journal tails); past it the governor sheds
+	// the idlest evictable sessions (checkpointing dirty ones first,
+	// exactly like idle eviction). 0 disables.
+	MemBudget uint64
+	// MemEvictIdle is how long a session must have been idle to be
+	// sheddable under memory pressure. Default 30s.
+	MemEvictIdle time.Duration
+	// JournalResumeDelay is the cooldown between a journal pause and the
+	// first resume attempt, so a flapping disk doesn't thrash
+	// pause/reanchor cycles. Default 250ms.
+	JournalResumeDelay time.Duration
 }
 
 // Server hosts sessions and serves connections. Create one with New,
@@ -129,6 +159,15 @@ type Server struct {
 	recoveryWG  sync.WaitGroup // outstanding Recover goroutines
 	janitorStop chan struct{}
 	stopOnce    sync.Once
+
+	// Resource governance (internal/govern): the global admission
+	// budget, the disk-pressure monitor (nil without a StateDir), the
+	// cached rung the request path reads, and the checkpoint-cadence
+	// widening factor the elevated rung applies.
+	admit      *govern.Admission
+	disk       *govern.DiskMonitor
+	diskLevel  atomic.Int32
+	ckptFactor atomic.Int32
 }
 
 // New builds a Server from cfg, applying defaults, and starts the idle
@@ -154,6 +193,18 @@ func New(cfg Config) *Server {
 	}
 	if cfg.QuarantineDecay == 0 {
 		cfg.QuarantineDecay = defaultQuarantineDecay
+	}
+	if cfg.AdmitBudget == 0 {
+		cfg.AdmitBudget = defaultAdmitBudget
+	}
+	if cfg.DiskPollEvery <= 0 {
+		cfg.DiskPollEvery = defaultDiskPollEvery
+	}
+	if cfg.MemEvictIdle <= 0 {
+		cfg.MemEvictIdle = defaultMemEvictIdle
+	}
+	if cfg.JournalResumeDelay <= 0 {
+		cfg.JournalResumeDelay = defaultJournalResumeDelay
 	}
 	if cfg.StateDir != "" {
 		// Best-effort here; a dir that still can't be written surfaces as a
@@ -185,8 +236,16 @@ func New(cfg Config) *Server {
 		s.fan.Attach(cfg.TraceOut)
 	}
 	s.tracer = obs.NewTracer(s.fan)
+	s.admit = govern.NewAdmission(cfg.AdmitBudget)
+	s.ckptFactor.Store(1)
+	if cfg.StateDir != "" {
+		s.disk = govern.NewDiskMonitor(cfg.StateDir, s.diskProbe(), cfg.DiskWatermarks)
+	}
 	if cfg.IdleTimeout > 0 {
 		go s.janitor()
+	}
+	if s.disk != nil || cfg.MemBudget > 0 {
+		go s.governor()
 	}
 	return s
 }
@@ -378,8 +437,12 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	}
 	sp := s.tracer.StartTrace(trace, "request", obs.Str("verb", req.Verb), obs.Str("session", req.Session))
 	t0 := time.Now()
-	var h *hosted // set before any finish call; read by the waiter goroutine
+	var h *hosted       // set before any finish call; read by the waiter goroutine
+	var admitted int64  // cost units held against the admission budget
 	finish := func(resp *Response) {
+		if admitted > 0 {
+			s.admit.Release(admitted)
+		}
 		sp.Annotate(obs.Bool("ok", resp.OK), obs.Str("code", resp.Code))
 		sp.End()
 		dur := time.Since(t0)
@@ -406,6 +469,25 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		finish(errResp(req, CodeDraining, ErrDraining))
 		return
 	}
+
+	// Global admission: session verbs and create are weighted by cost
+	// against the process-wide in-flight budget. Operator verbs (ping,
+	// sessions, events, …) stay free — overload must never lock out the
+	// introspection needed to diagnose it.
+	if cost := admissionCost(verb); cost > 0 {
+		ok, retry := s.admit.TryAcquire(cost)
+		if !ok {
+			s.reg.Counter("server_overload_rejects").Inc()
+			resp := errResp(req, CodeOverloaded, ErrOverloaded)
+			if resp.RetryAfterMs = retry.Milliseconds(); resp.RetryAfterMs < 1 {
+				resp.RetryAfterMs = 1
+			}
+			finish(resp)
+			return
+		}
+		admitted = cost
+	}
+
 	if serverVerbs[verb] {
 		finish(s.execServer(c, req, verb))
 		return
@@ -576,6 +658,8 @@ func (s *Server) listSessions(req *Request) *Response {
 			Version:     h.sess.Version(),
 			Subscribers: h.fan.Len(),
 			Recovering:  h.recovering.Load(),
+			Nondurable:  h.journalPaused.Load(),
+			MemBytes:    h.memBytes().Total(),
 		}
 		info.Quarantined, _ = h.brk.quarantined()
 		infos = append(infos, info)
@@ -586,6 +670,9 @@ func (s *Server) listSessions(req *Request) *Response {
 		}
 		if info.Recovering {
 			out.WriteString(" RECOVERING")
+		}
+		if info.Nondurable {
+			out.WriteString(" NONDURABLE")
 		}
 		out.WriteString("\n")
 	}
@@ -645,6 +732,7 @@ func (s *Server) topReport(req *Request) *Response {
 			Version:    h.sess.Version(),
 			Dirty:      h.dirty.Load(),
 			Recovering: h.recovering.Load(),
+			Nondurable: h.journalPaused.Load(),
 		}
 		row.Quarantined, _ = h.brk.quarantined()
 		rows = append(rows, row)
@@ -664,6 +752,9 @@ func (s *Server) topReport(req *Request) *Response {
 		}
 		if r.Recovering {
 			flags += "RECOVERING "
+		}
+		if r.Nondurable {
+			flags += "NONDURABLE "
 		}
 		fmt.Fprintf(&out, "  %-16s %8.1f %9.3f %9.3f %9.3f %6d %8d %-6s %s\n",
 			r.Name, r.ReqPerSec, r.P50Ms, r.P95Ms, r.P99Ms, r.Queued, r.Requests, r.Version,
@@ -711,6 +802,12 @@ func (s *Server) createSession(req *Request) *Response {
 		return errResp(req, CodeBadRequest,
 			fmt.Errorf("session name %q must match %s", name, nameRE.String()))
 	}
+	if s.diskLevelNow() >= govern.LevelEmergency {
+		// A new session's first durable act is journaling its boot record;
+		// with no room for even that, creating it would be a lie.
+		s.reg.Counter("server_diskfull_rejects").Inc()
+		return errResp(req, CodeDiskFull, ErrDiskFull)
+	}
 	h := s.newHosted(name)
 	s.mu.Lock()
 	switch {
@@ -722,9 +819,9 @@ func (s *Server) createSession(req *Request) *Response {
 		return errResp(req, CodeBadRequest, fmt.Errorf("session %q already exists", name))
 	case len(s.sessions) >= s.cfg.MaxSessions:
 		s.mu.Unlock()
-		s.reg.Counter("server_backpressure_rejects").Inc()
-		return errResp(req, CodeBackpressure,
-			fmt.Errorf("session limit %d reached: %w", s.cfg.MaxSessions, ErrBackpressure))
+		s.reg.Counter("server_session_limit_rejects").Inc()
+		return errResp(req, CodeSessionLimit,
+			fmt.Errorf("session limit %d reached: %w", s.cfg.MaxSessions, ErrSessionLimit))
 	}
 	s.sessions[name] = h
 	s.mu.Unlock()
@@ -895,27 +992,33 @@ func (s *Server) evictIdle() {
 	}
 	s.mu.Unlock()
 	for _, h := range victims {
-		close(h.queue)
-		<-h.stopped
-		h.sess.Quiesce()
-		if h.dirty.Load() && s.cfg.DrainDir != "" {
-			ds := s.saveSession(h)
-			s.event("eviction", h.name,
-				fmt.Sprintf("idle %v; checkpointed %d pipes", h.idle().Round(time.Second), len(ds.Files)))
-		} else {
-			s.event("eviction", h.name, fmt.Sprintf("idle %v", h.idle().Round(time.Second)))
-		}
-		if h.wal != nil {
-			// Watermark + keep the journal: the eviction only reclaims
-			// memory — the session resurrects at the next daemon boot, and a
-			// re-create over the same name clears the stale state first.
-			if h.dirty.Load() {
-				s.saveWatermark(h)
-			}
-			h.wal.Close()
-		}
-		s.reg.Counter("server_sessions_evicted").Inc()
+		s.evictHosted(h, fmt.Sprintf("idle %v", h.idle().Round(time.Second)))
 	}
+}
+
+// evictHosted shuts one already-unlinked session down and reclaims its
+// memory: stop the worker, checkpoint if dirty, watermark + release the
+// journal. Shared by the idle janitor and the memory governor's shed
+// path — eviction only reclaims memory; a journaled session resurrects
+// at the next daemon boot, and a re-create over the same name clears
+// the stale state first.
+func (s *Server) evictHosted(h *hosted, why string) {
+	close(h.queue)
+	<-h.stopped
+	h.sess.Quiesce()
+	if h.dirty.Load() && s.cfg.DrainDir != "" {
+		ds := s.saveSession(h)
+		s.event("eviction", h.name, fmt.Sprintf("%s; checkpointed %d pipes", why, len(ds.Files)))
+	} else {
+		s.event("eviction", h.name, why)
+	}
+	if h.wal != nil {
+		if h.dirty.Load() && !h.journalPaused.Load() {
+			s.saveWatermark(h)
+		}
+		h.wal.Close()
+	}
+	s.reg.Counter("server_sessions_evicted").Inc()
 }
 
 // saveSession checkpoints every pipe of a quiesced session into
@@ -1015,7 +1118,19 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 			// checkpoints, then release it. The journal stays on disk — it
 			// IS the restart state.
 			if h.dirty.Load() {
-				s.saveWatermark(h)
+				if h.journalPaused.Load() {
+					// The worker is stopped, so reanchoring here is safe.
+					// Last chance to close the journal gap before exit; the
+					// cooldown is moot mid-drain.
+					h.pausedAt.Store(0)
+					s.tryResumeJournal(h)
+				}
+				// Never watermark a still-paused journal: a mark appended
+				// after missed mutations would silently diverge a replay.
+				// The intact pre-pause prefix is an honest restart state.
+				if !h.journalPaused.Load() {
+					s.saveWatermark(h)
+				}
 			}
 			h.wal.Close()
 		}

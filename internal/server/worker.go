@@ -10,6 +10,7 @@ import (
 
 	"livesim/internal/command"
 	"livesim/internal/core"
+	"livesim/internal/govern"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
 	"livesim/internal/wal"
@@ -45,6 +46,33 @@ type hosted struct {
 	// recovering is set while journal replay is rebuilding the session
 	// after a restart; every request gets CodeRecovering until it clears.
 	recovering atomic.Bool
+
+	// journalPaused is set when durability is suspended — disk pressure
+	// reached the critical rung, or the journal append path kept failing
+	// past its retries. The session keeps serving from memory
+	// (nondurable, surfaced in sessions/top/healthz); the worker resumes
+	// the journal via a reanchor record once pressure clears.
+	journalPaused atomic.Bool
+	// pausedAt is when the pause engaged (unix nanos), gating the resume
+	// cooldown; missedAppends counts mutations committed while paused —
+	// zero means the journal can resume without a reanchor.
+	pausedAt      atomic.Int64
+	missedAppends atomic.Int64
+	// memCkpt/memState/memWAL are the session's byte-estimate components
+	// (checkpoint history, live pipe state, journal tail), refreshed by
+	// the worker after mutations and read by the memory governor.
+	memCkpt  atomic.Uint64
+	memState atomic.Uint64
+	memWAL   atomic.Uint64
+}
+
+// memBytes sums the session's footprint estimate.
+func (h *hosted) memBytes() govern.MemEstimate {
+	return govern.MemEstimate{
+		Checkpoints: h.memCkpt.Load(),
+		State:       h.memState.Load(),
+		WAL:         h.memWAL.Load(),
+	}
 }
 
 // task is one session-verb request in flight. reply is buffered so the
@@ -138,6 +166,13 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 			s.reg.Counter("server_quarantine_rejects").Inc()
 			return errResp(t.req, CodeQuarantined, fmt.Errorf("%s: %w", reason, ErrQuarantined))
 		}
+		if s.diskLevelNow() >= govern.LevelEmergency {
+			// Emergency rung: no room left to journal or checkpoint what
+			// this mutation would produce — refusing it is the only honest
+			// answer. Reads keep working.
+			s.reg.Counter("server_diskfull_rejects").Inc()
+			return errResp(t.req, CodeDiskFull, ErrDiskFull)
+		}
 	}
 
 	sp := t.span.Child("exec")
@@ -171,6 +206,7 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 			h.dirty.Store(true)
 			h.brk.success()
 			s.journalMutation(h, t.req)
+			s.updateMemUsage(h)
 		case errors.Is(err, core.ErrRunCancelled):
 			// The session actively failed — a cancelled runaway run — as
 			// opposed to merely rejecting bad arguments; those streaks are

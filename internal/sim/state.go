@@ -35,6 +35,24 @@ func (st *State) Bytes() int {
 	return n
 }
 
+// StateBytes estimates the live state footprint (register slots plus
+// memories) without snapshotting. Same arithmetic as State.Bytes, read
+// off the live instances; callers must hold whatever lock serializes
+// execution (the session worker does).
+func (s *Sim) StateBytes() int {
+	n := 0
+	for _, nd := range s.nodes {
+		if nd.Inst == nil {
+			continue
+		}
+		n += 8 * len(nd.Inst.Slots)
+		for _, m := range nd.Inst.Mems {
+			n += 8 * len(m)
+		}
+	}
+	return n
+}
+
 // Snapshot captures the entire simulation state. The copy is what the
 // paper's forked child would see: a stop-the-world memcpy, cheap relative
 // to serialization which callers may do asynchronously.

@@ -69,7 +69,23 @@ const (
 	// the journal was saved to a checkpoint file, so recovery may load
 	// the file and skip re-executing the records it covers.
 	TypeMark = "mark"
+	// TypeReanchor closes a journal gap: while a session is
+	// journal-paused (disk pressure, ENOSPC) committed mutations are NOT
+	// appended, so on resume the journal no longer describes the
+	// session. A reanchor record re-establishes ground truth for one
+	// pipe — a fresh checkpoint file plus the pipe's full run history
+	// carried inline — and replay treats it as authoritative: everything
+	// journaled for that pipe before the reanchor is superseded.
+	TypeReanchor = "reanchor"
 )
+
+// RunStep is one entry of a pipe's run history, carried inline by
+// TypeReanchor records (mirrors core's RunOp — wal cannot import core).
+type RunStep struct {
+	TB         string `json:"tb"`
+	Cycles     int    `json:"cycles"`
+	StartCycle uint64 `json:"start_cycle"`
+}
 
 // Record is one journal entry. Which fields are meaningful depends on
 // Type; JSON encoding keeps unused fields off the wire.
@@ -93,13 +109,17 @@ type Record struct {
 	// table).
 	Version string `json:"version,omitempty"`
 
-	// Watermark fields (TypeMark).
+	// Watermark fields (TypeMark and TypeReanchor).
 	Pipe string `json:"pipe,omitempty"`
 	// Path names the checkpoint file, relative to the journal's
 	// directory (so a state dir can be moved wholesale).
 	Path       string `json:"path,omitempty"`
 	Cycle      uint64 `json:"cycle,omitempty"`
 	HistoryLen int    `json:"history_len,omitempty"`
+	// History is the pipe's full run history as of a TypeReanchor:
+	// journal-paused runs never made it into the journal, so the anchor
+	// carries them inline for replay to install verbatim.
+	History []RunStep `json:"history,omitempty"`
 }
 
 // Options tunes a WAL.
@@ -129,12 +149,18 @@ type WAL struct {
 	path    string
 	size    int64
 	seq     uint64
-	appends int // lifetime append count, for the torn-write fault
+	appends int // lifetime append count, for the disk-fault hooks
 	dirty   bool
 	closed  bool
 	opts    Options
-	stop    chan struct{}
-	stopped chan struct{}
+	// group is the disk-pressure group-commit override: when > 0,
+	// appends batch fsyncs on this interval even if the WAL was opened
+	// inline (SyncEvery 0). Set by SetGroupCommit from the pressure
+	// ladder's elevated rung.
+	group     time.Duration
+	flusherOn bool
+	stop      chan struct{}
+	stopped   chan struct{}
 }
 
 // Open opens (or creates) the journal at path, returning the intact
@@ -197,11 +223,39 @@ func Open(path string, opts Options) (*WAL, []*Record, error) {
 		w.seq = recs[len(recs)-1].Seq
 	}
 	if opts.SyncEvery > 0 {
-		go w.flusher()
+		w.flusherOn = true
+		go w.flusher(opts.SyncEvery)
 	} else {
 		close(w.stopped)
 	}
 	return w, recs, nil
+}
+
+// SetGroupCommit switches fsync policy at runtime: d > 0 batches
+// fsyncs on that interval (the disk-pressure ladder's elevated rung —
+// fewer fsyncs, wider durability window), d == 0 restores the policy
+// the WAL was opened with, syncing any batched appends inline before
+// returning. The flusher goroutine is started lazily on the first
+// enable and keeps its first interval for the WAL's lifetime.
+func (w *WAL) SetGroupCommit(d time.Duration) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.group = d
+	var syncErr error
+	if d == 0 && w.opts.SyncEvery == 0 && w.dirty {
+		w.dirty = false
+		syncErr = w.f.Sync()
+	}
+	if d > 0 && !w.flusherOn {
+		w.flusherOn = true
+		w.stopped = make(chan struct{})
+		go w.flusher(d)
+	}
+	w.mu.Unlock()
+	return syncErr
 }
 
 // Append frames, writes and (per the sync policy) fsyncs one record,
@@ -220,6 +274,16 @@ func (w *WAL) Append(r *Record) error {
 	}
 
 	w.appends++
+	if d := w.opts.Faults.DiskDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	if ferr := w.opts.Faults.WALWriteErr(w.appends); ferr != nil {
+		// Injected ENOSPC: the write fails before any bytes land, the
+		// way a full filesystem fails it. Unlike a torn append the
+		// journal stays frame-aligned and the WAL stays usable — the
+		// session degrades to journal-paused, not dead.
+		return fmt.Errorf("wal %s: append: %w", w.path, ferr)
+	}
 	if tear := w.opts.Faults.WALTear(w.appends, len(frame)); tear >= 0 {
 		// Injected torn append: write only a prefix, sync it so the torn
 		// tail is really on disk, and fail as a crash at this exact
@@ -242,7 +306,7 @@ func (w *WAL) Append(r *Record) error {
 	}
 	w.seq = r.Seq
 	w.size += int64(len(frame))
-	if w.opts.SyncEvery == 0 {
+	if w.opts.SyncEvery == 0 && w.group == 0 {
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
@@ -282,9 +346,10 @@ func (w *WAL) Close() error {
 		w.f.Sync()
 	}
 	err := w.f.Close()
+	stopped := w.stopped
 	w.mu.Unlock()
 	close(w.stop)
-	<-w.stopped
+	<-stopped
 	return err
 }
 
@@ -305,10 +370,13 @@ func (w *WAL) Seq() uint64 {
 // Path returns the journal's file path.
 func (w *WAL) Path() string { return w.path }
 
-// flusher batches fsyncs on the SyncEvery interval.
-func (w *WAL) flusher() {
-	defer close(w.stopped)
-	tick := time.NewTicker(w.opts.SyncEvery)
+// flusher batches fsyncs on the given interval.
+func (w *WAL) flusher(every time.Duration) {
+	w.mu.Lock()
+	stopped := w.stopped
+	w.mu.Unlock()
+	defer close(stopped)
+	tick := time.NewTicker(every)
 	defer tick.Stop()
 	for {
 		select {

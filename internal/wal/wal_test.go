@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -226,4 +227,105 @@ func TestEncodeRecordRejectsOversize(t *testing.T) {
 	if _, err := EncodeRecord(big); err == nil {
 		t.Fatal("oversize record encoded")
 	}
+}
+
+func TestInjectedDiskFullAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	plan := faultinject.New().DiskFullAppends(2, 2)
+	w, _ := openT(t, path, Options{Faults: plan})
+
+	if err := w.Append(&Record{Type: TypeBoot}); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	// Appends 2 and 3 fail up front with no bytes written; unlike a
+	// torn append the WAL stays open and frame-aligned.
+	sizeBefore := w.Size()
+	for i := 0; i < 2; i++ {
+		if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("append %d: %v, want ErrInjected", i+2, err)
+		}
+	}
+	if w.Size() != sizeBefore {
+		t.Fatalf("failed appends moved size %d -> %d", sizeBefore, w.Size())
+	}
+	// Space "returns": append 4 succeeds with the next consecutive seq.
+	if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); err != nil {
+		t.Fatalf("append after pressure cleared: %v", err)
+	}
+	if got := w.Seq(); got != 2 {
+		t.Fatalf("seq = %d, want 2 (failed appends must not burn sequence numbers)", got)
+	}
+	w.Close()
+
+	recs, _, err := DecodeAll(mustRead(t, path))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(recs))
+	}
+}
+
+func TestSetGroupCommitBatchesAndRestores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, _ := openT(t, path, Options{}) // inline fsync mode
+
+	if err := w.SetGroupCommit(5 * time.Millisecond); err != nil {
+		t.Fatalf("SetGroupCommit on: %v", err)
+	}
+	if err := w.Append(&Record{Type: TypeBoot}); err != nil {
+		t.Fatalf("append under group commit: %v", err)
+	}
+	// Back to inline: pending batched bytes must be synced by the call.
+	if err := w.SetGroupCommit(0); err != nil {
+		t.Fatalf("SetGroupCommit off: %v", err)
+	}
+	if err := w.Append(&Record{Type: TypeCmd, Verb: "run"}); err != nil {
+		t.Fatalf("append after restore: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	recs, _, err := DecodeAll(mustRead(t, path))
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("round trip: %d recs, err %v", len(recs), err)
+	}
+}
+
+func TestReanchorRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, _ := openT(t, path, Options{})
+	anchor := &Record{
+		Type: TypeReanchor, Pipe: "p0", Path: "s.p0.lscp",
+		Cycle: 350, HistoryLen: 3, Version: "v2",
+		History: []RunStep{
+			{TB: "tb", Cycles: 200, StartCycle: 0},
+			{TB: "tb", Cycles: 100, StartCycle: 200},
+			{TB: "tb", Cycles: 50, StartCycle: 300},
+		},
+	}
+	if err := w.Append(anchor); err != nil {
+		t.Fatalf("append reanchor: %v", err)
+	}
+	w.Close()
+	recs, _, err := DecodeAll(mustRead(t, path))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("decode: %d recs, err %v", len(recs), err)
+	}
+	got := recs[0]
+	if got.Type != TypeReanchor || got.Cycle != 350 || len(got.History) != 3 {
+		t.Fatalf("reanchor fields lost: %+v", got)
+	}
+	if got.History[2] != (RunStep{TB: "tb", Cycles: 50, StartCycle: 300}) {
+		t.Fatalf("history step mangled: %+v", got.History[2])
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }

@@ -1,0 +1,114 @@
+#!/bin/sh
+# overload-smoke: end-to-end check of the resource-governance plane.
+# Part 1 runs `lsbench -overload` (in-process daemon, 1x/2x/4x admission
+# capacity) and asserts typed overload rejections occurred and every
+# round recovered. Part 2 boots a real livesimd with a forced disk probe
+# at the critical rung and asserts the session degrades to NONDURABLE
+# (never quarantined), /healthz reports "degraded" with the disk level,
+# and SIGTERM still drains cleanly. `make check` runs this after
+# profile-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DPID=""
+trap '[ -n "$DPID" ] && kill "$DPID" 2>/dev/null; rm -rf "$TMP"' EXIT
+
+# ---- Part 1: admission control under synthetic overload -------------
+$GO run ./cmd/lsbench -overload -budget 300ms >"$TMP/overload.txt"
+if ! grep -q 'recovered: all rounds' "$TMP/overload.txt"; then
+    echo "overload-smoke: FAIL (a round never recovered)"
+    cat "$TMP/overload.txt"
+    exit 1
+fi
+# The 4x row must show typed overload rejections (column 5).
+if ! awk '$1 == "4x" { exit !($5 > 0) }' "$TMP/overload.txt"; then
+    echo "overload-smoke: FAIL (no overload rejections at 4x capacity)"
+    cat "$TMP/overload.txt"
+    exit 1
+fi
+
+# ---- Part 2: disk-pressure degradation on a real daemon -------------
+SOCK="$TMP/d.sock"
+STATE="$TMP/state"
+PORT=$((21000 + $$ % 20000))
+ADMIN="127.0.0.1:$PORT"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+# Probe forced to 8% free => the ladder must latch the critical rung.
+"$TMP/livesimd" -unix "$SOCK" -state-dir "$STATE" -admin-addr "$ADMIN" \
+    -disk-poll 50ms -fault-disk-free 8:100 -metrics=false \
+    >"$TMP/daemon.log" 2>&1 &
+DPID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "overload-smoke: FAIL (daemon never listened)"
+        cat "$TMP/daemon.log"
+        exit 1
+    fi
+    sleep 0.05
+done
+
+"$TMP/livesim" -connect "unix:$SOCK" -session s1 >/dev/null <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 50
+exit
+EOF
+
+# Give the governor a few probe ticks to latch the rung and pause.
+sleep 0.5
+
+"$TMP/livesim" -connect "unix:$SOCK" >"$TMP/sessions.log" <<'EOF'
+sessions
+exit
+EOF
+if ! grep -q 'NONDURABLE' "$TMP/sessions.log"; then
+    echo "overload-smoke: FAIL (session not NONDURABLE at critical rung)"
+    cat "$TMP/sessions.log"
+    exit 1
+fi
+if grep -q 'QUARANTINED' "$TMP/sessions.log"; then
+    echo "overload-smoke: FAIL (disk incident quarantined the session)"
+    cat "$TMP/sessions.log"
+    exit 1
+fi
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "http://$ADMIN$1"
+    else
+        $GO run ./scripts/httpget "http://$ADMIN$1"
+    fi
+}
+fetch /healthz >"$TMP/healthz.json"
+if ! grep -q '"status":"degraded"' "$TMP/healthz.json"; then
+    echo "overload-smoke: FAIL (/healthz not degraded under disk pressure)"
+    cat "$TMP/healthz.json"
+    exit 1
+fi
+if ! grep -q '"disk_level":"critical"' "$TMP/healthz.json"; then
+    echo "overload-smoke: FAIL (/healthz disk_level not critical)"
+    cat "$TMP/healthz.json"
+    exit 1
+fi
+
+kill -TERM "$DPID"
+if wait "$DPID"; then
+    rc=0
+else
+    rc=$?
+fi
+DPID=""
+if [ "$rc" -ne 0 ]; then
+    echo "overload-smoke: FAIL (daemon exited $rc on SIGTERM under pressure)"
+    cat "$TMP/daemon.log"
+    exit 1
+fi
+
+echo "overload-smoke: OK (typed rejections + recovery at 4x capacity; critical rung degrades to NONDURABLE, healthz degraded, clean drain)"

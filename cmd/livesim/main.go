@@ -170,8 +170,12 @@ func runRemote() int {
 	// Auto-reconnect: survive a daemon restart or network blip without
 	// losing the interactive session. Mutating requests caught by the
 	// drop fail with an error the loop prints; reads are resent.
+	// FollowMoves: when a fleet migrates the session to another backend
+	// (code "moved" + a new address), retarget there transparently
+	// instead of retrying a drained daemon forever.
 	c, err := client.DialOptions(*flagConnect, client.Options{
-		Reconnect: true,
+		Reconnect:   true,
+		FollowMoves: true,
 		OnReconnect: func(attempts int) {
 			fmt.Printf("\n(reconnected to %s after %d attempt(s))\nlivesim> ", *flagConnect, attempts)
 		},

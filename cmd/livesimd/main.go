@@ -236,6 +236,10 @@ func run() int {
 	select {
 	case sig := <-sigs:
 		logger.Info("signal received; draining", obs.Str("signal", sig.String()))
+	case <-srv.DrainRequested():
+		// The wire `drain` verb (operator, or a gateway that migrated
+		// everything off) runs the exact same path SIGTERM does.
+		logger.Info("drain requested over the wire; draining")
 	case err := <-serveErrs:
 		if err != nil {
 			logger.Error("serve failed", obs.Str("err", err.Error()))

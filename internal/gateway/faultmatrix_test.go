@@ -1,0 +1,226 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"livesim/internal/faultinject"
+	"livesim/internal/gateway"
+	"livesim/internal/server"
+)
+
+// The mid-migration fault matrix. Each case kills one side of the
+// protocol at its worst moment and asserts the two invariants a live
+// migration must never break:
+//
+//   - the session survives on exactly one backend, and
+//   - its fingerprint (accumulator value + cycle report) is
+//     bit-identical to the pre-fault state.
+//
+// The OnMigrateStage seam fires just before each stage, so "at import"
+// means "export finished, import not yet sent" — the window where both
+// state dirs hold a copy of the journal.
+
+// matrix is the shared scaffolding: two backends, a gateway between
+// them, one driven session, and a lookup of who hosts it.
+type matrix struct {
+	src, dst   *testBackend
+	gw         *gateway.Gateway
+	gaddr      string
+	wantPeek   string
+	wantCycle  string
+	sourceAddr string
+}
+
+func setupMatrix(t *testing.T, cfg *gateway.Config) *matrix {
+	t.Helper()
+	m := &matrix{src: newTestBackend(t), dst: newTestBackend(t)}
+	cfg.Backends = []gateway.BackendSpec{{Addr: m.src.addr()}, {Addr: m.dst.addr()}}
+	m.gw, m.gaddr = startGateway(t, *cfg)
+	c := dial(t, m.gaddr)
+	createTiny(t, c, "f0")
+	m.wantPeek, m.wantCycle = drive(t, c, "f0")
+
+	// Normalize: if placement chose what we call dst, swap the labels so
+	// src is always the session's home.
+	if len(m.src.sessionNames(t)) == 0 {
+		m.src, m.dst = m.dst, m.src
+	}
+	m.sourceAddr = m.src.addr()
+	return m
+}
+
+// hostsF0 reports whether backend b currently hosts the session.
+func hostsF0(t *testing.T, b *testBackend) bool {
+	t.Helper()
+	for _, n := range b.sessionNames(t) {
+		if n == "f0" {
+			return true
+		}
+	}
+	return false
+}
+
+// assertExactlyOneCopy fails unless f0 lives on exactly one of the two
+// backends, and returns which one.
+func assertExactlyOneCopy(t *testing.T, m *matrix) *testBackend {
+	t.Helper()
+	onSrc, onDst := hostsF0(t, m.src), hostsF0(t, m.dst)
+	if onSrc == onDst {
+		t.Fatalf("copy invariant broken: on source=%v, on target=%v", onSrc, onDst)
+	}
+	if onSrc {
+		return m.src
+	}
+	return m.dst
+}
+
+// TestMigrateSourceCrashAfterExport: the source dies the instant its
+// export blob is handed over. The migration must finish anyway — the
+// blob is all it needs — and the session's one copy is the target.
+// When the crashed source later restarts, its journal resurrects a
+// stale copy; the gateway's reconcile sweep must close it.
+func TestMigrateSourceCrashAfterExport(t *testing.T) {
+	var m *matrix
+	cfg := gateway.Config{
+		OnMigrateStage: func(session, stage string) {
+			if stage == "import" { // export done, import not yet sent
+				m.src.halt()
+			}
+		},
+	}
+	m = setupMatrix(t, &cfg)
+	c := dial(t, m.gaddr)
+
+	resp := mustOK(t, c, &server.Request{Session: "f0", Verb: "migrate"})
+	var rep gateway.MigrationReport
+	if err := json.Unmarshal(resp.Data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.To != m.dst.addr() {
+		t.Errorf("migrated to %s, want %s", rep.To, m.dst.addr())
+	}
+
+	if !hostsF0(t, m.dst) {
+		t.Fatal("target does not host the session after source crash")
+	}
+	gotPeek, gotCycle := fingerprint(t, c, "f0")
+	if gotPeek != m.wantPeek || gotCycle != m.wantCycle {
+		t.Errorf("fingerprint after source crash = (%q, %q), want (%q, %q)",
+			gotPeek, gotCycle, m.wantPeek, m.wantCycle)
+	}
+
+	// The dead source never saw the tombstone close, so restarting it
+	// resurrects a stale copy from its journal. The reconcile sweep
+	// (kicked when the health checker sees it return) must close it.
+	m.src.restart()
+	waitUntil(t, 5*time.Second, "resurrected source copy swept", func() bool {
+		return !hostsF0(t, m.src)
+	})
+	assertExactlyOneCopy(t, m)
+	gotPeek, gotCycle = fingerprint(t, c, "f0")
+	if gotPeek != m.wantPeek || gotCycle != m.wantCycle {
+		t.Errorf("fingerprint after sweep = (%q, %q), want (%q, %q)",
+			gotPeek, gotCycle, m.wantPeek, m.wantCycle)
+	}
+}
+
+// TestMigrateTargetCrashBeforeCommit: the target dies after acking the
+// import but before the gateway flips routing. The migration must
+// abort toward the source — which never stopped being authoritative —
+// and the target's half-adopted copy must be swept when it returns.
+func TestMigrateTargetCrashBeforeCommit(t *testing.T) {
+	var m *matrix
+	cfg := gateway.Config{
+		OnMigrateStage: func(session, stage string) {
+			if stage == "commit" { // import acked, routing not yet flipped
+				m.dst.halt()
+			}
+		},
+	}
+	m = setupMatrix(t, &cfg)
+	c := dial(t, m.gaddr)
+
+	resp, err := c.Do(&server.Request{Session: "f0", Verb: "migrate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("migration reported success with the target dead at commit")
+	}
+
+	// Source still serves, state intact, through the same gateway conn.
+	gotPeek, gotCycle := fingerprint(t, c, "f0")
+	if gotPeek != m.wantPeek || gotCycle != m.wantCycle {
+		t.Errorf("fingerprint after aborted migration = (%q, %q), want (%q, %q)",
+			gotPeek, gotCycle, m.wantPeek, m.wantCycle)
+	}
+	if !hostsF0(t, m.src) {
+		t.Fatal("source lost the session after an aborted migration")
+	}
+
+	// The target's journal holds the imported copy it acked before
+	// dying; on restart that copy resurrects and must be swept (the
+	// route stayed pinned to the source).
+	m.dst.restart()
+	waitUntil(t, 5*time.Second, "orphaned target copy swept", func() bool {
+		return !hostsF0(t, m.dst)
+	})
+	assertExactlyOneCopy(t, m)
+	gotPeek, gotCycle = fingerprint(t, c, "f0")
+	if gotPeek != m.wantPeek || gotCycle != m.wantCycle {
+		t.Errorf("fingerprint after sweep = (%q, %q), want (%q, %q)",
+			gotPeek, gotCycle, m.wantPeek, m.wantCycle)
+	}
+}
+
+// TestMigratePartitionAtImport: the gateway↔target link drops exactly
+// when the import would be sent (outcome unknown from the gateway's
+// side). The abort path closes the target — idempotent whether or not
+// the import landed — so the source remains the one copy, and a later
+// retry succeeds.
+func TestMigratePartitionAtImport(t *testing.T) {
+	plan := faultinject.New().FailMigrateAt("import")
+	cfg := gateway.Config{Faults: plan}
+	m := setupMatrix(t, &cfg)
+	c := dial(t, m.gaddr)
+
+	resp, err := c.Do(&server.Request{Session: "f0", Verb: "migrate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("migration reported success across an injected partition")
+	}
+	var fired bool
+	for _, f := range plan.Fired() {
+		if f == "migrate:import" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("injected fault never fired: %v", plan.Fired())
+	}
+
+	// Both backends alive: the session must be on the source alone.
+	owner := assertExactlyOneCopy(t, m)
+	if owner != m.src {
+		t.Errorf("session on %s after aborted migration, want source %s", owner.addr(), m.src.addr())
+	}
+	gotPeek, gotCycle := fingerprint(t, c, "f0")
+	if gotPeek != m.wantPeek || gotCycle != m.wantCycle {
+		t.Errorf("fingerprint after partition abort = (%q, %q), want (%q, %q)",
+			gotPeek, gotCycle, m.wantPeek, m.wantCycle)
+	}
+
+	// The fault was one-shot: the same migration now goes through.
+	resp = mustOK(t, c, &server.Request{Session: "f0", Verb: "migrate"})
+	var rep gateway.MigrationReport
+	if err := json.Unmarshal(resp.Data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.To != m.dst.addr() {
+		t.Errorf("retried migration landed on %s, want %s", rep.To, m.dst.addr())
+	}
+}

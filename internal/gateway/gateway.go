@@ -1,0 +1,878 @@
+// Package gateway is livesim's fleet front door: a stateless NDJSON
+// proxy that speaks the exact wire protocol of internal/server and
+// spreads sessions across a pool of livesimd backends.
+//
+// Placement is rendezvous hashing over the backend list — no placement
+// database, no coordination; a restarted gateway re-derives routes by
+// asking each backend what it hosts. A health checker walks the pool
+// (wire ping, plus /healthz when an admin address is known) and keeps
+// unhealthy backends out of placement while still routing existing
+// sessions to them, so the backend's own typed rejections (draining,
+// recovering, disk_full, overloaded with retry_after_ms) flow through
+// to clients untouched. Trace IDs stamped at the gateway propagate to
+// the backend, so one client call still reads as one span tree.
+//
+// The headline capability is live migration (migrate.go): export a
+// session's journal+checkpoints from one backend as a transfer blob,
+// import it on another, and flip routing at the commit point — the
+// freeze window is the only blackout a client can observe. Draining a
+// backend is just "migrate everything off, then tell it to drain".
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"livesim/internal/faultinject"
+	"livesim/internal/obs"
+	"livesim/internal/server"
+	"livesim/internal/transfer"
+)
+
+// Config tunes a Gateway.
+type Config struct {
+	// Backends is the fixed pool. At least one required.
+	Backends []BackendSpec
+	// HealthEvery is the probe cadence (default 500ms).
+	HealthEvery time.Duration
+	// ProbeTimeout bounds one health probe or discovery call (default 2s).
+	ProbeTimeout time.Duration
+	// ForwardTimeout bounds one proxied request (default 60s) — a
+	// wedged backend must not pin gateway goroutines forever. Backends
+	// enforce their own RequestTimeout well under this.
+	ForwardTimeout time.Duration
+	// MigrateTimeout bounds one live migration end to end, including
+	// waiting out the session's in-flight requests (default 15s).
+	MigrateTimeout time.Duration
+	// WriteTimeout bounds one response write to a client (default 10s).
+	WriteTimeout time.Duration
+	// Metrics/Log/EventRingCap wire the observability plane (all
+	// optional; nil is off).
+	Metrics      *obs.Registry
+	Log          *obs.Logger
+	EventRingCap int
+	// Faults injects failures at migration stages (tests only).
+	Faults *faultinject.Plan
+	// OnMigrateStage, when set, is called before each migration stage
+	// ("export", "import", "commit") — the seam fault-matrix tests use
+	// to crash a backend at exactly the worst moment.
+	OnMigrateStage func(session, stage string)
+}
+
+// Gateway fronts a pool of livesimd backends. Stateless by design:
+// everything in it (routes, health) is re-derivable from the backends.
+type Gateway struct {
+	cfg    Config
+	reg    *obs.Registry
+	log    *obs.Logger
+	events *obs.EventRing
+	start  time.Time
+
+	backends []*backend
+
+	mu        sync.Mutex
+	routes    map[string]*route
+	listeners map[net.Listener]bool
+	conns     map[*gconn]bool
+	draining  bool
+
+	inflight sync.WaitGroup
+	connWG   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// route is where one session lives, plus the freeze latch a migration
+// uses to hold new requests while the session is in flight between
+// backends.
+type route struct {
+	mu      sync.Mutex
+	backend *backend
+	// pinned marks routes this gateway is authoritative for (it placed
+	// the create or committed the migration). Discovery conflicts on a
+	// pinned route are resurrections and get swept; conflicts on a
+	// learned route are ambiguous and only reported.
+	pinned bool
+
+	migrating bool
+	unfrozen  chan struct{} // non-nil while migrating; closed at commit/abort
+	inflight  int
+	idle      chan struct{} // non-nil while a migration waits for inflight drain
+}
+
+// acquire returns the session's backend, waiting out any migration
+// freeze (bounded). The caller must release().
+func (r *route) acquire(timeout time.Duration) (*backend, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		if !r.migrating {
+			r.inflight++
+			b := r.backend
+			r.mu.Unlock()
+			return b, nil
+		}
+		ch := r.unfrozen
+		r.mu.Unlock()
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return nil, fmt.Errorf("session frozen by migration for over %v", timeout)
+		}
+	}
+}
+
+func (r *route) release() {
+	r.mu.Lock()
+	r.inflight--
+	if r.inflight == 0 && r.idle != nil {
+		close(r.idle)
+		r.idle = nil
+	}
+	r.mu.Unlock()
+}
+
+// New builds a gateway, runs one synchronous probe+discovery pass so
+// it starts with a live route table, and starts the health loop.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 60 * time.Second
+	}
+	if cfg.MigrateTimeout <= 0 {
+		cfg.MigrateTimeout = 15 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		reg:       cfg.Metrics,
+		log:       cfg.Log,
+		events:    obs.NewEventRing(cfg.EventRingCap),
+		start:     time.Now(),
+		routes:    make(map[string]*route),
+		listeners: make(map[net.Listener]bool),
+		conns:     make(map[*gconn]bool),
+		stop:      make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	for _, spec := range cfg.Backends {
+		if spec.Addr == "" {
+			return nil, fmt.Errorf("gateway: backend with empty address")
+		}
+		if seen[spec.Addr] {
+			return nil, fmt.Errorf("gateway: duplicate backend %s", spec.Addr)
+		}
+		seen[spec.Addr] = true
+		g.backends = append(g.backends, newBackend(spec))
+	}
+	g.probeAll() // synchronous: placement works from the first request
+	for _, b := range g.backends {
+		if b.alive() {
+			g.discover(b)
+		}
+	}
+	go g.healthLoop()
+	return g, nil
+}
+
+func (g *Gateway) probeTimeout() time.Duration { return g.cfg.ProbeTimeout }
+
+// Metrics returns the gateway's registry (nil when disabled).
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// Events returns the gateway's operational event ring.
+func (g *Gateway) Events() *obs.EventRing { return g.events }
+
+func (g *Gateway) healthLoop() {
+	t := time.NewTicker(g.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range g.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			g.probe(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// discover asks one backend what it hosts and folds that into the
+// route table. New names become learned (unpinned) routes. A name the
+// table already places elsewhere is a conflict: when our route is
+// pinned — this gateway committed a migration away from b or placed
+// the session elsewhere — b's copy is a resurrection (a source that
+// crashed after export and came back) and is closed with a forwarding
+// tombstone, restoring the exactly-one-copy invariant. On a merely
+// learned route the gateway has no authority to pick a side, so it
+// reports the conflict and touches nothing.
+func (g *Gateway) discover(b *backend) {
+	cli, err := b.client()
+	if err != nil {
+		return
+	}
+	resp, err := doTimeout(cli, &server.Request{Verb: "sessions"}, g.probeTimeout())
+	if err != nil {
+		b.dropClient(cli)
+		return
+	}
+	if !resp.OK || resp.Data == nil {
+		return
+	}
+	var infos []server.SessionInfo
+	if err := json.Unmarshal(resp.Data, &infos); err != nil {
+		return
+	}
+	for _, info := range infos {
+		g.mu.Lock()
+		r := g.routes[info.Name]
+		if r == nil {
+			g.routes[info.Name] = &route{backend: b}
+			g.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		owner, pinned := r.backend, r.pinned
+		r.mu.Unlock()
+		g.mu.Unlock()
+		if owner == b {
+			continue
+		}
+		if pinned {
+			g.reg.Counter("gateway_resurrections_closed").Inc()
+			g.events.Add("resurrection", info.Name,
+				fmt.Sprintf("stale copy on %s closed; authoritative on %s", b.addr(), owner.addr()))
+			g.forward(b, &server.Request{Session: info.Name, Verb: "close",
+				Args: []string{"moved", owner.addr()}})
+		} else {
+			g.events.Add("session_conflict", info.Name,
+				fmt.Sprintf("hosted on both %s and %s; routing to %s", owner.addr(), b.addr(), owner.addr()))
+			g.log.Error("session conflict", obs.Str("session", info.Name),
+				obs.Str("routed", owner.addr()), obs.Str("also_on", b.addr()))
+		}
+	}
+}
+
+// reconcile is the recovered-backend sweep the health checker kicks.
+func (g *Gateway) reconcile(b *backend) { g.discover(b) }
+
+func (g *Gateway) backendByAddr(addr string) *backend {
+	for _, b := range g.backends {
+		if b.addr() == addr {
+			return b
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) aliveBackends() []*backend {
+	out := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.alive() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (g *Gateway) placeableBackends() []*backend {
+	out := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.placeable() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// setRoute records where a session lives. pinned routes are never
+// downgraded to learned by a later unpinned set.
+func (g *Gateway) setRoute(session string, b *backend, pinned bool) {
+	g.mu.Lock()
+	r := g.routes[session]
+	if r == nil {
+		g.routes[session] = &route{backend: b, pinned: pinned}
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	r.mu.Lock()
+	r.backend = b
+	r.pinned = r.pinned || pinned
+	r.mu.Unlock()
+}
+
+// dropRoute forgets a session iff it still points at b (a concurrent
+// migration may have retargeted it).
+func (g *Gateway) dropRoute(session string, b *backend) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.routes[session]
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	cur := r.backend
+	migrating := r.migrating
+	r.mu.Unlock()
+	if cur == b && !migrating {
+		delete(g.routes, session)
+	}
+}
+
+// Serve accepts connections on ln until the listener closes.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		ln.Close()
+		return server.ErrDraining
+	}
+	g.listeners[ln] = true
+	g.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			g.mu.Lock()
+			draining := g.draining
+			g.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		g.reg.Counter("gateway_conns_opened").Inc()
+		g.connWG.Add(1)
+		go g.handleConn(nc)
+	}
+}
+
+// gconn is one client connection; responses from concurrent request
+// goroutines serialize on writeMu.
+type gconn struct {
+	g       *Gateway
+	nc      net.Conn
+	writeMu sync.Mutex
+}
+
+func (c *gconn) write(resp *server.Response) {
+	line, err := json.Marshal(resp)
+	if err != nil {
+		c.g.log.Error("marshal response failed", obs.Str("err", err.Error()))
+		return
+	}
+	line = append(line, '\n')
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(c.g.cfg.WriteTimeout))
+	c.nc.Write(line)
+}
+
+func (g *Gateway) handleConn(nc net.Conn) {
+	c := &gconn{g: g, nc: nc}
+	g.mu.Lock()
+	g.conns[c] = true
+	g.mu.Unlock()
+	defer func() {
+		nc.Close()
+		g.mu.Lock()
+		delete(g.conns, c)
+		g.mu.Unlock()
+		g.reg.Counter("gateway_conns_closed").Inc()
+		g.connWG.Done()
+	}()
+
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024) // design sources and transfer blobs ride in requests
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var req server.Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			c.write(&server.Response{OK: false, Error: "bad request: " + err.Error(), Code: server.CodeBadRequest})
+			continue
+		}
+		// Every request gets its own goroutine: a forward blocks on the
+		// backend, and one slow session must not stall the others
+		// pipelined on this connection. Responses are id-matched.
+		g.inflight.Add(1)
+		go func(req *server.Request) {
+			defer g.inflight.Done()
+			c.write(g.handle(req))
+		}(&req)
+	}
+}
+
+// handle routes one request and returns its response.
+func (g *Gateway) handle(req *server.Request) (resp *server.Response) {
+	t0 := time.Now()
+	g.reg.Counter("gateway_requests").Inc()
+	if req.TraceID == "" {
+		req.TraceID = obs.NewTraceID() // one tree across gateway and backend
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			g.reg.Counter("gateway_panics_recovered").Inc()
+			resp = gerr(req, server.CodePanic, fmt.Errorf("gateway panic: %v", r))
+		}
+		g.reg.Histogram("gateway_request_seconds", nil).Observe(time.Since(t0).Seconds())
+	}()
+
+	g.mu.Lock()
+	draining := g.draining
+	g.mu.Unlock()
+	if draining {
+		return gerr(req, server.CodeDraining, server.ErrDraining)
+	}
+
+	verb := strings.ToLower(req.Verb)
+	switch verb {
+	case "ping":
+		return g.pingResp(req)
+	case "help":
+		return g.helpResp(req)
+	case "metricz":
+		snap := g.reg.Snapshot()
+		var txt bytes.Buffer
+		g.reg.WriteText(&txt)
+		return &server.Response{ID: req.ID, OK: true, Output: txt.String(), Data: snap.JSON()}
+	case "events":
+		evs := g.events.All()
+		data, _ := json.Marshal(evs)
+		var b strings.Builder
+		for _, e := range evs {
+			fmt.Fprintf(&b, "%d %s %s %s %s\n", e.Seq, e.TS.Format(time.RFC3339), e.Type, e.Session, e.Msg)
+		}
+		return &server.Response{ID: req.ID, OK: true, Output: b.String(), Data: data}
+	case "backends":
+		return g.backendsResp(req)
+	case "sessions":
+		return g.aggregateSessions(req)
+	case "create":
+		return g.placeCreate(req)
+	case "import":
+		return g.placeImport(req)
+	case "migrate":
+		return g.migrateVerb(req)
+	case "drain":
+		return g.drainVerb(req)
+	case "subscribe":
+		return gerr(req, server.CodeBadRequest, fmt.Errorf(
+			"subscribe is not supported through the gateway; connect to the backend directly (see `backends`)"))
+	}
+	// Everything else — session verbs, close, unquarantine, export —
+	// needs a session and follows the route table.
+	if req.Session == "" {
+		return gerr(req, server.CodeBadRequest, fmt.Errorf("verb %q needs a session", req.Verb))
+	}
+	return g.forwardSession(req, verb)
+}
+
+// forwardSession routes a session-addressed request: routed sessions
+// go to their backend (waiting out any migration freeze); unknown
+// sessions sweep the alive backends in rendezvous order so the answer
+// is found wherever it lives and the route is learned for next time.
+func (g *Gateway) forwardSession(req *server.Request, verb string) *server.Response {
+	g.mu.Lock()
+	r := g.routes[req.Session]
+	g.mu.Unlock()
+
+	if r != nil {
+		b, err := r.acquire(g.cfg.MigrateTimeout)
+		if err != nil {
+			return gerr(req, server.CodeUnavailable, err)
+		}
+		resp := g.forward(b, req)
+		r.release()
+		switch {
+		case resp.Code == server.CodeNoSession:
+			// The backend no longer hosts it (closed, idle-evicted): the
+			// route is stale, not the session's existence elsewhere.
+			g.dropRoute(req.Session, b)
+		case resp.Code == server.CodeMoved && resp.MovedTo != "":
+			// Another actor migrated it. Chase one hop and relearn.
+			if nb := g.backendByAddr(resp.MovedTo); nb != nil && nb.alive() {
+				g.reg.Counter("gateway_moved_follows").Inc()
+				g.setRoute(req.Session, nb, false)
+				return g.forward(nb, req)
+			}
+		case verb == "close" && resp.OK:
+			g.dropRoute(req.Session, b)
+		}
+		return resp
+	}
+
+	order := rendezvousOrder(req.Session, g.aliveBackends())
+	if len(order) == 0 {
+		return gerr(req, server.CodeUnavailable, fmt.Errorf("no backend available"))
+	}
+	var last *server.Response
+	for _, b := range order {
+		resp := g.forward(b, req)
+		last = resp
+		switch resp.Code {
+		case server.CodeNoSession, server.CodeUnavailable:
+			continue // not here / can't tell; a miss means nothing executed
+		case server.CodeMoved:
+			if nb := g.backendByAddr(resp.MovedTo); nb != nil && nb.alive() {
+				g.reg.Counter("gateway_moved_follows").Inc()
+				g.setRoute(req.Session, nb, false)
+				return g.forward(nb, req)
+			}
+			return resp
+		}
+		if resp.Code != server.CodeBadRequest {
+			// Any session-scoped answer (success, quarantined, recovering,
+			// backpressure…) proves the session lives here.
+			g.reg.Counter("gateway_routes_learned").Inc()
+			g.setRoute(req.Session, b, false)
+		}
+		return resp
+	}
+	return last
+}
+
+// forward proxies one request to b, preserving the caller's request id
+// (the backend client assigns its own on the copy). A transport-level
+// failure marks the backend down — the health checker will decide when
+// it is back — and surfaces as CodeUnavailable with a retry hint sized
+// to the probe cadence.
+func (g *Gateway) forward(b *backend, req *server.Request) *server.Response {
+	cli, err := b.client()
+	if err != nil {
+		g.reg.Counter("gateway_forward_errors").Inc()
+		g.setBackendState(b, bsDown, err.Error())
+		return g.unavailResp(req, b, err)
+	}
+	creq := *req
+	resp, err := doTimeout(cli, &creq, g.cfg.ForwardTimeout)
+	if err != nil {
+		b.dropClient(cli)
+		g.reg.Counter("gateway_forward_errors").Inc()
+		g.setBackendState(b, bsDown, err.Error())
+		return g.unavailResp(req, b, err)
+	}
+	resp.ID = req.ID
+	return resp
+}
+
+func (g *Gateway) unavailResp(req *server.Request, b *backend, err error) *server.Response {
+	return &server.Response{
+		ID: req.ID, OK: false, Code: server.CodeUnavailable,
+		Error:        fmt.Sprintf("backend %s unavailable: %v", b.addr(), err),
+		RetryAfterMs: g.cfg.HealthEvery.Milliseconds() + 1,
+	}
+}
+
+func gerr(req *server.Request, code string, err error) *server.Response {
+	return &server.Response{ID: req.ID, OK: false, Error: err.Error(), Code: code}
+}
+
+// placeCreate picks a backend by rendezvous hash over the placeable
+// slate and pins the route. The typed failure path flows through: a
+// session_limit or disk_full from the chosen backend is the client's
+// answer (placement is deterministic, not load-dodging).
+func (g *Gateway) placeCreate(req *server.Request) *server.Response {
+	if req.Session == "" {
+		return gerr(req, server.CodeBadRequest, fmt.Errorf("create needs a session name"))
+	}
+	g.mu.Lock()
+	if r := g.routes[req.Session]; r != nil {
+		r.mu.Lock()
+		owner := r.backend
+		r.mu.Unlock()
+		g.mu.Unlock()
+		return gerr(req, server.CodeNoSession,
+			fmt.Errorf("session %q already exists on %s", req.Session, owner.addr()))
+	}
+	g.mu.Unlock()
+	b := rendezvousPick(req.Session, g.placeableBackends())
+	if b == nil {
+		return gerr(req, server.CodeUnavailable, fmt.Errorf("no placeable backend"))
+	}
+	resp := g.forward(b, req)
+	if resp.OK {
+		g.reg.Counter("gateway_creates_placed").Inc()
+		g.setRoute(req.Session, b, true)
+		g.events.Add("placed", req.Session, "created on "+b.addr())
+	}
+	return resp
+}
+
+// placeImport places a transfer blob like a create: decode just the
+// meta for the session name, rendezvous-pick, pin on success.
+func (g *Gateway) placeImport(req *server.Request) *server.Response {
+	name := req.Session
+	if name == "" {
+		blob, err := transfer.Decode(req.Blob)
+		if err != nil {
+			return gerr(req, server.CodeBadRequest, fmt.Errorf("import blob: %w", err))
+		}
+		name = blob.Meta.Session
+	}
+	g.mu.Lock()
+	_, exists := g.routes[name]
+	g.mu.Unlock()
+	if exists {
+		return gerr(req, server.CodeNoSession, fmt.Errorf("session %q already exists", name))
+	}
+	b := rendezvousPick(name, g.placeableBackends())
+	if b == nil {
+		return gerr(req, server.CodeUnavailable, fmt.Errorf("no placeable backend"))
+	}
+	resp := g.forward(b, req)
+	if resp.OK {
+		g.setRoute(name, b, true)
+		g.events.Add("placed", name, "imported on "+b.addr())
+	}
+	return resp
+}
+
+func (g *Gateway) pingResp(req *server.Request) *server.Response {
+	alive := 0
+	for _, b := range g.backends {
+		if b.alive() {
+			alive++
+		}
+	}
+	g.mu.Lock()
+	routes := len(g.routes)
+	g.mu.Unlock()
+	data, _ := json.Marshal(map[string]any{
+		"uptime_secs": time.Since(g.start).Seconds(),
+		"backends":    len(g.backends),
+		"alive":       alive,
+		"routes":      routes,
+		"gateway":     true,
+	})
+	return &server.Response{ID: req.ID, OK: true, Output: "pong (gateway)\n", Data: data}
+}
+
+func (g *Gateway) helpResp(req *server.Request) *server.Response {
+	var b strings.Builder
+	b.WriteString("gateway verbs:\n")
+	b.WriteString("  backends                      backend pool health and route counts\n")
+	b.WriteString("  sessions                      sessions aggregated across all backends\n")
+	b.WriteString("  migrate [target-addr]         live-migrate a session (name in \"session\")\n")
+	b.WriteString("  drain <backend-addr>          migrate everything off a backend, then drain it\n")
+	b.WriteString("  metricz                       gateway metrics registry\n")
+	b.WriteString("  events                        gateway operational events\n")
+	b.WriteString("  ping                          gateway liveness + pool summary\n")
+	b.WriteString("everything else (create, close, run, apply, …) is forwarded to\n")
+	b.WriteString("the backend hosting the named session; `subscribe` is the one\n")
+	b.WriteString("verb that needs a direct backend connection.\n")
+	return &server.Response{ID: req.ID, OK: true, Output: b.String()}
+}
+
+// BackendInfo is one row of the `backends` verb's Data payload.
+type BackendInfo struct {
+	Addr      string `json:"addr"`
+	AdminAddr string `json:"admin_addr,omitempty"`
+	State     string `json:"state"`
+	Sessions  int64  `json:"sessions"`
+	Routes    int    `json:"routes"`
+	Placeable bool   `json:"placeable"`
+}
+
+func (g *Gateway) backendsResp(req *server.Request) *server.Response {
+	byBackend := make(map[*backend]int)
+	g.mu.Lock()
+	for _, r := range g.routes {
+		r.mu.Lock()
+		byBackend[r.backend]++
+		r.mu.Unlock()
+	}
+	g.mu.Unlock()
+	infos := make([]BackendInfo, 0, len(g.backends))
+	var b strings.Builder
+	for _, be := range g.backends {
+		info := BackendInfo{
+			Addr: be.addr(), AdminAddr: be.spec.AdminAddr,
+			State: be.getState().String(), Sessions: be.sessions.Load(),
+			Routes: byBackend[be], Placeable: be.placeable(),
+		}
+		infos = append(infos, info)
+		fmt.Fprintf(&b, "%-32s %-10s sessions=%d routes=%d placeable=%v\n",
+			info.Addr, info.State, info.Sessions, info.Routes, info.Placeable)
+	}
+	data, _ := json.Marshal(infos)
+	return &server.Response{ID: req.ID, OK: true, Output: b.String(), Data: data}
+}
+
+// FleetSessionInfo is one row of the gateway's aggregated `sessions`
+// payload: the backend address plus the backend's own row.
+type FleetSessionInfo struct {
+	Backend string `json:"backend"`
+	server.SessionInfo
+}
+
+func (g *Gateway) aggregateSessions(req *server.Request) *server.Response {
+	type result struct {
+		b     *backend
+		infos []server.SessionInfo
+	}
+	alive := g.aliveBackends()
+	ch := make(chan result, len(alive))
+	for _, b := range alive {
+		go func(b *backend) {
+			resp := g.forward(b, &server.Request{Verb: "sessions", TraceID: req.TraceID})
+			var infos []server.SessionInfo
+			if resp.OK && resp.Data != nil {
+				json.Unmarshal(resp.Data, &infos)
+			}
+			ch <- result{b, infos}
+		}(b)
+	}
+	rows := make([]FleetSessionInfo, 0, 16)
+	for range alive {
+		res := <-ch
+		for _, info := range res.infos {
+			rows = append(rows, FleetSessionInfo{Backend: res.b.addr(), SessionInfo: info})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Name != rows[j].Name {
+			return rows[i].Name < rows[j].Name
+		}
+		return rows[i].Backend < rows[j].Backend
+	})
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s @%s pipes=%d wal=%dB mark@%d\n",
+			row.Name, row.Backend, len(row.Pipes), row.WALBytes, row.MarkSeq)
+	}
+	data, _ := json.Marshal(rows)
+	return &server.Response{ID: req.ID, OK: true, Output: b.String(), Data: data}
+}
+
+func (g *Gateway) migrateVerb(req *server.Request) *server.Response {
+	if req.Session == "" {
+		return gerr(req, server.CodeBadRequest, fmt.Errorf("migrate needs a session"))
+	}
+	target := ""
+	if len(req.Args) > 0 {
+		target = req.Args[0]
+	}
+	rep, err := g.Migrate(req.Session, target)
+	if err != nil {
+		return gerr(req, server.CodeError, err)
+	}
+	data, _ := json.Marshal(rep)
+	return &server.Response{ID: req.ID, OK: true, Data: data,
+		Output: fmt.Sprintf("migrated %s: %s -> %s (%.1fms blackout, %dB journal)\n",
+			rep.Session, rep.From, rep.To, rep.BlackoutMs, rep.WALBytes)}
+}
+
+func (g *Gateway) drainVerb(req *server.Request) *server.Response {
+	if len(req.Args) == 0 {
+		return gerr(req, server.CodeBadRequest, fmt.Errorf("drain needs a backend address"))
+	}
+	rep, err := g.DrainBackend(req.Args[0])
+	if err != nil {
+		return gerr(req, server.CodeError, err)
+	}
+	data, _ := json.Marshal(rep)
+	var b strings.Builder
+	fmt.Fprintf(&b, "drained %s: %d migrated, %d failed, drain sent: %v\n",
+		rep.Backend, len(rep.Migrated), len(rep.Failed), rep.DrainSent)
+	for _, m := range rep.Migrated {
+		fmt.Fprintf(&b, "  %s -> %s (%.1fms blackout)\n", m.Session, m.To, m.BlackoutMs)
+	}
+	for name, msg := range rep.Failed {
+		fmt.Fprintf(&b, "  %s FAILED: %s\n", name, msg)
+	}
+	resp := &server.Response{ID: req.ID, OK: len(rep.Failed) == 0, Data: data, Output: b.String()}
+	if !resp.OK {
+		resp.Code = server.CodeError
+		resp.Error = fmt.Sprintf("%d sessions failed to migrate off %s", len(rep.Failed), rep.Backend)
+	}
+	return resp
+}
+
+// AdminPing returns the ping verb's pool-summary payload as JSON, for
+// lsgate's /healthz.
+func (g *Gateway) AdminPing() []byte { return g.pingResp(&server.Request{}).Data }
+
+// AdminBackends returns the backends table as JSON, for /backendz.
+func (g *Gateway) AdminBackends() []byte { return g.backendsResp(&server.Request{}).Data }
+
+// Shutdown stops the gateway: close listeners, stop the health loop,
+// wait out in-flight forwards (bounded by ctx), drop client conns.
+// Stateless: nothing to save.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	g.draining = true
+	lns := make([]net.Listener, 0, len(g.listeners))
+	for ln := range g.listeners {
+		lns = append(lns, ln)
+	}
+	g.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	g.stopOnce.Do(func() { close(g.stop) })
+
+	done := make(chan struct{})
+	go func() {
+		g.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+
+	g.mu.Lock()
+	conns := make([]*gconn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+	g.connWG.Wait()
+	for _, b := range g.backends {
+		b.mu.Lock()
+		cli := b.cli
+		b.cli = nil
+		b.mu.Unlock()
+		if cli != nil {
+			cli.Close()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Placement is rendezvous (highest-random-weight) hashing: every
+// (backend, session) pair gets a stable pseudo-random score and the
+// session lands on the highest-scoring eligible backend. The property
+// that matters for a fleet is minimal disruption — when a backend
+// joins or leaves, only the sessions whose top choice changed move,
+// unlike modulo hashing where almost everything reshuffles. No state
+// to replicate either: any gateway (or a restarted one) computes the
+// same placement from the same backend list.
+
+// rendezvousScore is the weight of placing session on the backend at
+// addr. FNV-1a over addr NUL session — the separator keeps
+// ("ab","c") and ("a","bc") from colliding.
+func rendezvousScore(addr, session string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	h.Write([]byte{0})
+	h.Write([]byte(session))
+	return h.Sum64()
+}
+
+// rendezvousPick returns the highest-scoring backend for session, or
+// nil when the slate is empty.
+func rendezvousPick(session string, backends []*backend) *backend {
+	var best *backend
+	var bestScore uint64
+	for _, b := range backends {
+		if s := rendezvousScore(b.addr(), session); best == nil || s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// rendezvousOrder returns backends sorted by descending score for
+// session — the preference order a lookup sweep should probe in, so
+// misses check the session's most likely home first.
+func rendezvousOrder(session string, backends []*backend) []*backend {
+	out := append([]*backend(nil), backends...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return rendezvousScore(out[i].addr(), session) > rendezvousScore(out[j].addr(), session)
+	})
+	return out
+}

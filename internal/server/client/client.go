@@ -66,7 +66,22 @@ type Options struct {
 	// hint with ±20% jitter so rejected callers spread out. Default 4;
 	// negative disables (the caller sees the overloaded response).
 	OverloadRetries int
+	// FollowMoves makes Do follow CodeMoved redirects: when a backend
+	// answers that the session migrated (code "moved" + moved_to), the
+	// client dials the new address, retargets the connection there, and
+	// resends the request. Like overload, a moved rejection happens
+	// before the verb executes, so the resend is safe for any verb.
+	// Retargeting moves the whole connection: calls in flight to the old
+	// backend are resent if idempotent and failed with ErrDisconnected
+	// otherwise — the same contract a reconnect gives. Without this, a
+	// client camped on a drained backend would retry the same address
+	// forever. Redirect chains are bounded (four hops per call).
+	FollowMoves bool
 }
+
+// maxMovedHops bounds redirect chains per Do call so two backends
+// pointing at each other cannot loop a request forever.
+const maxMovedHops = 4
 
 // redialJitter is the ±fraction applied to every redial backoff and
 // overload-retry sleep: N clients cut off by one daemon restart must
@@ -197,7 +212,11 @@ func Idempotent(verb string) bool {
 	switch strings.ToLower(verb) {
 	case "ping", "help", "metricz", "sessions", "events", "top":
 		return true
-	case "create", "close", "subscribe", "unquarantine":
+	case "export":
+		// Export is non-destructive and re-running it just refreshes the
+		// watermark; a resend after reconnect returns a fresh blob.
+		return true
+	case "create", "close", "subscribe", "unquarantine", "import", "drain":
 		return false
 	}
 	if cmd, ok := command.Lookup(verb); ok {
@@ -224,9 +243,23 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 	if retries < 0 {
 		retries = 0
 	}
+	hops := 0
 	for attempt := 0; ; attempt++ {
 		resp, err := c.doOnce(req)
-		if err != nil || resp == nil || resp.Code != server.CodeOverloaded || attempt >= retries {
+		if err != nil || resp == nil {
+			return resp, err
+		}
+		if c.opts.FollowMoves && resp.Code == server.CodeMoved && resp.MovedTo != "" && hops < maxMovedHops {
+			if ferr := c.follow(resp.MovedTo); ferr != nil {
+				// The new backend is unreachable; the moved response (with
+				// its forwarding address) is the most useful answer we have.
+				return resp, nil
+			}
+			hops++
+			attempt = -1 // fresh overload budget on the new backend
+			continue
+		}
+		if resp.Code != server.CodeOverloaded || attempt >= retries {
 			return resp, err
 		}
 		hint := time.Duration(resp.RetryAfterMs) * time.Millisecond
@@ -235,6 +268,51 @@ func (c *Client) Do(req *server.Request) (*server.Response, error) {
 		}
 		time.Sleep(c.jitter(hint))
 	}
+}
+
+// follow retargets the connection to addr after a CodeMoved redirect:
+// dial the new backend, swap it in, resend registered idempotent calls
+// there and fail the rest — the disconnect contract, applied on
+// purpose. The old connection is closed; its read loop exits and sees
+// itself superseded.
+func (c *Client) follow(addr string) error {
+	network, target := SplitAddr(addr)
+	nc, err := net.Dial(network, target)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.state == stClosed {
+		c.mu.Unlock()
+		nc.Close()
+		return ErrDisconnected
+	}
+	old := c.nc
+	c.network, c.target = network, target
+	c.nc = nc
+	c.state = stConnected // also halts any redial loop aimed at the old address
+	resend := make([][]byte, 0, len(c.pending))
+	for id, pc := range c.pending {
+		if pc.idem {
+			resend = append(resend, pc.line)
+			continue
+		}
+		delete(c.pending, id)
+		pc.ch <- callResult{nil, fmt.Errorf("connection retargeted to %s: %w", addr, ErrDisconnected)}
+	}
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	c.writeMu.Lock()
+	for _, line := range resend {
+		if _, werr := nc.Write(line); werr != nil {
+			break // the new read loop will notice and the redial path takes over
+		}
+	}
+	c.writeMu.Unlock()
+	go c.readLoop(nc)
+	return nil
 }
 
 // doOnce runs one request/response exchange on the wire.

@@ -65,7 +65,10 @@ const (
 // heavy verb; every other server verb (ping, sessions, events, top, …)
 // is free so overload can always be diagnosed from the outside.
 func admissionCost(verb string) int64 {
-	if verb == "create" {
+	switch verb {
+	case "create", "export", "import":
+		// export checkpoints every pipe and reads the journal; import
+		// writes it all back and replays — both weigh like create.
 		return createCost
 	}
 	if serverVerbs[verb] {

@@ -61,6 +61,9 @@ type Request struct {
 	PGAS int `json:"pgas,omitempty"`
 	// CheckpointEvery overrides the created session's checkpoint interval.
 	CheckpointEvery uint64 `json:"ckpt_every,omitempty"`
+	// Blob carries a migration transfer image (internal/transfer framing)
+	// for the import verb. JSON base64-encodes it on the wire.
+	Blob []byte `json:"blob,omitempty"`
 }
 
 // Response is one server → client reply.
@@ -79,6 +82,12 @@ type Response struct {
 	// is. Clients add jitter (see client.Do) so rejected callers don't
 	// retry in lockstep.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// MovedTo accompanies CodeMoved: the address ("unix:/path" or
+	// "host:port") now hosting the session this request named. Clients
+	// with FollowMoves enabled redial there and resend — a moved
+	// rejection always happens before the verb executes, so the resend
+	// is safe for any verb.
+	MovedTo string `json:"moved_to,omitempty"`
 	// Data carries structured payloads (stats snapshots, session lists).
 	Data json.RawMessage `json:"data,omitempty"`
 }
@@ -119,6 +128,14 @@ const (
 	// pressure ladder; mutating verbs are rejected (reads still work)
 	// until space is reclaimed.
 	CodeDiskFull = "disk_full"
+	// CodeMoved: the session was migrated to another backend; MovedTo
+	// carries the new address. Rejection happens before execution, so
+	// resending the request there is always safe.
+	CodeMoved = "moved"
+	// CodeUnavailable: the gateway could not reach the backend hosting
+	// this session (crash, partition); retry after retry_after_ms — the
+	// backend may recover, or the session may be re-routed.
+	CodeUnavailable = "unavailable"
 	// CodeError: any other execution failure.
 	CodeError = "error"
 )
@@ -152,6 +169,9 @@ var (
 // sessions are hosted.
 var ErrSessionLimit = errors.New("session limit reached")
 
+// ErrMoved is wrapped by CodeMoved rejections after a migration.
+var ErrMoved = errors.New("session moved to another backend")
+
 // SessionInfo is one row of the `sessions` verb's Data payload.
 type SessionInfo struct {
 	Name      string   `json:"name"`
@@ -174,6 +194,16 @@ type SessionInfo struct {
 	// MemBytes is the session's estimated memory footprint (checkpoint
 	// history + live pipe state + journal tail).
 	MemBytes uint64 `json:"mem_bytes,omitempty"`
+	// WALBytes is the session's journal size on disk — what an export
+	// would ship. The gateway orders drain migrations cheapest-first by
+	// this. Zero when journaling is disabled.
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// MarkSeq/MarkCycle describe the last checkpoint watermark: the
+	// journal sequence the marks were written at and the highest pipe
+	// cycle they cover. The distance from MarkSeq to the journal head is
+	// the replay work a migration or crash recovery must do.
+	MarkSeq   uint64 `json:"mark_seq,omitempty"`
+	MarkCycle uint64 `json:"mark_cycle,omitempty"`
 }
 
 // DrainReport is what Shutdown returns: which sessions were checkpointed

@@ -139,11 +139,37 @@ func (s *Server) recoverSession(h *hosted, path string) {
 		return
 	}
 
+	rep, err := s.replayRecords(h, recs)
+	if err != nil {
+		failed(err)
+		return
+	}
+
+	h.dirty.Store(rep.Executed+rep.Skipped > 0)
+	h.touch()
+	s.noteMark(h)
+	s.updateMemUsage(h) // safe: the worker has not started yet
+	go s.worker(h)
+	h.recovering.Store(false)
+	s.reg.Counter("server_sessions_recovered").Inc()
+	s.reg.Histogram("server_recover_seconds", nil).Observe(time.Since(t0).Seconds())
+	s.event("recovery", h.name,
+		fmt.Sprintf("recovered in %v (%d records: %d replayed, %d skipped via %d checkpoints, fast=%v)",
+			time.Since(t0).Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped,
+			rep.Checkpoints, rep.FastPath))
+}
+
+// replayRecords rebuilds h's session from its journal records: re-boot
+// from the boot record, replay via the checkpoint fast path, fall back
+// to full re-execution if the fast path diverges. It is the one replay
+// engine both restart recovery and migration import run — the two
+// callers differ only in where the journal bytes came from. On return
+// h.sess is set (even on a fast-path fallback re-boot).
+func (s *Server) replayRecords(h *hosted, recs []*wal.Record) (*core.ReplayReport, error) {
 	exec := func(rec *wal.Record) error { return s.execRecord(h, rec) }
 	sess, err := s.bootFromRecord(h, recs[0])
 	if err != nil {
-		failed(fmt.Errorf("re-boot: %w", err))
-		return
+		return nil, fmt.Errorf("re-boot: %w", err)
 	}
 	s.mu.Lock()
 	h.sess = sess
@@ -162,21 +188,9 @@ func (s *Server) recoverSession(h *hosted, path string) {
 		}
 	}
 	if err != nil {
-		failed(err)
-		return
+		return nil, err
 	}
-
-	h.dirty.Store(rep.Executed+rep.Skipped > 0)
-	h.touch()
-	s.updateMemUsage(h) // safe: the worker has not started yet
-	go s.worker(h)
-	h.recovering.Store(false)
-	s.reg.Counter("server_sessions_recovered").Inc()
-	s.reg.Histogram("server_recover_seconds", nil).Observe(time.Since(t0).Seconds())
-	s.event("recovery", h.name,
-		fmt.Sprintf("recovered in %v (%d records: %d replayed, %d skipped via %d checkpoints, fast=%v)",
-			time.Since(t0).Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped,
-			rep.Checkpoints, rep.FastPath))
+	return rep, nil
 }
 
 // bootFromRecord re-creates a session from its journal's boot record,
@@ -370,7 +384,9 @@ func (s *Server) saveWatermark(h *hosted) {
 	if err := h.wal.Sync(); err != nil {
 		s.log.Error("watermark sync failed",
 			obs.Str("session", h.name), obs.Str("err", err.Error()))
+		return
 	}
+	s.noteMark(h)
 }
 
 // saveCheckpointRetry is checkpoint-save IO with bounded jittered

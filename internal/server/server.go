@@ -153,6 +153,14 @@ type Server struct {
 	conns     map[*conn]bool
 	listeners map[net.Listener]bool
 	draining  bool
+	// moved holds forwarding tombstones for migrated-away sessions:
+	// name -> new backend address, served as CodeMoved redirects.
+	moved map[string]movedEntry
+
+	// drainReq is closed by the drain verb; host processes select on it
+	// (via DrainRequested) alongside SIGTERM.
+	drainReq  chan struct{}
+	drainOnce sync.Once
 
 	inflight    sync.WaitGroup // every request from read to response write
 	connWG      sync.WaitGroup
@@ -230,6 +238,8 @@ func New(cfg Config) *Server {
 		sessions:    make(map[string]*hosted),
 		conns:       make(map[*conn]bool),
 		listeners:   make(map[net.Listener]bool),
+		moved:       make(map[string]movedEntry),
+		drainReq:    make(chan struct{}),
 		janitorStop: make(chan struct{}),
 	}
 	if cfg.TraceOut != nil {
@@ -277,7 +287,7 @@ func (s *Server) event(typ, session, msg string) {
 // verbs share one bucket so a misbehaving client cannot grow the map
 // without bound.
 func (s *Server) verbWindow(verb string) *obs.Window {
-	if !serverVerbs[verb] {
+	if !serverVerbs[verb] && verb != "export" {
 		if _, ok := command.Lookup(verb); !ok {
 			verb = "_unknown"
 		}
@@ -421,7 +431,7 @@ func (s *Server) handleConn(nc net.Conn) {
 var serverVerbs = map[string]bool{
 	"ping": true, "help": true, "metricz": true, "sessions": true,
 	"create": true, "close": true, "subscribe": true, "unquarantine": true,
-	"events": true, "top": true,
+	"events": true, "top": true, "import": true, "drain": true,
 }
 
 // dispatch routes one request: server verbs run inline, session verbs
@@ -494,7 +504,10 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	}
 
 	// Session verb: resolve and enqueue under the lock so an eviction
-	// cannot close the queue between lookup and enqueue.
+	// cannot close the queue between lookup and enqueue. export is a
+	// session-queued verb too — it must serialize with everything else
+	// touching the session — but runs server code (task.special), not
+	// the command table.
 	var (
 		t          *task
 		enqErr     error
@@ -509,6 +522,9 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		recovering = true
 	} else if h != nil {
 		t = &task{req: req, reply: make(chan *Response, 1), span: sp, trace: trace}
+		if verb == "export" {
+			t.special = s.exportTask
+		}
 		if s.cfg.RequestTimeout > 0 {
 			t.deadline = time.Now().Add(s.cfg.RequestTimeout)
 		}
@@ -520,6 +536,11 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	case h == nil && req.Session == "":
 		finish(errResp(req, CodeBadRequest, fmt.Errorf("verb %q needs a session", req.Verb)))
 	case h == nil:
+		if addr, ok := s.movedTo(req.Session); ok {
+			s.reg.Counter("server_moved_redirects").Inc()
+			finish(movedResp(req, addr))
+			return
+		}
 		finish(errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session)))
 	case recovering:
 		s.reg.Counter("server_recovering_rejects").Inc()
@@ -578,7 +599,10 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		b.WriteString(command.HelpText())
 		b.WriteString("server verbs:\n")
 		b.WriteString("  create [pgas N | files]       create a session (name in \"session\")\n")
-		b.WriteString("  close                         discard a session\n")
+		b.WriteString("  close [moved <addr>]          discard a session (optionally leaving a forwarding tombstone)\n")
+		b.WriteString("  export                        freeze a session's journal+checkpoints into a transfer blob\n")
+		b.WriteString("  import                        materialize a transfer blob as a hosted session\n")
+		b.WriteString("  drain                         request a graceful drain (same path as SIGTERM)\n")
 		b.WriteString("  sessions                      list hosted sessions\n")
 		b.WriteString("  subscribe                     stream span events (empty session = server spans)\n")
 		b.WriteString("  unquarantine                  clear a session's failure breaker\n")
@@ -609,6 +633,12 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 
 	case "close":
 		return s.closeSession(req)
+
+	case "import":
+		return s.importSession(req)
+
+	case "drain":
+		return s.requestDrain(req)
 
 	case "subscribe":
 		return s.subscribe(c, req)
@@ -660,11 +690,19 @@ func (s *Server) listSessions(req *Request) *Response {
 			Recovering:  h.recovering.Load(),
 			Nondurable:  h.journalPaused.Load(),
 			MemBytes:    h.memBytes().Total(),
+			MarkSeq:     h.markSeq.Load(),
+			MarkCycle:   h.markCycle.Load(),
+		}
+		if h.wal != nil {
+			info.WALBytes = h.wal.Size()
 		}
 		info.Quarantined, _ = h.brk.quarantined()
 		infos = append(infos, info)
 		fmt.Fprintf(&out, "  %-16s pipes=%v version=%s dirty=%v queued=%d idle=%.1fs",
 			n, info.Pipes, info.Version, info.Dirty, info.Queued, info.IdleSecs)
+		if info.WALBytes > 0 {
+			fmt.Fprintf(&out, " wal=%dB mark@%d", info.WALBytes, info.MarkCycle)
+		}
 		if info.Quarantined {
 			out.WriteString(" QUARANTINED")
 		}
@@ -824,6 +862,7 @@ func (s *Server) createSession(req *Request) *Response {
 			fmt.Errorf("session limit %d reached: %w", s.cfg.MaxSessions, ErrSessionLimit))
 	}
 	s.sessions[name] = h
+	delete(s.moved, name) // a re-created name is a new session, not the moved one
 	s.mu.Unlock()
 
 	every := req.CheckpointEvery
@@ -900,8 +939,19 @@ func (s *Server) createSession(req *Request) *Response {
 
 // closeSession removes a session and discards its state — including its
 // journal and watermark checkpoints (checkpoint explicitly first if you
-// want to keep it).
+// want to keep it). The optional `moved <addr>` argument is the
+// migration commit's cleanup: the state is discarded the same way, but
+// a forwarding tombstone is left so stragglers still dialing this
+// backend get a CodeMoved redirect instead of no_session.
 func (s *Server) closeSession(req *Request) *Response {
+	movedAddr := ""
+	switch {
+	case len(req.Args) == 0:
+	case len(req.Args) == 2 && req.Args[0] == "moved" && req.Args[1] != "":
+		movedAddr = req.Args[1]
+	default:
+		return errResp(req, CodeBadRequest, fmt.Errorf("usage: close [moved <addr>]"))
+	}
 	s.mu.Lock()
 	if h := s.sessions[req.Session]; h != nil && h.recovering.Load() {
 		s.mu.Unlock()
@@ -910,6 +960,17 @@ func (s *Server) closeSession(req *Request) *Response {
 	s.mu.Unlock()
 	h := s.removeSession(req.Session)
 	if h == nil {
+		if movedAddr != "" && nameRE.MatchString(req.Session) {
+			// Anti-resurrection sweep after a source crash: the session is
+			// already gone here, but the forwarding must still be recorded.
+			s.noteMoved(req.Session, movedAddr)
+			return &Response{ID: req.ID, OK: true,
+				Output: fmt.Sprintf("session %s already absent; forwarding to %s recorded\n",
+					req.Session, movedAddr)}
+		}
+		if addr, ok := s.movedTo(req.Session); ok {
+			return movedResp(req, addr)
+		}
 		return errResp(req, CodeNoSession, fmt.Errorf("no session %q", req.Session))
 	}
 	close(h.queue)
@@ -922,6 +983,12 @@ func (s *Server) closeSession(req *Request) *Response {
 		s.removeSessionState(h.name)
 	}
 	s.reg.Counter("server_sessions_closed").Inc()
+	if movedAddr != "" {
+		s.noteMoved(req.Session, movedAddr)
+		s.event("session_moved", req.Session, "migrated away; forwarding to "+movedAddr)
+		return &Response{ID: req.ID, OK: true,
+			Output: fmt.Sprintf("closed session %s (moved to %s)\n", req.Session, movedAddr)}
+	}
 	s.event("session_closed", req.Session, "closed by client; state discarded")
 	return &Response{ID: req.ID, OK: true, Output: fmt.Sprintf("closed session %s\n", req.Session)}
 }

@@ -46,6 +46,11 @@ type hosted struct {
 	// recovering is set while journal replay is rebuilding the session
 	// after a restart; every request gets CodeRecovering until it clears.
 	recovering atomic.Bool
+	// markSeq/markCycle describe the last checkpoint watermark (journal
+	// sequence of the marks, highest pipe cycle they cover) — surfaced
+	// by `sessions` so the gateway can order migrations cheapest-first.
+	markSeq   atomic.Uint64
+	markCycle atomic.Uint64
 
 	// journalPaused is set when durability is suspended — disk pressure
 	// reached the critical rung, or the journal append path kept failing
@@ -85,6 +90,11 @@ type task struct {
 	abandoned atomic.Bool
 	span      *obs.Span
 	trace     string // wire trace id the session's live-loop spans inherit
+	// special, when set, replaces command-table dispatch: the worker
+	// runs it instead of looking the verb up. It is how export runs on
+	// the session's own goroutine — serialized against every other
+	// operation — without entering the shared verb table.
+	special func(h *hosted, t *task) *Response
 }
 
 func (s *Server) newHosted(name string) *hosted {
@@ -155,6 +165,11 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
 		s.reg.Counter("server_timeouts").Inc()
 		return errResp(t.req, CodeTimeout, ErrDeadline)
+	}
+	if t.special != nil {
+		resp = t.special(h, t)
+		h.touch()
+		return resp
 	}
 
 	cmd, ok := command.Lookup(t.req.Verb)

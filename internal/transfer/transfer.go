@@ -1,0 +1,207 @@
+// Package transfer frames a session's durable state — its newest
+// checkpoint files plus the journal that references them — into a
+// single self-verifying blob for live migration between livesimd
+// backends. The format mirrors the repo's other on-disk containers
+// (LSCP checkpoints, LSWL journals): magic + version header, then
+// length-prefixed CRC32-guarded entries, so a truncated or corrupted
+// blob fails decode instead of importing half a session.
+//
+// The blob deliberately carries the files verbatim: the importing
+// server writes them into its state dir and runs the exact same
+// single-session recovery path a restart would, watermark fast path
+// included. Migration therefore exercises no code that crash recovery
+// does not already exercise — one replay engine, two callers.
+package transfer
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+)
+
+// Magic identifies a transfer blob ("LiveSim Transfer Frame").
+const Magic = "LSXF"
+
+// Version is the current container format version.
+const Version = 1
+
+// MaxEntries bounds the entry count a decoder will accept; a session
+// ships one journal, one meta entry, and one checkpoint per pipe, so
+// even pathological designs stay far below this.
+const MaxEntries = 1024
+
+// MaxEntrySize bounds any single entry's payload. It matches the
+// journal's own record ceiling: nothing larger can have been written
+// durably, so nothing larger can need to travel.
+const MaxEntrySize = 64 << 20
+
+// Entry names use a directory-free basename vocabulary: "<session>.wal"
+// for the journal, "<session>.<pipe>.lscp" for checkpoints. Decode
+// rejects anything with a path separator so a hostile blob cannot
+// escape the importer's state dir.
+
+// Meta describes the session a blob carries — enough for the importer
+// to validate before touching the disk, and for operators to see what
+// moved in trace logs.
+type Meta struct {
+	Session  string `json:"session"`
+	Seq      uint64 `json:"seq"`       // journal high-water sequence at export
+	WALBytes int64  `json:"wal_bytes"` // journal image size
+	Pipes    int    `json:"pipes"`     // checkpoint entries expected
+}
+
+// metaName is the reserved entry name carrying the JSON-encoded Meta.
+const metaName = "meta"
+
+// Entry is one named file (or the meta record) inside a blob.
+type Entry struct {
+	Name    string
+	Payload []byte
+}
+
+// Blob is a decoded transfer container.
+type Blob struct {
+	Meta    Meta
+	Entries []Entry // files only; meta is lifted out
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames meta plus the given file entries into a blob image.
+func Encode(meta Meta, entries []Entry) ([]byte, error) {
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("transfer: encode meta: %w", err)
+	}
+	all := make([]Entry, 0, len(entries)+1)
+	all = append(all, Entry{Name: metaName, Payload: mj})
+	all = append(all, entries...)
+
+	var buf []byte
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(all)))
+	for _, e := range all {
+		if e.Name == "" || len(e.Name) > 256 {
+			return nil, fmt.Errorf("transfer: bad entry name %q", e.Name)
+		}
+		if e.Name != metaName && !SafeName(e.Name) {
+			return nil, fmt.Errorf("transfer: unsafe entry name %q", e.Name)
+		}
+		if len(e.Payload) > MaxEntrySize {
+			return nil, fmt.Errorf("transfer: entry %q exceeds %d bytes", e.Name, MaxEntrySize)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Name)))
+		buf = append(buf, e.Name...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Payload)))
+		buf = append(buf, e.Payload...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(e.Payload, crcTable))
+	}
+	return buf, nil
+}
+
+// Decode parses and verifies a blob image. Every entry's CRC must
+// match, the meta entry must be present and first, and no entry name
+// may contain a path separator — a failure on any of these returns an
+// error and no partial result.
+func Decode(data []byte) (*Blob, error) {
+	if len(data) < len(Magic)+8 {
+		return nil, fmt.Errorf("transfer: truncated header (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("transfer: bad magic %q", data[:len(Magic)])
+	}
+	off := len(Magic)
+	ver := binary.LittleEndian.Uint32(data[off:])
+	if ver != Version {
+		return nil, fmt.Errorf("transfer: unsupported version %d", ver)
+	}
+	count := binary.LittleEndian.Uint32(data[off+4:])
+	if count == 0 || count > MaxEntries {
+		return nil, fmt.Errorf("transfer: entry count %d out of range", count)
+	}
+	off += 8
+
+	b := &Blob{}
+	for i := uint32(0); i < count; i++ {
+		name, payload, n, err := readEntry(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("transfer: entry %d: %w", i, err)
+		}
+		off += n
+		if i == 0 {
+			if name != metaName {
+				return nil, fmt.Errorf("transfer: first entry is %q, want %q", name, metaName)
+			}
+			if err := json.Unmarshal(payload, &b.Meta); err != nil {
+				return nil, fmt.Errorf("transfer: meta: %w", err)
+			}
+			if b.Meta.Session == "" {
+				return nil, fmt.Errorf("transfer: meta names no session")
+			}
+			continue
+		}
+		if !SafeName(name) {
+			return nil, fmt.Errorf("transfer: unsafe entry name %q", name)
+		}
+		b.Entries = append(b.Entries, Entry{Name: name, Payload: payload})
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("transfer: %d trailing bytes after last entry", len(data)-off)
+	}
+	return b, nil
+}
+
+// readEntry parses one length-prefixed entry, returning its name,
+// payload, and the number of bytes consumed.
+func readEntry(data []byte) (string, []byte, int, error) {
+	if len(data) < 4 {
+		return "", nil, 0, fmt.Errorf("truncated name length")
+	}
+	nameLen := binary.LittleEndian.Uint32(data)
+	if nameLen == 0 || nameLen > 256 {
+		return "", nil, 0, fmt.Errorf("name length %d out of range", nameLen)
+	}
+	off := 4
+	if len(data) < off+int(nameLen)+4 {
+		return "", nil, 0, fmt.Errorf("truncated name")
+	}
+	name := string(data[off : off+int(nameLen)])
+	off += int(nameLen)
+	payLen := binary.LittleEndian.Uint32(data[off:])
+	if payLen > MaxEntrySize {
+		return "", nil, 0, fmt.Errorf("payload length %d exceeds cap", payLen)
+	}
+	off += 4
+	if len(data) < off+int(payLen)+4 {
+		return "", nil, 0, fmt.Errorf("truncated payload (want %d bytes)", payLen)
+	}
+	payload := data[off : off+int(payLen)]
+	off += int(payLen)
+	want := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return "", nil, 0, fmt.Errorf("crc mismatch (got %08x want %08x)", got, want)
+	}
+	out := make([]byte, payLen)
+	copy(out, payload)
+	return name, out, off, nil
+}
+
+// SafeName reports whether an entry name is a plain basename — no path
+// separators, no traversal, not hidden. The importer joins these
+// directly under its state dir, so this is the security boundary.
+func SafeName(name string) bool {
+	if name == "" || len(name) > 256 {
+		return false
+	}
+	if strings.ContainsAny(name, "/\\") {
+		return false
+	}
+	if name == "." || name == ".." || strings.HasPrefix(name, ".") {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+#!/bin/sh
+# fleet-smoke: end-to-end check of the fleet stack — two livesimd
+# backends behind an lsgate gateway, all over unix sockets. A scripted
+# livesim session is created through the gateway, live-migrated to the
+# other backend with the `migrate` verb, then the migration source is
+# SIGKILLed and the session must keep answering (re-route + no lost
+# state), with the gateway's `backends` view marking the corpse down.
+# `make check` runs this after the other smokes.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+B1PID=""
+B2PID=""
+GPID=""
+trap 'for p in "$B1PID" "$B2PID" "$GPID"; do [ -n "$p" ] && kill "$p" 2>/dev/null; done; rm -rf "$TMP"' EXIT
+
+B1SOCK="$TMP/b1.sock"
+B2SOCK="$TMP/b2.sock"
+GSOCK="$TMP/g.sock"
+mkdir -p "$TMP/s1" "$TMP/s2"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/lsgate" ./cmd/lsgate
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+# Backends journal with fsync-per-append so every acked mutation is
+# durable — that is what "no lost state" below asserts about.
+"$TMP/livesimd" -unix "$B1SOCK" -state-dir "$TMP/s1" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/b1.log" 2>&1 &
+B1PID=$!
+"$TMP/livesimd" -unix "$B2SOCK" -state-dir "$TMP/s2" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/b2.log" 2>&1 &
+B2PID=$!
+
+wait_sock() {
+    i=0
+    while [ ! -S "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "fleet-smoke: FAIL ($2 never listened)"
+            cat "$TMP"/*.log
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+wait_sock "$B1SOCK" backend-1
+wait_sock "$B2SOCK" backend-2
+
+"$TMP/lsgate" -unix "$GSOCK" -backend "unix:$B1SOCK" -backend "unix:$B2SOCK" \
+    -health-every 100ms -metrics=false >"$TMP/gate.log" 2>&1 &
+GPID=$!
+wait_sock "$GSOCK" gateway
+
+# Create and drive a session through the gateway.
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client1.log" <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 50
+cycle p0
+sessions
+exit
+EOF
+if ! grep -q "50 (version v0)" "$TMP/client1.log"; then
+    echo "fleet-smoke: FAIL (session transcript missing cycle 50)"
+    cat "$TMP/client1.log" "$TMP/gate.log"
+    exit 1
+fi
+
+# Which backend did rendezvous place it on? The aggregated `sessions`
+# view says; the migration source is whichever that is.
+if grep -q "\"backend\":\"unix:$B1SOCK\"" "$TMP/client1.log"; then
+    SRCPID=$B1PID SRCSOCK=$B1SOCK DSTSOCK=$B2SOCK
+elif grep -q "\"backend\":\"unix:$B2SOCK\"" "$TMP/client1.log"; then
+    SRCPID=$B2PID SRCSOCK=$B2SOCK DSTSOCK=$B1SOCK
+else
+    echo "fleet-smoke: FAIL (sessions view does not name a backend)"
+    cat "$TMP/client1.log"
+    exit 1
+fi
+
+# Live-migrate it to the other backend.
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client2.log" <<'EOF'
+migrate
+exit
+EOF
+if ! grep -q "\"to\":\"unix:$DSTSOCK\"" "$TMP/client2.log"; then
+    echo "fleet-smoke: FAIL (migrate did not land on unix:$DSTSOCK)"
+    cat "$TMP/client2.log" "$TMP/gate.log"
+    exit 1
+fi
+
+# SIGKILL the migration source; the session must keep answering through
+# the gateway with nothing lost, and keep accepting mutations.
+kill -KILL "$SRCPID"
+if [ "$SRCSOCK" = "$B1SOCK" ]; then B1PID=""; else B2PID=""; fi
+
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client3.log" <<'EOF'
+cycle p0
+run tb0 p0 25
+cycle p0
+exit
+EOF
+if ! grep -q "50 (version v0)" "$TMP/client3.log" ||
+    ! grep -q "75 (version v0)" "$TMP/client3.log"; then
+    echo "fleet-smoke: FAIL (session lost state after source SIGKILL)"
+    cat "$TMP/client3.log" "$TMP/gate.log"
+    exit 1
+fi
+
+# The gateway's pool view must mark the corpse down (health probe or
+# forward failure — either way, within a few probe periods).
+i=0
+while :; do
+    "$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client4.log" <<'EOF'
+backends
+exit
+EOF
+    if grep -q "\"state\":\"down\"" "$TMP/client4.log"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "fleet-smoke: FAIL (gateway never marked the killed backend down)"
+        cat "$TMP/client4.log" "$TMP/gate.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Clean shutdown of the survivors.
+kill -TERM "$GPID"
+if ! wait "$GPID"; then
+    echo "fleet-smoke: FAIL (gateway exited nonzero on SIGTERM)"
+    cat "$TMP/gate.log"
+    exit 1
+fi
+GPID=""
+if [ "$SRCSOCK" = "$B1SOCK" ]; then DPID=$B2PID; else DPID=$B1PID; fi
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "fleet-smoke: FAIL (surviving backend exited nonzero on SIGTERM)"
+    cat "$TMP"/b*.log
+    exit 1
+fi
+B1PID=""
+B2PID=""
+
+echo "fleet-smoke: OK (placed, live-migrated, survived source SIGKILL, pool marked it down)"

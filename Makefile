@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke
 
-check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeFile -fuzztime=$(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/wal/
 	$(GO) test -run='^$$' -fuzz=FuzzTransferDecode -fuzztime=$(FUZZTIME) ./internal/transfer/
+	$(GO) test -run='^$$' -fuzz=FuzzReplicaFrameDecode -fuzztime=$(FUZZTIME) ./internal/replica/
 
 # End-to-end server smoke: scripted livesim session against a livesimd
 # on a unix socket, then a SIGTERM graceful-drain assertion.
@@ -69,3 +70,9 @@ overload-smoke:
 # source, assert the session keeps answering with nothing lost.
 fleet-smoke:
 	GO="$(GO)" sh scripts/fleet_smoke.sh
+
+# Failover smoke: two livesimd behind a replicating lsgate — SIGKILL the
+# session's primary, assert the hot standby is promoted with zero acked
+# mutations lost and that the resurrected corpse is fenced.
+failover-smoke:
+	GO="$(GO)" sh scripts/failover_smoke.sh

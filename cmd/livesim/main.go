@@ -43,6 +43,7 @@ var (
 	flagTrace   = flag.String("trace-out", "", "write live-loop span events to this JSONL file")
 	flagConnect = flag.String("connect", "", "connect to a livesimd at this address (unix:/path or tcp:host:port) instead of hosting a session in-process")
 	flagSession = flag.String("session", "s0", "session name used in -connect mode")
+	flagEpoch   = flag.Uint64("epoch", 0, "stamp this replication fencing epoch on every -connect request (0 = unstamped); a backend whose session holds an older epoch fences itself")
 )
 
 func main() {
@@ -215,7 +216,7 @@ func remoteExec(c *client.Client, line string) error {
 	if verb == "top" {
 		return remoteTop(c, rest)
 	}
-	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest}
+	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest, Epoch: *flagEpoch}
 
 	switch verb {
 	case "create":

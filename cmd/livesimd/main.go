@@ -72,6 +72,12 @@ var (
 	flagResume      = flag.Duration("journal-resume-delay", 0, "cooldown before a paused (nondurable) journal may resume and reanchor (0 = default 250ms)")
 	flagFaultFull   = flag.String("fault-disk-full", "", "TESTING: inject ENOSPC into WAL appends, format from:count (1-based append index)")
 	flagFaultFree   = flag.String("fault-disk-free", "", "TESTING: force the disk probe to report free:total bytes, walking the pressure ladder without filling a filesystem")
+
+	// Replication (see README "Replication & failover"). Sessions are
+	// replicated by verb (`replicate <addr>`), usually driven by lsgate;
+	// these flags only inject faults into the shipper for crash tests.
+	flagFaultRepl     = flag.String("fault-repl", "", "TESTING: fail the next replication stage of this name (seed or ship) with an injected error")
+	flagFaultReplDrop = flag.Int("fault-repl-drop", 0, "TESTING: sever the replication stream before the Nth shipped batch (1-based; 0 = off)")
 )
 
 // parsePair splits a "from:count"-style flag into two non-negative ints.
@@ -137,7 +143,8 @@ func run() int {
 	} else {
 		cfg.WALSyncEvery = *flagWALSync
 	}
-	if *flagCrashWAL >= 0 || *flagFaultFull != "" || *flagFaultFree != "" {
+	if *flagCrashWAL >= 0 || *flagFaultFull != "" || *flagFaultFree != "" ||
+		*flagFaultRepl != "" || *flagFaultReplDrop > 0 {
 		plan := faultinject.New()
 		cfg.Faults = plan
 		if *flagCrashWAL >= 0 {
@@ -166,6 +173,12 @@ func run() int {
 				return 2
 			}
 			plan.ForceDiskFree(uint64(free), uint64(total))
+		}
+		if *flagFaultRepl != "" {
+			plan.FailReplAt(*flagFaultRepl)
+		}
+		if *flagFaultReplDrop > 0 {
+			plan.DropReplStream(*flagFaultReplDrop)
 		}
 	}
 	if *flagTrace != "" {

@@ -52,6 +52,7 @@ var (
 	flagRollbck = flag.Bool("rollback", false, "robustness: rollback latency after an injected hot-reload failure")
 	flagServe   = flag.Bool("serve", false, "server throughput: req/s vs concurrent clients against an in-process livesimd")
 	flagFleet   = flag.Bool("fleet", false, "fleet: aggregate req/s through the gateway vs backend count, live-migration blackout, kill-one-backend durability")
+	flagFailovr = flag.Bool("failover", false, "replication: ship-on-commit overhead, failover blackout under load, zero-lost-acked audit, stale-primary fencing")
 	flagOver    = flag.Bool("overload", false, "overload: typed rejections, latency and recovery blackout at 1x/2x/4x admission capacity")
 	flagRecover = flag.Bool("recovery", false, "durability: WAL journaling overhead and crash-recovery replay latency")
 	flagObs     = flag.Bool("obs", false, "observability: hot-reload latency with the admin plane off vs on")
@@ -82,7 +83,7 @@ func printSnapshot(label string, reg *obs.Registry) {
 func main() {
 	flag.Parse()
 	sizes := parseSizes(*flagSizes)
-	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagFleet || *flagOver || *flagRecover || *flagObs || *flagAct
+	any := *flagFig7 || *flagFig8 || *flagTable7 || *flagTable8 || *flagCkpt || *flagFig6 || *flagAblate || *flagRollbck || *flagServe || *flagFleet || *flagFailovr || *flagOver || *flagRecover || *flagObs || *flagAct
 	if *flagAll || !any {
 		*flagFig7, *flagFig8, *flagTable7, *flagTable8 = true, true, true, true
 		*flagCkpt, *flagFig6, *flagAblate, *flagRollbck, *flagServe, *flagRecover, *flagObs, *flagAct = true, true, true, true, true, true, true, true
@@ -119,6 +120,9 @@ func main() {
 	}
 	if *flagFleet {
 		fleetBench()
+	}
+	if *flagFailovr {
+		failoverBench()
 	}
 	if *flagOver {
 		overloadBench()

@@ -11,6 +11,8 @@
 //	lsgate -unix /run/lsgate.sock \
 //	       -backend unix:/run/ls1.sock -backend unix:/run/ls2.sock
 //	lsgate -listen :9300 -backend :9310=127.0.0.1:9311   # wire=admin
+//	lsgate -listen :9300 -backend :9310 -backend :9320 \
+//	       -replicate -failover-grace 2s              # hot standbys + failover
 //
 // A backend spec is its wire address, optionally "=adminaddr" to let
 // the health checker read the richer /healthz states (recovering,
@@ -72,6 +74,10 @@ var (
 	flagLogLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	flagEvents   = flag.Int("event-ring", 256, "operational event ring capacity")
 	flagMetrics  = flag.Bool("metrics", true, "print the gateway metrics registry on exit")
+
+	// Replication & failover (see README "Replication & failover").
+	flagReplicate = flag.Bool("replicate", false, "arm session replication: every placed session gets a hot standby on the rendezvous next-best backend, promoted automatically on primary failure")
+	flagFailGrace = flag.Duration("failover-grace", 2*time.Second, "how long a primary must stay down before its sessions fail over to their standbys")
 )
 
 func main() {
@@ -105,6 +111,8 @@ func run() int {
 		ProbeTimeout:   *flagProbeTO,
 		ForwardTimeout: *flagFwdTO,
 		MigrateTimeout: *flagMigTO,
+		Replicate:      *flagReplicate,
+		FailoverGrace:  *flagFailGrace,
 		Metrics:        reg,
 		Log:            logger,
 		EventRingCap:   *flagEvents,

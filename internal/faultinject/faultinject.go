@@ -54,6 +54,9 @@ type Plan struct {
 	forceFree     int64           // DiskFree override: free bytes, -1 = unarmed
 	forceTotal    int64           // DiskFree override: total bytes
 	migrateStages map[string]bool // migration stage -> armed
+	replStages    map[string]bool // replication stage -> armed
+	replDropAt    int             // sever the repl stream before the nth batch, -1 = unarmed
+	promoteStale  bool            // gateway promotes under a stale (non-bumped) epoch
 
 	fired []string
 }
@@ -62,7 +65,7 @@ type Plan struct {
 func New() *Plan {
 	return &Plan{corruptAt: -1, panicCycle: -1, dropConnAt: -1,
 		crashWALAt: -1, stallCycle: -1, tearAppend: -1,
-		fullFrom: -1, forceFree: -1}
+		fullFrom: -1, forceFree: -1, replDropAt: -1}
 }
 
 // FailCompileAt arms a one-shot failure at the named compiler phase
@@ -241,6 +244,44 @@ func (p *Plan) FailMigrateAt(stage string) *Plan {
 		p.migrateStages = make(map[string]bool)
 	}
 	p.migrateStages[stage] = true
+	return p
+}
+
+// FailReplAt arms a one-shot failure at the named session-replication
+// stage ("seed" — the transfer-blob handoff to the standby — or "ship"
+// — a WAL-tail batch send). The shipper consults ReplFault before each
+// stage, so an armed stage simulates the standby or network dying at
+// exactly that point of the protocol.
+func (p *Plan) FailReplAt(stage string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replStages == nil {
+		p.replStages = make(map[string]bool)
+	}
+	p.replStages[stage] = true
+	return p
+}
+
+// DropReplStream arms a one-shot stream sever: the shipper's nth
+// (1-based) batch send finds its connection cut before any bytes go
+// out. The primary must mark the stream broken, reconnect, and resume
+// from the acked watermark with nothing lost and nothing re-applied.
+func (p *Plan) DropReplStream(nth int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.replDropAt = nth
+	return p
+}
+
+// ForcePromoteStale arms a one-shot promotion under a stale fencing
+// token: the gateway's next failover promotes with the session's
+// current epoch instead of bumping it. The standby must reject the
+// promotion (typed "fenced"), proving a replayed or duplicate
+// promotion cannot regress the epoch.
+func (p *Plan) ForcePromoteStale() *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.promoteStale = true
 	return p
 }
 
@@ -489,6 +530,56 @@ func (p *Plan) MigrateFault(stage string) error {
 	delete(p.migrateStages, stage)
 	p.fired = append(p.fired, "migrate:"+stage)
 	return fmt.Errorf("faultinject: migration stage %s: %w", stage, ErrInjected)
+}
+
+// ReplFault is consulted by the replication shipper before each
+// protocol stage. Nil-safe; returns a wrapped ErrInjected at the armed
+// stage exactly once.
+func (p *Plan) ReplFault(stage string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.replStages[stage] {
+		return nil
+	}
+	delete(p.replStages, stage)
+	p.fired = append(p.fired, "repl:"+stage)
+	return fmt.Errorf("faultinject: replication stage %s: %w", stage, ErrInjected)
+}
+
+// ReplDrop is consulted by the shipper before sending each batch, with
+// the 1-based lifetime batch count. It returns true — sever the stream
+// now — exactly once, when the armed batch is reached. Nil-safe.
+func (p *Plan) ReplDrop(batchIdx int) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replDropAt < 0 || batchIdx != p.replDropAt {
+		return false
+	}
+	p.replDropAt = -1
+	p.fired = append(p.fired, fmt.Sprintf("repl-drop:%d", batchIdx))
+	return true
+}
+
+// PromoteStale is consulted by the gateway when choosing a promotion
+// epoch. It returns true — use the stale epoch — exactly once. Nil-safe.
+func (p *Plan) PromoteStale() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.promoteStale {
+		return false
+	}
+	p.promoteStale = false
+	p.fired = append(p.fired, "promote-stale")
+	return true
 }
 
 // SaveStage is consulted by the atomic checkpoint-file writer at each

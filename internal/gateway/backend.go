@@ -74,6 +74,9 @@ type backend struct {
 	state    atomic.Int32 // backendState
 	noPlace  atomic.Bool  // operator drain: excluded from placement while set
 	sessions atomic.Int64 // session count from the last successful probe
+	// downSince is when the backend was last seen transitioning to
+	// bsDown (UnixNano; 0 while up) — the failover sweep's grace clock.
+	downSince atomic.Int64
 
 	mu  sync.Mutex
 	cli *client.Client
@@ -229,6 +232,11 @@ func adminState(addr string, timeout time.Duration) (backendState, bool) {
 // — the moment resurrected session copies could reappear.
 func (g *Gateway) setBackendState(b *backend, st backendState, why string) {
 	prev := backendState(b.state.Swap(int32(st)))
+	if st == bsDown && prev != bsDown {
+		b.downSince.Store(time.Now().UnixNano())
+	} else if st != bsDown && prev == bsDown {
+		b.downSince.Store(0)
+	}
 	if prev == st {
 		return
 	}

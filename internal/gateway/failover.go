@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"livesim/internal/obs"
+	"livesim/internal/replica"
+	"livesim/internal/server"
+)
+
+// Failover. When replication is armed (Config.Replicate), every session
+// the gateway places gets a standby: the rendezvous next-best backend,
+// seeded by the primary over the `replicate` verb and kept hot by the
+// primary's ship-on-commit stream. The health loop then runs a failover
+// sweep: a primary that stays down past FailoverGrace has its routes
+// promoted — the standby is told `promote`, which journals a new fencing
+// epoch, and the route retargets under that epoch. The epoch is what
+// makes this safe against the classic split-brain: the gateway stamps it
+// on every forwarded mutation, so a resurrected old primary (which still
+// holds the older epoch) fences itself on first contact, and its shipped
+// batches are rejected by the promoted copy the same way.
+
+// armReplication picks the session's standby (rendezvous next-best,
+// skipping the primary) and tells the primary to seed and stream to it.
+// Degrades gracefully: a session without a standby is exactly as
+// durable as it was before this feature existed.
+func (g *Gateway) armReplication(session string, primary *backend) {
+	var standby *backend
+	for _, cand := range rendezvousOrder(session, g.placeableBackends()) {
+		if cand != primary {
+			standby = cand
+			break
+		}
+	}
+	if standby == nil {
+		g.events.Add("replication_unarmed", session, "no standby backend available")
+		return
+	}
+	resp := g.forward(primary, &server.Request{Session: session, Verb: "replicate",
+		Args: []string{standby.addr()}})
+	if !resp.OK {
+		g.reg.Counter("gateway_replication_arm_failures").Inc()
+		g.events.Add("replication_arm_failed", session,
+			fmt.Sprintf("%s -> %s: %s (%s)", primary.addr(), standby.addr(), resp.Error, resp.Code))
+		return
+	}
+	g.mu.Lock()
+	if r := g.routes[session]; r != nil {
+		r.mu.Lock()
+		if r.backend == primary {
+			r.replica = standby
+		}
+		r.mu.Unlock()
+	}
+	g.mu.Unlock()
+	g.reg.Counter("gateway_replications_armed").Inc()
+	g.events.Add("replication_armed", session, primary.addr()+" -> "+standby.addr())
+}
+
+// failoverSweep runs on the health loop after each probe pass: any
+// route whose primary has been down past the grace window and whose
+// standby is alive gets failed over. The grace window is what separates
+// a blip (probe timeout, restart-in-progress) from an outage worth
+// burning an epoch on.
+func (g *Gateway) failoverSweep() {
+	now := time.Now()
+	type cand struct {
+		name    string
+		r       *route
+		standby *backend
+	}
+	var cands []cand
+	g.mu.Lock()
+	for name, r := range g.routes {
+		r.mu.Lock()
+		b, standby, migrating := r.backend, r.replica, r.migrating
+		r.mu.Unlock()
+		if migrating || standby == nil || !standby.alive() || b.getState() != bsDown {
+			continue
+		}
+		ds := b.downSince.Load()
+		if ds == 0 || now.Sub(time.Unix(0, ds)) < g.cfg.FailoverGrace {
+			continue
+		}
+		cands = append(cands, cand{name, r, standby})
+	}
+	g.mu.Unlock()
+	for _, c := range cands {
+		g.failover(c.name, c.r, c.standby)
+	}
+}
+
+// failover promotes one session's standby and retargets the route. The
+// promote carries no explicit epoch — the standby bumps its own journal
+// epoch, which is authoritative (the gateway's view can lag a restart) —
+// and the ack's epoch becomes the stamp forwarded mutations carry.
+func (g *Gateway) failover(name string, r *route, standby *backend) {
+	r.mu.Lock()
+	epoch := r.epoch
+	dead := r.backend
+	r.mu.Unlock()
+
+	if epoch > 0 && g.cfg.Faults.PromoteStale() {
+		// Fault-injection seam: promote under the current (stale) epoch
+		// instead of bumping. The standby must reject it typed — this is
+		// the proof a replayed or duplicate promotion cannot fork history.
+		resp := g.forward(standby, &server.Request{Session: name, Verb: "promote", Epoch: epoch})
+		if !resp.OK && resp.Code == server.CodeFenced {
+			g.reg.Counter("gateway_stale_promotes_fenced").Inc()
+			g.events.Add("stale_promote_fenced", name,
+				fmt.Sprintf("standby %s rejected promote at stale epoch %d", standby.addr(), epoch))
+		}
+	}
+
+	resp := g.forward(standby, &server.Request{Session: name, Verb: "promote"})
+	if !resp.OK {
+		g.reg.Counter("gateway_failover_failures").Inc()
+		g.events.Add("failover_failed", name,
+			fmt.Sprintf("promote on %s: %s (%s)", standby.addr(), resp.Error, resp.Code))
+		return
+	}
+	var ack replica.Ack
+	if resp.Data != nil {
+		json.Unmarshal(resp.Data, &ack)
+	}
+	r.mu.Lock()
+	r.backend = standby
+	r.pinned = true
+	r.replica = nil
+	if ack.Epoch > r.epoch {
+		r.epoch = ack.Epoch
+	}
+	r.mu.Unlock()
+	g.reg.Counter("gateway_failovers").Inc()
+	g.events.Add("failover", name,
+		fmt.Sprintf("promoted standby %s at epoch %d (acked seq %d); primary %s down past %v",
+			standby.addr(), ack.Epoch, ack.AckedSeq, dead.addr(), g.cfg.FailoverGrace))
+	g.log.Info("failover", obs.Str("session", name), obs.Str("from", dead.addr()),
+		obs.Str("to", standby.addr()), obs.U64("epoch", ack.Epoch))
+	if g.cfg.Replicate {
+		// Close the loop: the promoted primary gets its own standby so a
+		// second failure is survivable too.
+		g.armReplication(name, standby)
+	}
+}

@@ -1,0 +1,186 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"livesim/internal/faultinject"
+	"livesim/internal/gateway"
+	"livesim/internal/server"
+	"livesim/internal/server/client"
+)
+
+// sessionInfosOf lists what a backend hosts, with the replication
+// columns the plain name list hides. A dead backend reports hosting
+// nothing (failover tests walk pools with halted members).
+func sessionInfosOf(t *testing.T, b *testBackend) map[string]server.SessionInfo {
+	t.Helper()
+	c, err := client.Dial(b.addr())
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	resp, err := c.Do(&server.Request{Verb: "sessions"})
+	if err != nil || !resp.OK {
+		return nil
+	}
+	var infos []server.SessionInfo
+	if resp.Data != nil {
+		json.Unmarshal(resp.Data, &infos)
+	}
+	m := make(map[string]server.SessionInfo, len(infos))
+	for _, info := range infos {
+		m[info.Name] = info
+	}
+	return m
+}
+
+// primaryOf returns which backend hosts the session as a primary (not
+// a follower copy).
+func primaryOf(t *testing.T, backends []*testBackend, name string) *testBackend {
+	t.Helper()
+	for _, b := range backends {
+		if in, ok := sessionInfosOf(t, b)[name]; ok && !in.Follower {
+			return b
+		}
+	}
+	return nil
+}
+
+// TestGatewayFailoverPromotesStandby: with replication armed, killing a
+// session's primary past the grace window promotes the standby — the
+// same gateway connection serves the session again with every acked
+// mutation intact, and the resurrected old primary's copy is swept.
+func TestGatewayFailoverPromotesStandby(t *testing.T) {
+	b0, b1 := newTestBackend(t), newTestBackend(t)
+	backends := []*testBackend{b0, b1}
+	_, gaddr := startGateway(t, gateway.Config{
+		Backends:      []gateway.BackendSpec{{Addr: b0.addr()}, {Addr: b1.addr()}},
+		Replicate:     true,
+		FailoverGrace: 200 * time.Millisecond,
+	})
+	c := dial(t, gaddr)
+
+	createTiny(t, c, "f0")
+	wantPeek, wantCycle := drive(t, c, "f0")
+
+	primary := primaryOf(t, backends, "f0")
+	if primary == nil {
+		t.Fatal("no backend hosts f0 as primary")
+	}
+	standby := b0
+	if primary == b0 {
+		standby = b1
+	}
+	// The create armed replication: the standby holds a hot follower,
+	// and every mutation drive() committed was acked by it.
+	pin := sessionInfosOf(t, primary)["f0"]
+	if pin.ReplicaAddr != standby.addr() || pin.ReplLag != 0 || pin.ReplAckedSeq != pin.HeadSeq {
+		t.Fatalf("primary replication row = %+v, want standby %s fully acked", pin, standby.addr())
+	}
+	if sin := sessionInfosOf(t, standby)["f0"]; !sin.Follower {
+		t.Fatalf("standby row = %+v, want follower", sin)
+	}
+
+	primary.halt()
+	// Failover: past the grace window the sweep promotes the standby and
+	// the session serves again — no restart of the dead backend needed.
+	waitUntil(t, 10*time.Second, "failover to the standby", func() bool {
+		r, err := c.Do(&server.Request{Session: "f0", Verb: "peek", Args: []string{"p0", "top.u0.total"}})
+		return err == nil && r.OK
+	})
+	gotPeek, gotCycle := fingerprint(t, c, "f0")
+	if gotPeek != wantPeek || gotCycle != wantCycle {
+		t.Errorf("state after failover = (%q, %q), want (%q, %q)", gotPeek, gotCycle, wantPeek, wantCycle)
+	}
+	// The promoted copy is a primary under a real epoch and takes writes.
+	mustOK(t, c, &server.Request{Session: "f0", Verb: "run", Args: []string{"clock", "p0", "10"}})
+	nin := sessionInfosOf(t, standby)["f0"]
+	if nin.Follower || nin.Epoch == 0 {
+		t.Fatalf("promoted row = %+v, want primary with epoch > 0", nin)
+	}
+
+	// The old primary comes back with its pre-failover copy: the
+	// gateway's reconcile sweep must close it (exactly-one-copy), not
+	// let it serve a stale fork.
+	primary.restart()
+	waitUntil(t, 10*time.Second, "stale copy swept from the old primary", func() bool {
+		_, ok := sessionInfosOf(t, primary)["f0"]
+		return !ok
+	})
+	// And the session still serves from the survivor.
+	mustOK(t, c, &server.Request{Session: "f0", Verb: "run", Args: []string{"clock", "p0", "5"}})
+}
+
+// TestGatewayStalePromoteFenced: the promote-stale fault makes the
+// gateway's second failover first attempt a promotion under the
+// session's current epoch. The standby must reject it with the typed
+// fenced code — a replayed or duplicate promotion cannot fork history —
+// and the real promotion still lands.
+func TestGatewayStalePromoteFenced(t *testing.T) {
+	b0, b1, b2 := newTestBackend(t), newTestBackend(t), newTestBackend(t)
+	backends := []*testBackend{b0, b1, b2}
+	faults := faultinject.New()
+	g, gaddr := startGateway(t, gateway.Config{
+		Backends:      []gateway.BackendSpec{{Addr: b0.addr()}, {Addr: b1.addr()}, {Addr: b2.addr()}},
+		Replicate:     true,
+		FailoverGrace: 200 * time.Millisecond,
+		Faults:        faults,
+	})
+	c := dial(t, gaddr)
+
+	createTiny(t, c, "s0")
+	wantPeek, wantCycle := drive(t, c, "s0")
+
+	// Failover #1 (normal): establishes epoch 1 and re-arms replication
+	// onto the third backend.
+	first := primaryOf(t, backends, "s0")
+	if first == nil {
+		t.Fatal("no backend hosts s0 as primary")
+	}
+	first.halt()
+	waitUntil(t, 10*time.Second, "first failover", func() bool {
+		r, err := c.Do(&server.Request{Session: "s0", Verb: "peek", Args: []string{"p0", "top.u0.total"}})
+		return err == nil && r.OK
+	})
+	second := primaryOf(t, backends, "s0")
+	if second == nil || second == first {
+		t.Fatalf("second primary = %v, want a promoted standby", second)
+	}
+	waitUntil(t, 10*time.Second, "replication re-armed after failover", func() bool {
+		return sessionInfosOf(t, second)["s0"].ReplicaAddr != ""
+	})
+
+	// Failover #2 under the fault: the stale attempt must be fenced,
+	// then the real promotion proceeds.
+	faults.ForcePromoteStale()
+	second.halt()
+	waitUntil(t, 10*time.Second, "second failover", func() bool {
+		r, err := c.Do(&server.Request{Session: "s0", Verb: "peek", Args: []string{"p0", "top.u0.total"}})
+		return err == nil && r.OK
+	})
+	gotPeek, gotCycle := fingerprint(t, c, "s0")
+	if gotPeek != wantPeek || gotCycle != wantCycle {
+		t.Errorf("state after double failover = (%q, %q), want (%q, %q)", gotPeek, gotCycle, wantPeek, wantCycle)
+	}
+	fencedSeen := false
+	for _, e := range g.Events().All() {
+		if e.Type == "stale_promote_fenced" && e.Session == "s0" {
+			fencedSeen = true
+		}
+	}
+	if !fencedSeen {
+		t.Error("stale promote was not attempted/fenced (no stale_promote_fenced event)")
+	}
+	if fired := faults.Fired(); len(fired) == 0 {
+		t.Error("promote-stale fault never fired")
+	}
+	third := primaryOf(t, backends, "s0")
+	if third == nil || third.srv == second.srv {
+		t.Fatalf("third primary missing after second failover")
+	}
+	if in := sessionInfosOf(t, third)["s0"]; in.Epoch < 2 {
+		t.Errorf("epoch after two failovers = %d, want >= 2", in.Epoch)
+	}
+}

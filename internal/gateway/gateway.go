@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"livesim/internal/faultinject"
+	"livesim/internal/govern"
 	"livesim/internal/obs"
 	"livesim/internal/server"
 	"livesim/internal/transfer"
@@ -54,6 +55,14 @@ type Config struct {
 	MigrateTimeout time.Duration
 	// WriteTimeout bounds one response write to a client (default 10s).
 	WriteTimeout time.Duration
+	// Replicate arms session replication: every placed session gets a
+	// standby on the rendezvous next-best backend, and the failover
+	// sweep promotes it when the primary stays down past FailoverGrace.
+	Replicate bool
+	// FailoverGrace is how long a primary must stay down before its
+	// sessions fail over to their standbys (default 2s). Too short and
+	// a probe blip burns an epoch; too long and the blackout grows.
+	FailoverGrace time.Duration
 	// Metrics/Log/EventRingCap wire the observability plane (all
 	// optional; nil is off).
 	Metrics      *obs.Registry
@@ -101,6 +110,13 @@ type route struct {
 	// pinned route are resurrections and get swept; conflicts on a
 	// learned route are ambiguous and only reported.
 	pinned bool
+	// epoch is the session's fencing token as last observed (promote
+	// acks, discovery). Stamped on forwarded mutations when nonzero, so
+	// a stale primary fences itself on first contact after a failover.
+	epoch uint64
+	// replica is the session's standby backend, when replication is
+	// armed — the failover sweep's promotion target.
+	replica *backend
 
 	migrating bool
 	unfrozen  chan struct{} // non-nil while migrating; closed at commit/abort
@@ -163,6 +179,9 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.FailoverGrace <= 0 {
+		cfg.FailoverGrace = 2 * time.Second
+	}
 	g := &Gateway{
 		cfg:       cfg,
 		reg:       cfg.Metrics,
@@ -204,14 +223,21 @@ func (g *Gateway) Metrics() *obs.Registry { return g.reg }
 func (g *Gateway) Events() *obs.EventRing { return g.events }
 
 func (g *Gateway) healthLoop() {
-	t := time.NewTicker(g.cfg.HealthEvery)
-	defer t.Stop()
+	// ±20% jitter per tick: several gateways fronting one pool (or this
+	// one restarting alongside its backends) must not probe every
+	// backend at the same instant, turning the health plane itself into
+	// a synchronized load spike.
+	rng := govern.NewRand()
+	timer := time.NewTimer(govern.Jitter(g.cfg.HealthEvery, 0.2, rng))
+	defer timer.Stop()
 	for {
 		select {
 		case <-g.stop:
 			return
-		case <-t.C:
+		case <-timer.C:
 			g.probeAll()
+			g.failoverSweep()
+			timer.Reset(govern.Jitter(g.cfg.HealthEvery, 0.2, rng))
 		}
 	}
 }
@@ -255,15 +281,48 @@ func (g *Gateway) discover(b *backend) {
 		return
 	}
 	for _, info := range infos {
+		if info.Follower {
+			// A follower is the replication standby's hot copy, not a
+			// second primary: never a conflict, never swept. Learn it as
+			// the route's promotion target (a restarted gateway re-derives
+			// its failover map this way).
+			g.mu.Lock()
+			if r := g.routes[info.Name]; r != nil {
+				r.mu.Lock()
+				if r.backend != b && r.replica == nil {
+					r.replica = b
+				}
+				r.mu.Unlock()
+			}
+			g.mu.Unlock()
+			continue
+		}
 		g.mu.Lock()
 		r := g.routes[info.Name]
 		if r == nil {
-			g.routes[info.Name] = &route{backend: b}
+			nr := &route{backend: b, epoch: info.Epoch}
+			if info.ReplicaAddr != "" {
+				if rb := g.backendByAddr(info.ReplicaAddr); rb != nil && rb != b {
+					nr.replica = rb
+				}
+			}
+			g.routes[info.Name] = nr
 			g.mu.Unlock()
 			continue
 		}
 		r.mu.Lock()
 		owner, pinned := r.backend, r.pinned
+		if owner == b {
+			// Refresh the replication view from the primary's own row.
+			if info.Epoch > r.epoch {
+				r.epoch = info.Epoch
+			}
+			if info.ReplicaAddr != "" && r.replica == nil {
+				if rb := g.backendByAddr(info.ReplicaAddr); rb != nil && rb != b {
+					r.replica = rb
+				}
+			}
+		}
 		r.mu.Unlock()
 		g.mu.Unlock()
 		if owner == b {
@@ -515,12 +574,26 @@ func (g *Gateway) forwardSession(req *server.Request, verb string) *server.Respo
 		if err != nil {
 			return gerr(req, server.CodeUnavailable, err)
 		}
+		if req.Epoch == 0 && verb != "promote" && verb != "replapply" {
+			// Stamp the fencing token the gateway knows for this session.
+			// A backend holding an older epoch (a resurrected pre-failover
+			// primary) fences itself on seeing it; promote/replapply are
+			// excluded because their Epoch field is protocol input.
+			r.mu.Lock()
+			req.Epoch = r.epoch
+			r.mu.Unlock()
+		}
 		resp := g.forward(b, req)
 		r.release()
 		switch {
 		case resp.Code == server.CodeNoSession:
 			// The backend no longer hosts it (closed, idle-evicted): the
 			// route is stale, not the session's existence elsewhere.
+			g.dropRoute(req.Session, b)
+		case resp.Code == server.CodeFollower || resp.Code == server.CodeFenced:
+			// The route points at a standby or a fenced corpse — stale
+			// either way (a failover happened around this gateway). Drop
+			// it so the next request sweeps for the live primary.
 			g.dropRoute(req.Session, b)
 		case resp.Code == server.CodeMoved && resp.MovedTo != "":
 			// Another actor migrated it. Chase one hop and relearn.
@@ -546,6 +619,10 @@ func (g *Gateway) forwardSession(req *server.Request, verb string) *server.Respo
 		switch resp.Code {
 		case server.CodeNoSession, server.CodeUnavailable:
 			continue // not here / can't tell; a miss means nothing executed
+		case server.CodeFollower, server.CodeFenced:
+			// A standby's copy or a fenced corpse answered: the live
+			// primary is elsewhere — keep sweeping.
+			continue
 		case server.CodeMoved:
 			if nb := g.backendByAddr(resp.MovedTo); nb != nil && nb.alive() {
 				g.reg.Counter("gateway_moved_follows").Inc()
@@ -628,6 +705,9 @@ func (g *Gateway) placeCreate(req *server.Request) *server.Response {
 		g.reg.Counter("gateway_creates_placed").Inc()
 		g.setRoute(req.Session, b, true)
 		g.events.Add("placed", req.Session, "created on "+b.addr())
+		if g.cfg.Replicate {
+			g.armReplication(req.Session, b)
+		}
 	}
 	return resp
 }
@@ -704,15 +784,22 @@ type BackendInfo struct {
 	State     string `json:"state"`
 	Sessions  int64  `json:"sessions"`
 	Routes    int    `json:"routes"`
-	Placeable bool   `json:"placeable"`
+	// ReplicaRoutes counts sessions whose hot standby lives on this
+	// backend — the load a failover of their primaries would add here.
+	ReplicaRoutes int  `json:"replica_routes,omitempty"`
+	Placeable     bool `json:"placeable"`
 }
 
 func (g *Gateway) backendsResp(req *server.Request) *server.Response {
 	byBackend := make(map[*backend]int)
+	replicasOn := make(map[*backend]int)
 	g.mu.Lock()
 	for _, r := range g.routes {
 		r.mu.Lock()
 		byBackend[r.backend]++
+		if r.replica != nil {
+			replicasOn[r.replica]++
+		}
 		r.mu.Unlock()
 	}
 	g.mu.Unlock()
@@ -722,11 +809,11 @@ func (g *Gateway) backendsResp(req *server.Request) *server.Response {
 		info := BackendInfo{
 			Addr: be.addr(), AdminAddr: be.spec.AdminAddr,
 			State: be.getState().String(), Sessions: be.sessions.Load(),
-			Routes: byBackend[be], Placeable: be.placeable(),
+			Routes: byBackend[be], ReplicaRoutes: replicasOn[be], Placeable: be.placeable(),
 		}
 		infos = append(infos, info)
-		fmt.Fprintf(&b, "%-32s %-10s sessions=%d routes=%d placeable=%v\n",
-			info.Addr, info.State, info.Sessions, info.Routes, info.Placeable)
+		fmt.Fprintf(&b, "%-32s %-10s sessions=%d routes=%d replicas=%d placeable=%v\n",
+			info.Addr, info.State, info.Sessions, info.Routes, info.ReplicaRoutes, info.Placeable)
 	}
 	data, _ := json.Marshal(infos)
 	return &server.Response{ID: req.ID, OK: true, Output: b.String(), Data: data}
@@ -771,8 +858,21 @@ func (g *Gateway) aggregateSessions(req *server.Request) *server.Response {
 	})
 	var b strings.Builder
 	for _, row := range rows {
-		fmt.Fprintf(&b, "%-24s @%s pipes=%d wal=%dB mark@%d\n",
+		fmt.Fprintf(&b, "%-24s @%s pipes=%d wal=%dB mark@%d",
 			row.Name, row.Backend, len(row.Pipes), row.WALBytes, row.MarkSeq)
+		if row.Epoch > 0 {
+			fmt.Fprintf(&b, " epoch=%d", row.Epoch)
+		}
+		if row.ReplicaAddr != "" {
+			fmt.Fprintf(&b, " repl=%s acked=%d lag=%d", row.ReplicaAddr, row.ReplAckedSeq, row.ReplLag)
+		}
+		if row.Follower {
+			b.WriteString(" FOLLOWER")
+		}
+		if row.Fenced {
+			b.WriteString(" FENCED")
+		}
+		b.WriteByte('\n')
 	}
 	data, _ := json.Marshal(rows)
 	return &server.Response{ID: req.ID, OK: true, Output: b.String(), Data: data}

@@ -1,0 +1,473 @@
+// Package replica ships a durable session's committed WAL records from
+// its primary backend to a standby, so a permanently dead backend (disk
+// gone, host gone) loses no acked mutation: the gateway promotes the
+// standby and clients continue where they were.
+//
+// The protocol has two parts. A one-time seed hands the standby the
+// session's full state as an internal/transfer blob (the same image
+// live migration ships), imported in follower mode. After that the
+// primary ships only the WAL tail: batches of records framed with the
+// journal's own CRC + length + strict-sequence discipline, wrapped in a
+// small batch header carrying the primary's fencing epoch and the
+// sequence number the batch continues from. The standby appends each
+// record to its own journal, fsyncs, and acks the new head; the
+// primary's acked watermark then trails its journal head by exactly the
+// unshipped tail — the replication lag surfaced in `sessions` and
+// /metrics.
+//
+// Shipping is synchronous with the mutation path by default: a client's
+// ack implies the standby has the record. A standby that cannot be
+// reached degrades the stream (the session keeps serving, lag grows)
+// and the next ship attempt reconnects and catches up from the acked
+// watermark. A standby that answers "fenced" — it was promoted under a
+// newer epoch — is authoritative: the shipper reports ErrFenced and the
+// server fences the session, which is what prevents a resurrected or
+// partitioned stale primary from split-braining.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livesim/internal/faultinject"
+	"livesim/internal/obs"
+	"livesim/internal/wal"
+)
+
+// BatchMagic identifies a shipped record batch.
+const BatchMagic = "LSRB"
+
+// BatchVersion is the current batch framing version.
+const BatchVersion = 1
+
+// batchHeaderLen: magic (4) + version (4) + epoch (8) + afterSeq (8).
+const batchHeaderLen = 24
+
+// MaxBatchBytes bounds one encoded batch. The wire caps request lines
+// at 16 MB and JSON base64-encodes the blob (4/3 overhead), so 8 MB of
+// frames leaves comfortable headroom for the request envelope; the
+// shipper splits larger tails into consecutive acked batches.
+const MaxBatchBytes = 8 << 20
+
+// ErrFenced is returned when the standby rejects the stream or seed
+// because it holds a newer fencing epoch — this primary is stale and
+// must stop serving mutations for the session.
+var ErrFenced = errors.New("replication stream fenced by newer epoch")
+
+// ErrReseed is returned when the standby cannot apply the shipped tail
+// from records alone (a reanchor crossed the stream: its checkpoint
+// exists only on the primary's disk). The caller re-seeds the standby
+// with a fresh transfer blob; the stream itself is healthy.
+var ErrReseed = errors.New("standby needs a fresh seed (reanchor in stream)")
+
+// Ack is the standby's structured answer to a seed or batch: its
+// journal head after applying (the primary's new acked watermark) and
+// the epoch it holds. A "repl_resync" rejection carries it too, telling
+// the shipper where to restart the tail.
+type Ack struct {
+	AckedSeq uint64 `json:"acked_seq"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+// EncodeBatch frames records for shipping: a batch header binding the
+// primary's epoch and the sequence number the batch continues from,
+// then each record in the WAL's own frame encoding. Records must be
+// strictly consecutive starting at afterSeq+1 — the invariant the
+// standby re-checks on decode.
+func EncodeBatch(epoch, afterSeq uint64, recs []*wal.Record) ([]byte, error) {
+	buf := make([]byte, 0, batchHeaderLen+64*len(recs))
+	buf = append(buf, BatchMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, BatchVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, afterSeq)
+	want := afterSeq
+	for _, r := range recs {
+		if r.Seq != want+1 {
+			return nil, fmt.Errorf("replica batch: record seq %d after %d (must be consecutive)", r.Seq, want)
+		}
+		want = r.Seq
+		frame, err := wal.EncodeRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, frame...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch validates and parses a shipped batch. It never panics
+// whatever the input: a short or foreign header, an unsupported
+// version, framing damage, a CRC mismatch or a sequence gap are all
+// errors — a batch applies completely or not at all (there is no
+// partial-prefix recovery here; the primary just resends).
+func DecodeBatch(data []byte) (epoch, afterSeq uint64, recs []*wal.Record, err error) {
+	if len(data) < batchHeaderLen {
+		return 0, 0, nil, fmt.Errorf("replica batch %d bytes: shorter than the %d-byte header", len(data), batchHeaderLen)
+	}
+	if string(data[:4]) != BatchMagic {
+		return 0, 0, nil, fmt.Errorf("not a replica batch (no %s magic)", BatchMagic)
+	}
+	if ver := binary.LittleEndian.Uint32(data[4:]); ver == 0 || ver > BatchVersion {
+		return 0, 0, nil, fmt.Errorf("replica batch version %d not supported (this build reads 1..%d)", ver, BatchVersion)
+	}
+	epoch = binary.LittleEndian.Uint64(data[8:])
+	afterSeq = binary.LittleEndian.Uint64(data[16:])
+	recs, clean, derr := wal.DecodeSegment(data[batchHeaderLen:], afterSeq)
+	if derr != nil {
+		return 0, 0, nil, derr
+	}
+	if clean != len(data)-batchHeaderLen {
+		return 0, 0, nil, fmt.Errorf("replica batch: %d trailing bytes after last record", len(data)-batchHeaderLen-clean)
+	}
+	return epoch, afterSeq, recs, nil
+}
+
+// Config parameterizes one session's shipper.
+type Config struct {
+	// Session names the replicated session; Target is the standby's wire
+	// address ("unix:<path>", "tcp:<host:port>" or bare); WALPath is the
+	// primary's journal file the tail is read from.
+	Session string
+	Target  string
+	WALPath string
+	// Epoch is the primary's fencing token, stamped on every seed and
+	// batch so a promoted standby can reject a stale stream.
+	Epoch uint64
+	// DialTimeout bounds each (re)connect, CallTimeout each seed/batch
+	// round trip, RedialEvery rate-limits reconnect attempts while the
+	// stream is broken so a dead standby costs the mutation path one
+	// clock read, not a dial timeout. Zero values take defaults
+	// (2s / 5s / 500ms).
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	RedialEvery time.Duration
+	// Faults injects drop-stream and stage failures; Metrics (the
+	// session's registry, may be nil) receives the repl_* gauges.
+	Faults  *faultinject.Plan
+	Metrics *obs.Registry
+}
+
+// Shipper streams one session's WAL tail to its standby. All methods
+// are safe for concurrent use, though the server serializes Seed and
+// Ship on the session worker.
+type Shipper struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	nextID   uint64
+	sentSeq  uint64 // highest seq the standby acked (resume point)
+	off      int64  // journal byte offset of sentSeq's frame end
+	batches  int    // lifetime batch count, for the drop-stream fault
+	lastDial time.Time
+	lastErr  error
+
+	// acked and fenced are atomics so the hot read paths (lag gauges,
+	// fence checks in the request path) never touch the shipper mutex.
+	acked  atomic.Uint64
+	fenced atomic.Bool
+}
+
+// New builds a shipper; no connection is made until Seed or Ship.
+func New(cfg Config) *Shipper {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.RedialEvery <= 0 {
+		cfg.RedialEvery = 500 * time.Millisecond
+	}
+	return &Shipper{cfg: cfg}
+}
+
+// Target returns the standby's wire address.
+func (s *Shipper) Target() string { return s.cfg.Target }
+
+// Epoch returns the fencing token this shipper stamps on its stream.
+func (s *Shipper) Epoch() uint64 { return s.cfg.Epoch }
+
+// AckedSeq returns the highest journal sequence the standby has
+// durably acknowledged.
+func (s *Shipper) AckedSeq() uint64 { return s.acked.Load() }
+
+// Fenced reports whether the standby rejected this stream as stale.
+func (s *Shipper) Fenced() bool { return s.fenced.Load() }
+
+// Err returns the last stream error, nil when the stream is healthy.
+func (s *Shipper) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Stop closes the stream. The shipper stays queryable (acked watermark,
+// fenced flag) but ships nothing more.
+func (s *Shipper) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropConnLocked()
+}
+
+// wireRequest/wireResponse mirror the server's NDJSON envelope for the
+// three verbs the shipper speaks (import, replapply). The replica
+// package cannot import internal/server — the server imports it — so
+// the handful of fields are declared here with matching JSON tags.
+type wireRequest struct {
+	ID      uint64   `json:"id"`
+	Session string   `json:"session,omitempty"`
+	Verb    string   `json:"verb"`
+	Args    []string `json:"args,omitempty"`
+	Blob    []byte   `json:"blob,omitempty"`
+	Epoch   uint64   `json:"epoch,omitempty"`
+}
+
+type wireResponse struct {
+	ID    uint64          `json:"id"`
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Code  string          `json:"code,omitempty"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// Seed hands the standby the session's full transfer blob in follower
+// mode, establishing (or re-establishing) the replication baseline at
+// journal sequence seq. On success the acked watermark starts at seq
+// and subsequent Ship calls send only the tail past it.
+func (s *Shipper) Seed(blob []byte, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fenced.Load() {
+		return ErrFenced
+	}
+	if err := s.cfg.Faults.ReplFault("seed"); err != nil {
+		s.lastErr = err
+		return err
+	}
+	resp, err := s.callLocked(&wireRequest{
+		Session: s.cfg.Session, Verb: "import",
+		Args: []string{"follower"}, Blob: blob, Epoch: s.cfg.Epoch,
+	})
+	if err != nil {
+		s.lastErr = err
+		return err
+	}
+	if !resp.OK {
+		if resp.Code == "fenced" {
+			s.noteFencedLocked(resp.Error)
+			return ErrFenced
+		}
+		s.lastErr = fmt.Errorf("seed rejected: %s (%s)", resp.Error, resp.Code)
+		return s.lastErr
+	}
+	s.sentSeq = seq
+	s.off = 0 // next Ship rescans from the header to find the boundary
+	s.acked.Store(seq)
+	s.lastErr = nil
+	s.gauges(seq)
+	s.cfg.Metrics.Counter("repl_seeds").Inc()
+	return nil
+}
+
+// Ship sends every journal record past the acked watermark and waits
+// for the standby's durable ack — called on the session worker after
+// each committed mutation, so a client ack implies standby durability.
+// A broken stream reconnects (rate-limited) and resumes from the acked
+// watermark; ErrFenced is terminal.
+func (s *Shipper) Ship() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fenced.Load() {
+		return ErrFenced
+	}
+	if err := s.cfg.Faults.ReplFault("ship"); err != nil {
+		s.dropConnLocked()
+		s.lastErr = err
+		return err
+	}
+
+	recs, newOff, err := wal.ReadSince(s.cfg.WALPath, s.sentSeq, s.off)
+	if err != nil {
+		// Offset bookkeeping out of step with the file (e.g. after a
+		// reseed): one full rescan before giving up.
+		recs, newOff, err = wal.ReadSince(s.cfg.WALPath, s.sentSeq, 0)
+		if err != nil {
+			s.lastErr = err
+			return err
+		}
+	}
+	if len(recs) == 0 {
+		s.off = newOff
+		return nil
+	}
+
+	for len(recs) > 0 {
+		n := len(recs)
+		batch, err := EncodeBatch(s.cfg.Epoch, s.sentSeq, recs[:n])
+		for err == nil && len(batch) > MaxBatchBytes && n > 1 {
+			n = n / 2
+			batch, err = EncodeBatch(s.cfg.Epoch, s.sentSeq, recs[:n])
+		}
+		if err != nil {
+			s.lastErr = err
+			return err
+		}
+
+		s.batches++
+		if s.cfg.Faults.ReplDrop(s.batches) {
+			s.dropConnLocked()
+			s.lastErr = fmt.Errorf("replica stream severed (injected) before batch %d", s.batches)
+			return s.lastErr
+		}
+
+		resp, cerr := s.callLocked(&wireRequest{
+			Session: s.cfg.Session, Verb: "replapply",
+			Blob: batch, Epoch: s.cfg.Epoch,
+		})
+		if cerr != nil {
+			s.lastErr = cerr
+			return cerr
+		}
+		var ack Ack
+		if resp.Data != nil {
+			json.Unmarshal(resp.Data, &ack)
+		}
+		if !resp.OK {
+			switch resp.Code {
+			case "fenced":
+				s.noteFencedLocked(resp.Error)
+				return ErrFenced
+			case "repl_reseed":
+				s.lastErr = fmt.Errorf("%w: %s", ErrReseed, resp.Error)
+				return ErrReseed
+			case "repl_resync":
+				// The standby's head does not line up with our watermark
+				// (a reseed or its own restart); adopt its head and let
+				// the next iteration re-read the tail from there.
+				s.sentSeq = ack.AckedSeq
+				s.off = 0
+				s.acked.Store(ack.AckedSeq)
+				var rerr error
+				recs, newOff, rerr = wal.ReadSince(s.cfg.WALPath, s.sentSeq, 0)
+				if rerr != nil {
+					s.lastErr = rerr
+					return rerr
+				}
+				continue
+			default:
+				s.lastErr = fmt.Errorf("batch rejected: %s (%s)", resp.Error, resp.Code)
+				return s.lastErr
+			}
+		}
+		s.sentSeq = recs[n-1].Seq
+		recs = recs[n:]
+		if ack.AckedSeq >= s.sentSeq {
+			s.acked.Store(ack.AckedSeq)
+		} else {
+			s.acked.Store(s.sentSeq)
+		}
+		s.cfg.Metrics.Counter("repl_batches").Inc()
+		s.cfg.Metrics.Counter("repl_records").Add(uint64(n))
+		s.cfg.Metrics.Counter("repl_bytes").Add(uint64(len(batch)))
+	}
+	s.off = newOff
+	s.lastErr = nil
+	s.gauges(s.acked.Load())
+	return nil
+}
+
+// noteFencedLocked records the terminal fenced state and closes the
+// stream.
+func (s *Shipper) noteFencedLocked(detail string) {
+	s.fenced.Store(true)
+	s.lastErr = fmt.Errorf("%w: %s", ErrFenced, detail)
+	s.dropConnLocked()
+	s.cfg.Metrics.Counter("repl_fenced").Inc()
+}
+
+func (s *Shipper) gauges(acked uint64) {
+	s.cfg.Metrics.Gauge("repl_acked_seq").Set(acked)
+}
+
+// callLocked sends one request and reads its response, (re)connecting
+// as needed. The caller holds s.mu.
+func (s *Shipper) callLocked(req *wireRequest) (*wireResponse, error) {
+	if s.conn == nil {
+		if since := time.Since(s.lastDial); since < s.cfg.RedialEvery {
+			return nil, fmt.Errorf("replica stream to %s broken (retry in %s)",
+				s.cfg.Target, s.cfg.RedialEvery-since)
+		}
+		s.lastDial = time.Now()
+		network, target := splitAddr(s.cfg.Target)
+		conn, err := net.DialTimeout(network, target, s.cfg.DialTimeout)
+		if err != nil {
+			s.cfg.Metrics.Counter("repl_dial_failures").Inc()
+			return nil, err
+		}
+		s.conn = conn
+		s.br = bufio.NewReaderSize(conn, 64<<10)
+		s.cfg.Metrics.Counter("repl_dials").Inc()
+	}
+
+	s.nextID++
+	req.ID = s.nextID
+	line, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	line = append(line, '\n')
+	s.conn.SetDeadline(time.Now().Add(s.cfg.CallTimeout))
+	if _, err := s.conn.Write(line); err != nil {
+		s.dropConnLocked()
+		return nil, err
+	}
+	raw, err := s.br.ReadBytes('\n')
+	if err != nil {
+		s.dropConnLocked()
+		return nil, err
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		s.dropConnLocked()
+		return nil, fmt.Errorf("replica stream: bad response line: %v", err)
+	}
+	if resp.ID != req.ID {
+		s.dropConnLocked()
+		return nil, fmt.Errorf("replica stream: response id %d for request %d", resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+func (s *Shipper) dropConnLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.br = nil
+	}
+}
+
+// splitAddr resolves the address scheme shared by every livesim
+// frontend flag (mirrors client.SplitAddr, which this package cannot
+// import).
+func splitAddr(addr string) (network, target string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsAny(addr, "/\\"):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}

@@ -268,6 +268,218 @@ func TestCrashMatrixSIGKILLAtWALOffsets(t *testing.T) {
 	}
 }
 
+// replicatedPair starts a primary+standby livesimd pair on their own
+// state dirs and returns the primary daemon plus both socket paths.
+// extra flags go to the primary (the one the matrix kills).
+func replicatedPair(t *testing.T, bin, dir string, extra ...string) (prim, stby *daemon, sockA, sockB string) {
+	t.Helper()
+	sockA, sockB = filepath.Join(dir, "a.sock"), filepath.Join(dir, "b.sock")
+	prim = startDaemon(t, bin, sockA, filepath.Join(dir, "a"), extra...)
+	stby = startDaemon(t, bin, sockB, filepath.Join(dir, "b"))
+	return prim, stby, sockA, sockB
+}
+
+// driveReplicatedSession arms replication after the session exists, then
+// runs the same fixed mutation tail as the plain matrix. It returns how
+// many cycles the client holds acks for: every OK run response was only
+// sent after the standby fsynced the shipped record, so the promoted
+// standby owes the client at least this many cycles. Transport errors
+// are tolerated — the primary SIGKILLs itself mid-sequence.
+func driveReplicatedSession(c *client.Client, standbyAddr string) (ackedCycles uint64) {
+	reqs := []*server.Request{
+		{Session: "s1", Verb: "create", PGAS: 1, CheckpointEvery: 25},
+		{Session: "s1", Verb: "instpipe", Args: []string{"p0"}},
+		{Session: "s1", Verb: "replicate", Args: []string{standbyAddr}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "200"}},
+		{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "100"}},
+	}
+	cycles := map[int]uint64{3: 200, 4: 100}
+	for i, req := range reqs {
+		resp, err := c.Do(req)
+		if err != nil {
+			return ackedCycles
+		}
+		if resp.OK {
+			ackedCycles += cycles[i]
+		}
+	}
+	return ackedCycles
+}
+
+// promotedCycle promotes s1 on the standby and returns the cycle count
+// it serves at, asserting the session is now a writable primary.
+func promotedCycle(t *testing.T, c *client.Client) uint64 {
+	t.Helper()
+	mustOK(t, c, &server.Request{Session: "s1", Verb: "promote"})
+	resp := mustOK(t, c, &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}})
+	var n uint64
+	if _, err := fmt.Sscanf(strings.TrimSpace(resp.Output), "%d", &n); err != nil {
+		t.Fatalf("unparseable cycle output %q: %v", resp.Output, err)
+	}
+	return n
+}
+
+// TestCrashMatrixReplicatedPrimarySIGKILL is the replication row of the
+// crash matrix: the primary of a replicated pair SIGKILLs itself at
+// swept durable-WAL offsets while the stream is armed. At every offset
+// the standby must promote into a primary that (a) holds every cycle the
+// client was acked — the ship-on-commit ack ordering makes anything less
+// a durability lie — and (b) replays bit-identically from its own
+// shipped journal after a crash of its own.
+func TestCrashMatrixReplicatedPrimarySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills livesimd subprocesses")
+	}
+	bin := buildLivesimd(t)
+
+	// Probe run: find the journal size when replication arms (the sweep
+	// only kills past it — earlier offsets are the plain matrix's rows)
+	// and the final size bounding the sweep.
+	probeDir := shortDir(t)
+	probeA, probeB, pSockA, pSockB := replicatedPair(t, bin, probeDir)
+	pc := waitDial(t, pSockA)
+	for _, req := range []*server.Request{
+		{Session: "s1", Verb: "create", PGAS: 1, CheckpointEvery: 25},
+		{Session: "s1", Verb: "instpipe", Args: []string{"p0"}},
+		{Session: "s1", Verb: "replicate", Args: []string{"unix:" + pSockB}},
+	} {
+		mustOK(t, pc, req)
+	}
+	fi, err := os.Stat(filepath.Join(probeDir, "a", "s1.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedSize := fi.Size()
+	mustOK(t, pc, &server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "200"}})
+	mustOK(t, pc, &server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "100"}})
+	if fi, err = os.Stat(filepath.Join(probeDir, "a", "s1.wal")); err != nil {
+		t.Fatal(err)
+	}
+	walSize := fi.Size()
+	probeA.cmd.Process.Kill()
+	probeB.cmd.Process.Kill()
+	probeA.wait(t)
+	probeB.wait(t)
+
+	offsets := []int64{seedSize + 1, seedSize + (walSize-seedSize)/2, walSize}
+	seen := map[int64]bool{}
+	for _, off := range offsets {
+		if off <= seedSize || seen[off] {
+			continue
+		}
+		seen[off] = true
+		t.Run(fmt.Sprintf("offset-%d", off), func(t *testing.T) {
+			dir := shortDir(t)
+			prim, stby, sockA, sockB := replicatedPair(t, bin, dir,
+				"-crash-wal-offset", fmt.Sprint(off))
+
+			acked := driveReplicatedSession(waitDial(t, sockA), "unix:"+sockB)
+			if ws := prim.wait(t); !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				prim.dumpLog(t)
+				t.Fatalf("primary exit = %v, want SIGKILL", prim.cmd.ProcessState)
+			}
+
+			// Promote the standby: zero lost acked mutations means its cycle
+			// counter covers every acked run. (It may exceed it — a shipped
+			// record whose client ack died with the primary is at-least-once,
+			// never a loss.)
+			cB := waitDial(t, sockB)
+			cycle := promotedCycle(t, cB)
+			if cycle < acked {
+				stby.dumpLog(t)
+				t.Fatalf("promoted standby at cycle %d < %d acked cycles: acked mutations lost", cycle, acked)
+			}
+			mustOK(t, cB, &server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "10"}})
+			fp := mustOK(t, cB, &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}}).Output
+
+			// Survivor replay: SIGKILL the promoted copy too; its shipped
+			// journal must recover the exact fingerprint it served live.
+			stby.cmd.Process.Kill()
+			stby.wait(t)
+			d2 := startDaemon(t, bin, sockB, filepath.Join(dir, "b"))
+			c2 := waitDial(t, sockB)
+			waitSessionSettled(t, c2)
+			resp := mustOK(t, c2, &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}})
+			if resp.Output != fp {
+				d2.dumpLog(t)
+				t.Fatalf("survivor replay fingerprint = %q, want %q", resp.Output, fp)
+			}
+			d2.cmd.Process.Signal(syscall.SIGTERM)
+			if ws := d2.wait(t); ws.ExitStatus() != 0 {
+				d2.dumpLog(t)
+				t.Fatalf("survivor exit = %d on SIGTERM", ws.ExitStatus())
+			}
+		})
+	}
+}
+
+// TestCrashMatrixStalePrimaryFenced: after a SIGKILL + promotion, the
+// old primary restarts on its own state dir with no memory of being
+// superseded. The first mutation stamped with the promoted epoch must
+// make it fence itself with the typed code — across a real process
+// boundary, not just in-process flags.
+func TestCrashMatrixStalePrimaryFenced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills livesimd subprocesses")
+	}
+	bin := buildLivesimd(t)
+	dir := shortDir(t)
+	prim, _, sockA, sockB := replicatedPair(t, bin, dir)
+
+	c := waitDial(t, sockA)
+	if acked := driveReplicatedSession(c, "unix:"+sockB); acked != 300 {
+		t.Fatalf("healthy pair acked %d cycles, want 300", acked)
+	}
+	prim.cmd.Process.Kill()
+	prim.wait(t)
+
+	cB := waitDial(t, sockB)
+	if cycle := promotedCycle(t, cB); cycle != 300 {
+		t.Fatalf("promoted standby at cycle %d, want 300", cycle)
+	}
+	var epoch uint64
+	resp := mustOK(t, cB, &server.Request{Verb: "sessions"})
+	var infos []server.SessionInfo
+	if err := json.Unmarshal(resp.Data, &infos); err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if info.Name == "s1" {
+			epoch = info.Epoch
+		}
+	}
+	if epoch == 0 {
+		t.Fatalf("promoted session has no epoch: %s", resp.Data)
+	}
+
+	// Resurrect the corpse. It recovers s1 as a primary at epoch 0 —
+	// the epoch stamp on the next mutation is what fences it.
+	d2 := startDaemon(t, bin, sockA, filepath.Join(dir, "a"))
+	c2 := waitDial(t, sockA)
+	waitSessionSettled(t, c2)
+	fenced, err := c2.Do(&server.Request{Session: "s1", Verb: "run",
+		Args: []string{"tb0", "p0", "10"}, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fenced.OK || fenced.Code != server.CodeFenced {
+		d2.dumpLog(t)
+		t.Fatalf("stale primary mutation = %+v, want code %q", fenced, server.CodeFenced)
+	}
+	// The fence is sticky: even an unstamped mutation is now rejected.
+	sticky, err := c2.Do(&server.Request{Session: "s1", Verb: "run", Args: []string{"tb0", "p0", "10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sticky.OK || sticky.Code != server.CodeFenced {
+		t.Fatalf("fence not sticky: %+v", sticky)
+	}
+	// And the survivor is untouched by the corpse's attempts.
+	if out := mustOK(t, cB, &server.Request{Session: "s1", Verb: "cycle", Args: []string{"p0"}}).Output; !strings.Contains(out, "300 (version") {
+		t.Fatalf("survivor cycle = %q, want 300", out)
+	}
+}
+
 // waitSessionDurable polls `sessions` until s1's nondurable flag
 // reaches want, failing fast if the session ever lands in quarantine —
 // an ENOSPC incident must degrade durability, not condemn the session.

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
-	"os"
 	"path/filepath"
 	"time"
 
@@ -35,6 +34,13 @@ const maxWireBlob = 11 << 20
 // off first. A straggler that misses its tombstone degrades to
 // no_session — safe, just less helpful.
 const maxMovedTombstones = 512
+
+// movedTombstoneTTL expires forwarding tombstones: a session re-homed
+// again by a later migration or failover must not keep getting
+// redirected to its first destination by a long-lived source. Expiry
+// degrades to no_session, which sends a well-behaved client back to
+// the gateway for fresh routing. A var so tests can shrink it.
+var movedTombstoneTTL = 10 * time.Minute
 
 // ExportData is the structured payload of a successful export: the
 // transfer blob plus the numbers the gateway logs and tests assert on.
@@ -68,53 +74,17 @@ func (s *Server) exportTask(h *hosted, t *task) *Response {
 		return errResp(req, CodeBadRequest,
 			fmt.Errorf("session %q has no journal (state dir disabled); not portable", h.name))
 	}
-	if h.journalPaused.Load() {
-		// A paused journal is missing mutations; exporting it would ship a
-		// stale session. Try to resume (reanchor) first — the cooldown is
-		// moot when an operator asked to move the session.
-		h.pausedAt.Store(0)
-		if !s.tryResumeJournal(h) {
-			return errResp(req, CodeError,
-				fmt.Errorf("session %q is nondurable (journal paused) and resume failed; cannot export", h.name))
-		}
-	}
-	if err := s.watermarkStrict(h); err != nil {
-		return errResp(req, CodeError, fmt.Errorf("export watermark: %w", err))
-	}
-	walBytes, err := os.ReadFile(h.wal.Path())
+	img, meta, err := s.exportBlob(h)
 	if err != nil {
-		return errResp(req, CodeError, fmt.Errorf("export journal read: %w", err))
-	}
-	entries := []transfer.Entry{{Name: h.name + ".wal", Payload: walBytes}}
-	pipes := h.sess.PipeNames()
-	for _, pipe := range pipes {
-		base := fmt.Sprintf("%s.%s.lscp", h.name, pipe)
-		data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, base))
-		if err != nil {
-			return errResp(req, CodeError, fmt.Errorf("export checkpoint read: %w", err))
-		}
-		entries = append(entries, transfer.Entry{Name: base, Payload: data})
-	}
-	meta := transfer.Meta{
-		Session: h.name, Seq: h.wal.Seq(),
-		WALBytes: int64(len(walBytes)), Pipes: len(pipes),
-	}
-	img, err := transfer.Encode(meta, entries)
-	if err != nil {
-		return errResp(req, CodeError, fmt.Errorf("export encode: %w", err))
-	}
-	if len(img) > maxWireBlob {
-		return errResp(req, CodeError, fmt.Errorf(
-			"export blob is %d bytes, over the %d wire cap; checkpoint and truncate history first",
-			len(img), maxWireBlob))
+		return errResp(req, CodeError, fmt.Errorf("export: %w", err))
 	}
 	data, _ := json.Marshal(ExportData{
-		Session: h.name, Blob: img, WALBytes: meta.WALBytes, Seq: meta.Seq, Pipes: len(pipes),
+		Session: h.name, Blob: img, WALBytes: meta.WALBytes, Seq: meta.Seq, Pipes: meta.Pipes,
 	})
 	s.reg.Counter("server_exports").Inc()
 	s.event("session_exported", h.name,
 		fmt.Sprintf("exported %d bytes (%d journal, %d pipes, seq %d)",
-			len(img), meta.WALBytes, len(pipes), meta.Seq))
+			len(img), meta.WALBytes, meta.Pipes, meta.Seq))
 	return &Response{ID: req.ID, OK: true,
 		Output: fmt.Sprintf("exported session %s (%d bytes)\n", h.name, len(img)), Data: data}
 }
@@ -125,12 +95,27 @@ func (s *Server) exportTask(h *hosted, t *task) *Response {
 // the caller's routing freeze is waiting on the answer. Runs inline on
 // the connection goroutine like create; a recovering placeholder keeps
 // concurrent requests out until replay completes.
+//
+// `import follower` is the replication seed: the landed session is
+// marked a follower (direct mutations rejected; the primary's replapply
+// stream is its only writer) under the epoch the request carries. A
+// follower seed may land over an existing follower of the same session
+// — that is the re-seed path after a reanchor crossed the stream — but
+// never over a primary.
 func (s *Server) importSession(req *Request) *Response {
 	if s.cfg.StateDir == "" {
 		return errResp(req, CodeBadRequest, fmt.Errorf("import requires a state dir"))
 	}
 	if len(req.Blob) == 0 {
 		return errResp(req, CodeBadRequest, fmt.Errorf("import needs a transfer blob"))
+	}
+	follower := false
+	switch {
+	case len(req.Args) == 0:
+	case len(req.Args) == 1 && req.Args[0] == "follower":
+		follower = true
+	default:
+		return errResp(req, CodeBadRequest, fmt.Errorf("usage: import [follower]"))
 	}
 	blob, err := transfer.Decode(req.Blob)
 	if err != nil {
@@ -168,6 +153,29 @@ func (s *Server) importSession(req *Request) *Response {
 		// not even keep the session durable once landed.
 		s.reg.Counter("server_diskfull_rejects").Inc()
 		return errResp(req, CodeDiskFull, ErrDiskFull)
+	}
+
+	if follower {
+		// Re-seed: a follower seed may replace an existing follower of the
+		// same session (the primary re-baselines after a reanchor, or
+		// after the follower diverged). The stale copy is torn down first;
+		// a primary is never overwritten this way.
+		s.mu.Lock()
+		existing := s.sessions[name]
+		s.mu.Unlock()
+		if existing != nil && existing.sess != nil && existing.follower.Load() &&
+			req.Epoch >= existing.epoch.Load() {
+			if old := s.removeSession(name); old != nil {
+				close(old.queue)
+				<-old.stopped
+				old.sess.Quiesce()
+				if old.wal != nil {
+					old.wal.Close()
+				}
+				s.removeSessionState(name)
+				s.event("follower_reseed", name, "stale follower replaced by a fresh seed")
+			}
+		}
 	}
 
 	h := s.newHosted(name)
@@ -230,6 +238,19 @@ func (s *Server) importSession(req *Request) *Response {
 		return fail(CodeError, err)
 	}
 
+	if follower {
+		// Follower-ness and the seed epoch must be durable before the
+		// session serves: a restarted standby that forgot it was a
+		// follower would accept direct mutations and fork the stream.
+		if req.Epoch > h.epoch.Load() {
+			h.epoch.Store(req.Epoch)
+		}
+		if err := s.writeFollowerMeta(name, h.epoch.Load()); err != nil {
+			return fail(CodeError, fmt.Errorf("persist follower meta: %w", err))
+		}
+		h.follower.Store(true)
+	}
+
 	h.dirty.Store(rep.Executed+rep.Skipped > 0)
 	h.touch()
 	s.noteMark(h)
@@ -239,9 +260,13 @@ func (s *Server) importSession(req *Request) *Response {
 	dur := time.Since(t0)
 	s.reg.Counter("server_imports").Inc()
 	s.reg.Histogram("server_import_seconds", nil).Observe(dur.Seconds())
+	role := ""
+	if follower {
+		role = fmt.Sprintf(" as follower (epoch %d)", h.epoch.Load())
+	}
 	s.event("session_imported", name,
-		fmt.Sprintf("imported in %v (%d records: %d replayed, %d skipped, fast=%v)",
-			dur.Round(time.Millisecond), rep.Records, rep.Executed, rep.Skipped, rep.FastPath))
+		fmt.Sprintf("imported in %v%s (%d records: %d replayed, %d skipped, fast=%v)",
+			dur.Round(time.Millisecond), role, rep.Records, rep.Executed, rep.Skipped, rep.FastPath))
 	data, _ := json.Marshal(ImportData{
 		Session: name, Records: rep.Records, Executed: rep.Executed,
 		Skipped: rep.Skipped, FastPath: rep.FastPath,
@@ -326,10 +351,16 @@ type movedEntry struct {
 }
 
 // noteMoved records a forwarding tombstone: requests for name now get
-// CodeMoved + addr instead of no_session. Bounded; oldest falls off.
+// CodeMoved + addr instead of no_session. Bounded (oldest falls off)
+// and TTL'd (see movedTombstoneTTL).
 func (s *Server) noteMoved(name, addr string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for n, m := range s.moved {
+		if time.Since(m.at) > movedTombstoneTTL {
+			delete(s.moved, n)
+		}
+	}
 	if len(s.moved) >= maxMovedTombstones {
 		oldest, oldestAt := "", time.Time{}
 		for n, m := range s.moved {
@@ -342,11 +373,15 @@ func (s *Server) noteMoved(name, addr string) {
 	s.moved[name] = movedEntry{addr: addr, at: time.Now()}
 }
 
-// movedTo reports where a departed session went, if known.
+// movedTo reports where a departed session went, if known and fresh.
 func (s *Server) movedTo(name string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.moved[name]
+	if ok && time.Since(m.at) > movedTombstoneTTL {
+		delete(s.moved, name)
+		return "", false
+	}
 	return m.addr, ok
 }
 
@@ -398,6 +433,7 @@ func (s *Server) Halt() {
 		if !waitClosed(h.stopped, 2*time.Second) {
 			continue
 		}
+		stopShipper(h)
 		h.sess.Quiesce()
 		if h.wal != nil {
 			// No watermark marks are written: recovery must replay the

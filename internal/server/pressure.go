@@ -66,10 +66,16 @@ const (
 // is free so overload can always be diagnosed from the outside.
 func admissionCost(verb string) int64 {
 	switch verb {
-	case "create", "export", "import":
+	case "create", "export", "import", "replicate":
 		// export checkpoints every pipe and reads the journal; import
-		// writes it all back and replays — both weigh like create.
+		// writes it all back and replays; replicate does an export plus a
+		// synchronous seed round trip — all weigh like create.
 		return createCost
+	case "replapply", "promote":
+		// The replication stream and failover must keep flowing under
+		// overload — rejecting them would turn load into lag (or a failed
+		// failover). They are paced by the primary's own mutation path.
+		return 0
 	}
 	if serverVerbs[verb] {
 		return 0

@@ -62,8 +62,15 @@ type Request struct {
 	// CheckpointEvery overrides the created session's checkpoint interval.
 	CheckpointEvery uint64 `json:"ckpt_every,omitempty"`
 	// Blob carries a migration transfer image (internal/transfer framing)
-	// for the import verb. JSON base64-encodes it on the wire.
+	// for the import verb, or a replication batch (internal/replica
+	// framing) for replapply. JSON base64-encodes it on the wire.
 	Blob []byte `json:"blob,omitempty"`
+	// Epoch is the replication fencing token. The gateway stamps it on
+	// forwarded mutations so a backend holding a different epoch rejects
+	// them (split-brain protection); replication seeds, batches and the
+	// promote verb carry the epoch they operate under. Zero means
+	// unstamped (direct clients) and is never checked.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Response is one server → client reply.
@@ -136,6 +143,23 @@ const (
 	// this session (crash, partition); retry after retry_after_ms — the
 	// backend may recover, or the session may be re-routed.
 	CodeUnavailable = "unavailable"
+	// CodeFenced: the session's replication epoch says this backend is a
+	// stale primary — its standby was promoted under a newer fencing
+	// token — so mutations are rejected to prevent split-brain. The
+	// session's state here is a dead branch; the gateway routes clients
+	// to the promoted replica.
+	CodeFenced = "fenced"
+	// CodeFollower: the session is a replication standby; it accepts
+	// mutations only through the primary's replapply stream. Reads work.
+	CodeFollower = "follower"
+	// CodeReplResync: a replapply batch did not continue from this
+	// follower's journal head; the response Data carries the head
+	// (replica.Ack) so the shipper resends the tail from there.
+	CodeReplResync = "repl_resync"
+	// CodeReplReseed: the replapply stream carried a reanchor record —
+	// state the follower cannot reconstruct from records alone — so the
+	// primary must re-seed it with a fresh transfer blob.
+	CodeReplReseed = "repl_reseed"
 	// CodeError: any other execution failure.
 	CodeError = "error"
 )
@@ -172,6 +196,14 @@ var ErrSessionLimit = errors.New("session limit reached")
 // ErrMoved is wrapped by CodeMoved rejections after a migration.
 var ErrMoved = errors.New("session moved to another backend")
 
+// ErrFenced is wrapped by CodeFenced rejections: the session here is a
+// stale primary superseded by a promoted replica.
+var ErrFenced = errors.New("session fenced (stale primary; replica was promoted)")
+
+// ErrFollower is wrapped by CodeFollower rejections of direct mutations
+// against a replication standby.
+var ErrFollower = errors.New("session is a replication follower (mutations come from the primary)")
+
 // SessionInfo is one row of the `sessions` verb's Data payload.
 type SessionInfo struct {
 	Name      string   `json:"name"`
@@ -204,6 +236,19 @@ type SessionInfo struct {
 	// the replay work a migration or crash recovery must do.
 	MarkSeq   uint64 `json:"mark_seq,omitempty"`
 	MarkCycle uint64 `json:"mark_cycle,omitempty"`
+	// Replication state. Epoch is the fencing token the session serves
+	// under; Follower marks a standby applying a primary's stream; Fenced
+	// marks a stale primary whose replica was promoted. HeadSeq is the
+	// journal head; on a primary with a replica, ReplicaAddr names the
+	// standby, ReplAckedSeq the highest sequence it durably acked, and
+	// ReplLag = HeadSeq - ReplAckedSeq is the unshipped tail.
+	Epoch        uint64 `json:"epoch,omitempty"`
+	Follower     bool   `json:"follower,omitempty"`
+	Fenced       bool   `json:"fenced,omitempty"`
+	HeadSeq      uint64 `json:"head_seq,omitempty"`
+	ReplicaAddr  string `json:"replica_addr,omitempty"`
+	ReplAckedSeq uint64 `json:"repl_acked_seq,omitempty"`
+	ReplLag      uint64 `json:"repl_lag,omitempty"`
 }
 
 // DrainReport is what Shutdown returns: which sessions were checkpointed

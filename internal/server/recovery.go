@@ -60,6 +60,7 @@ func (s *Server) walPath(name string) string {
 func (s *Server) removeSessionState(name string) {
 	os.Remove(s.walPath(name))
 	os.Remove(s.walPath(name) + ".failed")
+	os.Remove(s.followerPath(name))
 	for _, pat := range []string{name + ".*.lscp", name + ".*.lscp.bak"} {
 		matches, _ := filepath.Glob(filepath.Join(s.cfg.StateDir, pat))
 		for _, m := range matches {
@@ -145,6 +146,18 @@ func (s *Server) recoverSession(h *hosted, path string) {
 		return
 	}
 
+	// A follower's role and epoch survive restarts via the sidecar: a
+	// standby that rebooted amnesiac would accept direct mutations and
+	// fork the primary's stream. The journal's own epoch records (already
+	// adopted by replayRecords) and the sidecar agree on whichever is
+	// newest.
+	if meta, ok := s.readFollowerMeta(h.name); ok {
+		h.follower.Store(true)
+		if meta.Epoch > h.epoch.Load() {
+			h.epoch.Store(meta.Epoch)
+		}
+	}
+
 	h.dirty.Store(rep.Executed+rep.Skipped > 0)
 	h.touch()
 	s.noteMark(h)
@@ -166,6 +179,23 @@ func (s *Server) recoverSession(h *hosted, path string) {
 // callers differ only in where the journal bytes came from. On return
 // h.sess is set (even on a fast-path fallback re-boot).
 func (s *Server) replayRecords(h *hosted, recs []*wal.Record) (*core.ReplayReport, error) {
+	// Epoch records are fencing metadata, not session state: core replay
+	// would try to execute them as commands. Strip them here and adopt
+	// the highest epoch seen — that is their entire replay semantics.
+	// (Replay does not re-check sequence numbers, so the gaps left by
+	// stripping are harmless.)
+	if maxEpoch := maxEpochIn(recs); maxEpoch > 0 {
+		filtered := make([]*wal.Record, 0, len(recs))
+		for _, r := range recs {
+			if r.Type != wal.TypeEpoch {
+				filtered = append(filtered, r)
+			}
+		}
+		recs = filtered
+		if maxEpoch > h.epoch.Load() {
+			h.epoch.Store(maxEpoch)
+		}
+	}
 	exec := func(rec *wal.Record) error { return s.execRecord(h, rec) }
 	sess, err := s.bootFromRecord(h, recs[0])
 	if err != nil {
@@ -191,6 +221,18 @@ func (s *Server) replayRecords(h *hosted, recs []*wal.Record) (*core.ReplayRepor
 		return nil, err
 	}
 	return rep, nil
+}
+
+// maxEpochIn returns the highest epoch recorded in a journal, 0 when it
+// holds no epoch records.
+func maxEpochIn(recs []*wal.Record) uint64 {
+	top := uint64(0)
+	for _, r := range recs {
+		if r.Type == wal.TypeEpoch && r.Epoch > top {
+			top = r.Epoch
+		}
+	}
+	return top
 }
 
 // bootFromRecord re-creates a session from its journal's boot record,
@@ -281,6 +323,11 @@ func (s *Server) journalMutation(h *hosted, req *Request) {
 		h.mutations = 0
 		s.saveWatermark(h)
 	}
+	// Ship-on-commit: the standby must hold this record before the client
+	// sees OK, so a primary lost the instant after responding loses no
+	// acked mutation. (The crash matrix's OnWrite hook fires inside
+	// Append, BEFORE this ship — a kill there loses only unacked work.)
+	s.shipTail(h)
 }
 
 // tryResumeJournal attempts to end a journal pause. Worker goroutine

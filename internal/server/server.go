@@ -283,11 +283,22 @@ func (s *Server) event(typ, session, msg string) {
 	s.log.Info(msg, obs.Str("event", typ), obs.Str("session", session))
 }
 
+// specialVerbs run on the session's worker goroutine via task.special
+// instead of the shared command table: export (migration) and the
+// replication verbs, all of which must serialize with every other
+// operation on the session.
+var specialVerbs = map[string]func(*Server) func(h *hosted, t *task) *Response{
+	"export":    func(s *Server) func(*hosted, *task) *Response { return s.exportTask },
+	"replicate": func(s *Server) func(*hosted, *task) *Response { return s.replicateTask },
+	"replapply": func(s *Server) func(*hosted, *task) *Response { return s.replApplyTask },
+	"promote":   func(s *Server) func(*hosted, *task) *Response { return s.promoteTask },
+}
+
 // verbWindow returns the rolling latency window for a verb. Unknown
 // verbs share one bucket so a misbehaving client cannot grow the map
 // without bound.
 func (s *Server) verbWindow(verb string) *obs.Window {
-	if !serverVerbs[verb] && verb != "export" {
+	if !serverVerbs[verb] && specialVerbs[verb] == nil {
 		if _, ok := command.Lookup(verb); !ok {
 			verb = "_unknown"
 		}
@@ -522,8 +533,8 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		recovering = true
 	} else if h != nil {
 		t = &task{req: req, reply: make(chan *Response, 1), span: sp, trace: trace}
-		if verb == "export" {
-			t.special = s.exportTask
+		if mk := specialVerbs[verb]; mk != nil {
+			t.special = mk(s)
 		}
 		if s.cfg.RequestTimeout > 0 {
 			t.deadline = time.Now().Add(s.cfg.RequestTimeout)
@@ -601,7 +612,9 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		b.WriteString("  create [pgas N | files]       create a session (name in \"session\")\n")
 		b.WriteString("  close [moved <addr>]          discard a session (optionally leaving a forwarding tombstone)\n")
 		b.WriteString("  export                        freeze a session's journal+checkpoints into a transfer blob\n")
-		b.WriteString("  import                        materialize a transfer blob as a hosted session\n")
+		b.WriteString("  import [follower]             materialize a transfer blob as a hosted session (follower = replication standby)\n")
+		b.WriteString("  replicate <addr>|stop         seed a standby backend and stream committed WAL records to it\n")
+		b.WriteString("  promote                       promote a follower to primary under a new fencing epoch\n")
 		b.WriteString("  drain                         request a graceful drain (same path as SIGTERM)\n")
 		b.WriteString("  sessions                      list hosted sessions\n")
 		b.WriteString("  subscribe                     stream span events (empty session = server spans)\n")
@@ -695,6 +708,17 @@ func (s *Server) listSessions(req *Request) *Response {
 		}
 		if h.wal != nil {
 			info.WALBytes = h.wal.Size()
+			info.HeadSeq = h.wal.Seq()
+		}
+		info.Epoch = h.epoch.Load()
+		info.Follower = h.follower.Load()
+		info.Fenced = h.fenced.Load()
+		if sp := h.shipper.Load(); sp != nil {
+			info.ReplicaAddr = sp.Target()
+			info.ReplAckedSeq = sp.AckedSeq()
+			if info.HeadSeq > info.ReplAckedSeq {
+				info.ReplLag = info.HeadSeq - info.ReplAckedSeq
+			}
 		}
 		info.Quarantined, _ = h.brk.quarantined()
 		infos = append(infos, info)
@@ -702,6 +726,18 @@ func (s *Server) listSessions(req *Request) *Response {
 			n, info.Pipes, info.Version, info.Dirty, info.Queued, info.IdleSecs)
 		if info.WALBytes > 0 {
 			fmt.Fprintf(&out, " wal=%dB mark@%d", info.WALBytes, info.MarkCycle)
+		}
+		if info.ReplicaAddr != "" {
+			fmt.Fprintf(&out, " repl=%s acked=%d lag=%d", info.ReplicaAddr, info.ReplAckedSeq, info.ReplLag)
+		}
+		if info.Epoch > 0 {
+			fmt.Fprintf(&out, " epoch=%d", info.Epoch)
+		}
+		if info.Follower {
+			out.WriteString(" FOLLOWER")
+		}
+		if info.Fenced {
+			out.WriteString(" FENCED")
 		}
 		if info.Quarantined {
 			out.WriteString(" QUARANTINED")
@@ -975,6 +1011,7 @@ func (s *Server) closeSession(req *Request) *Response {
 	}
 	close(h.queue)
 	<-h.stopped
+	stopShipper(h)
 	h.sess.Quiesce()
 	if h.wal != nil {
 		h.wal.Close()
@@ -1072,6 +1109,7 @@ func (s *Server) evictIdle() {
 func (s *Server) evictHosted(h *hosted, why string) {
 	close(h.queue)
 	<-h.stopped
+	stopShipper(h)
 	h.sess.Quiesce()
 	if h.dirty.Load() && s.cfg.DrainDir != "" {
 		ds := s.saveSession(h)
@@ -1170,6 +1208,7 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 			s.event("drain_stuck", h.name, "worker did not stop; skipping save")
 			continue
 		}
+		stopShipper(h)
 		h.sess.Quiesce()
 		ds := DrainedSession{Name: h.name}
 		if h.dirty.Load() && s.cfg.DrainDir != "" {

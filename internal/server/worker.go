@@ -13,6 +13,7 @@ import (
 	"livesim/internal/govern"
 	"livesim/internal/liveparser"
 	"livesim/internal/obs"
+	"livesim/internal/replica"
 	"livesim/internal/wal"
 )
 
@@ -69,6 +70,21 @@ type hosted struct {
 	memCkpt  atomic.Uint64
 	memState atomic.Uint64
 	memWAL   atomic.Uint64
+
+	// Replication (internal/replica). epoch is the fencing token the
+	// session serves under — bumped by promote, stamped on forwarded
+	// mutations by the gateway, checked in the mutation gate. follower
+	// marks a standby: mutations arrive only through the primary's
+	// replapply stream, direct ones get CodeFollower. fenced marks a
+	// stale primary whose replica was promoted under a newer epoch;
+	// mutations get CodeFenced forever after. shipper streams this
+	// session's WAL tail to its standby (nil when unreplicated); it is
+	// an atomic pointer so the hot read paths (sessions listing, lag
+	// gauges) never contend with the worker.
+	epoch    atomic.Uint64
+	follower atomic.Bool
+	fenced   atomic.Bool
+	shipper  atomic.Pointer[replica.Shipper]
 }
 
 // memBytes sums the session's footprint estimate.
@@ -177,6 +193,9 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 		return errResp(t.req, CodeBadRequest, fmt.Errorf("unknown verb %q (try help)", t.req.Verb))
 	}
 	if cmd.Mutates {
+		if resp := s.replGate(h, t.req); resp != nil {
+			return resp
+		}
 		if q, reason := h.brk.quarantined(); q {
 			s.reg.Counter("server_quarantine_rejects").Inc()
 			return errResp(t.req, CodeQuarantined, fmt.Errorf("%s: %w", reason, ErrQuarantined))
@@ -222,6 +241,14 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 			h.brk.success()
 			s.journalMutation(h, t.req)
 			s.updateMemUsage(h)
+			if h.fenced.Load() {
+				// The ship-on-commit hook just learned the standby was
+				// promoted under a newer epoch: the mutation is applied
+				// locally, but this branch of the session is dead — acking
+				// it would claim a write the promoted replica never saw.
+				return errResp(t.req, CodeFenced,
+					fmt.Errorf("session %q: %w", h.name, ErrFenced))
+			}
 		case errors.Is(err, core.ErrRunCancelled):
 			// The session actively failed — a cancelled runaway run — as
 			// opposed to merely rejecting bad arguments; those streaks are

@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -77,6 +78,13 @@ const (
 	// carried inline — and replay treats it as authoritative: everything
 	// journaled for that pipe before the reanchor is superseded.
 	TypeReanchor = "reanchor"
+	// TypeEpoch records a replication epoch change: a standby promoted
+	// to primary journals the fencing token it was promoted under, so
+	// the epoch survives restarts and a resurrected stale primary (with
+	// an older epoch in its own journal) can be told apart from the
+	// real one. State-free for replay: recovery just adopts the highest
+	// epoch seen.
+	TypeEpoch = "epoch"
 )
 
 // RunStep is one entry of a pipe's run history, carried inline by
@@ -120,6 +128,9 @@ type Record struct {
 	// journal-paused runs never made it into the journal, so the anchor
 	// carries them inline for replay to install verbatim.
 	History []RunStep `json:"history,omitempty"`
+
+	// Epoch is the replication fencing token as of a TypeEpoch record.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Options tunes a WAL.
@@ -430,9 +441,19 @@ func DecodeAll(data []byte) (recs []*Record, clean int, err error) {
 	if ver == 0 || ver > FormatVersion {
 		return nil, 0, fmt.Errorf("wal format version %d not supported (this build reads 1..%d)", ver, FormatVersion)
 	}
+	recs, n, err := DecodeSegment(data[headerLen:], 0)
+	return recs, headerLen + n, err
+}
 
-	off := headerLen
-	var lastSeq uint64
+// DecodeSegment parses a headerless run of record frames whose first
+// record must carry sequence number afterSeq+1 — the shape of a journal
+// tail read from a known frame boundary, or of a replication batch. It
+// applies the same framing, CRC, size and strict-sequence checks as
+// DecodeAll and the same never-panic contract, returning the intact
+// records, the clean byte length, and the first damage found.
+func DecodeSegment(data []byte, afterSeq uint64) (recs []*Record, clean int, err error) {
+	off := 0
+	lastSeq := afterSeq
 	for off < len(data) {
 		if off+frameHeaderLen > len(data) {
 			return recs, off, fmt.Errorf("torn record header at offset %d", off)
@@ -462,4 +483,66 @@ func DecodeAll(data []byte) (recs []*Record, clean int, err error) {
 		off = body + int(plen)
 	}
 	return recs, off, nil
+}
+
+// ReadSince reads the journal at path and returns the records with
+// sequence numbers strictly greater than afterSeq — the tail a
+// replication shipper still owes its standby. off is a scan hint: 0 (or
+// anything inside the file header) decodes the whole file, while a
+// newOff returned by a previous call resumes at that frame boundary, so
+// steady-state shipping reads only the bytes appended since the last
+// ship instead of re-decoding the journal. The returned newOff marks
+// the clean end of what was decoded. Framing damage (which should never
+// exist in a live, frame-aligned journal) and an off that does not line
+// up with afterSeq's frame boundary are errors; callers recover by
+// retrying from off 0.
+func ReadSince(path string, afterSeq uint64, off int64) (recs []*Record, newOff int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	if off < headerLen {
+		hdr := make([]byte, headerLen)
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return nil, 0, fmt.Errorf("wal %s: header: %w", path, err)
+		}
+		if string(hdr[:4]) != Magic {
+			return nil, 0, fmt.Errorf("wal %s: not a wal file (no %s magic)", path, Magic)
+		}
+		if ver := binary.LittleEndian.Uint32(hdr[4:]); ver == 0 || ver > FormatVersion {
+			return nil, 0, fmt.Errorf("wal %s: format version %d not supported", path, ver)
+		}
+		off = headerLen
+		// Scanning from the top: sequence numbers start at 1, so decode
+		// the whole chain and drop what the caller already shipped.
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		all, clean, derr := DecodeSegment(data, 0)
+		if derr != nil {
+			return nil, 0, fmt.Errorf("wal %s: %w", path, derr)
+		}
+		for _, r := range all {
+			if r.Seq > afterSeq {
+				recs = append(recs, r)
+			}
+		}
+		return recs, off + int64(clean), nil
+	}
+
+	if _, err := f.Seek(off, 0); err != nil {
+		return nil, 0, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	recs, clean, derr := DecodeSegment(data, afterSeq)
+	if derr != nil {
+		return nil, 0, fmt.Errorf("wal %s: tail at offset %d: %w", path, off, derr)
+	}
+	return recs, off + int64(clean), nil
 }

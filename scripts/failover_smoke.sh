@@ -1,0 +1,200 @@
+#!/bin/sh
+# failover-smoke: end-to-end check of session replication — two livesimd
+# backends behind an lsgate with -replicate, so the placed session gets a
+# hot standby fed by the primary's WAL stream. The primary is SIGKILLed;
+# past the grace window the gateway must promote the standby and the
+# session must keep answering through the same gateway address with zero
+# acked mutations lost. The corpse is then resurrected on its old state
+# dir and offered a mutation stamped with the promoted epoch: it must
+# fence itself with the typed `fenced` code. `make check` runs this after
+# fleet-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+B1PID=""
+B2PID=""
+GPID=""
+trap 'for p in "$B1PID" "$B2PID" "$GPID"; do [ -n "$p" ] && kill "$p" 2>/dev/null; done; rm -rf "$TMP"' EXIT
+
+B1SOCK="$TMP/b1.sock"
+B2SOCK="$TMP/b2.sock"
+GSOCK="$TMP/g.sock"
+mkdir -p "$TMP/s1" "$TMP/s2"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/lsgate" ./cmd/lsgate
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+# fsync-per-append journals: an acked mutation is durable on the primary
+# AND fsynced on the standby before the client sees the ack.
+"$TMP/livesimd" -unix "$B1SOCK" -state-dir "$TMP/s1" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/b1.log" 2>&1 &
+B1PID=$!
+"$TMP/livesimd" -unix "$B2SOCK" -state-dir "$TMP/s2" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/b2.log" 2>&1 &
+B2PID=$!
+
+wait_sock() {
+    i=0
+    while [ ! -S "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "failover-smoke: FAIL ($2 never listened)"
+            cat "$TMP"/*.log
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+wait_sock "$B1SOCK" backend-1
+wait_sock "$B2SOCK" backend-2
+
+"$TMP/lsgate" -unix "$GSOCK" -backend "unix:$B1SOCK" -backend "unix:$B2SOCK" \
+    -replicate -failover-grace 300ms -health-every 50ms \
+    -metrics=false >"$TMP/gate.log" 2>&1 &
+GPID=$!
+wait_sock "$GSOCK" gateway
+
+# Create and drive a session through the gateway: the create arms a
+# standby, so the sessions view must show a primary row with a repl=
+# stream and a FOLLOWER row on the other backend.
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client1.log" <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 50
+cycle p0
+sessions
+exit
+EOF
+if ! grep -q "50 (version v0)" "$TMP/client1.log"; then
+    echo "failover-smoke: FAIL (session transcript missing cycle 50)"
+    cat "$TMP/client1.log" "$TMP/gate.log"
+    exit 1
+fi
+if ! grep -q " repl=" "$TMP/client1.log" || ! grep -q " FOLLOWER" "$TMP/client1.log"; then
+    echo "failover-smoke: FAIL (replication not armed: no repl=/FOLLOWER rows)"
+    cat "$TMP/client1.log" "$TMP/gate.log"
+    exit 1
+fi
+
+# The primary is the row carrying the repl= stream (field 2 is @addr).
+PRIMADDR=$(grep ' repl=' "$TMP/client1.log" | awk '{print $2}' | sed 's/^@unix://')
+case "$PRIMADDR" in
+"$B1SOCK") PRIMPID=$B1PID PRIMSOCK=$B1SOCK PRIMSTATE="$TMP/s1" ;;
+"$B2SOCK") PRIMPID=$B2PID PRIMSOCK=$B2SOCK PRIMSTATE="$TMP/s2" ;;
+*)
+    echo "failover-smoke: FAIL (cannot tell which backend is the primary)"
+    cat "$TMP/client1.log"
+    exit 1
+    ;;
+esac
+
+# SIGKILL the primary. The gateway must promote the standby after the
+# grace window and the session must answer at exactly cycle 50 — every
+# acked mutation intact — then keep accepting new ones.
+kill -KILL "$PRIMPID"
+if [ "$PRIMSOCK" = "$B1SOCK" ]; then B1PID=""; else B2PID=""; fi
+
+i=0
+while :; do
+    "$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client2.log" 2>&1 <<'EOF' || true
+cycle p0
+exit
+EOF
+    if grep -q "50 (version v0)" "$TMP/client2.log"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "failover-smoke: FAIL (standby never promoted, or acked state lost)"
+        cat "$TMP/client2.log" "$TMP/gate.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/client3.log" <<'EOF'
+run tb0 p0 25
+cycle p0
+sessions
+exit
+EOF
+if ! grep -q "75 (version v0)" "$TMP/client3.log"; then
+    echo "failover-smoke: FAIL (promoted session rejected new mutations)"
+    cat "$TMP/client3.log" "$TMP/gate.log"
+    exit 1
+fi
+if ! grep -q " epoch=" "$TMP/client3.log"; then
+    echo "failover-smoke: FAIL (promoted session has no fencing epoch)"
+    cat "$TMP/client3.log"
+    exit 1
+fi
+EPOCH=$(grep ' epoch=' "$TMP/client3.log" | head -1 | sed 's/.* epoch=\([0-9]*\).*/\1/')
+
+# Stop the gateway FIRST: its reconcile sweep would close the stale copy
+# with a moved tombstone before our probe lands (the other legitimate
+# outcome). With the sweep out of the way, the fencing protocol itself
+# must hold the line.
+kill -TERM "$GPID"
+if ! wait "$GPID"; then
+    echo "failover-smoke: FAIL (gateway exited nonzero on SIGTERM)"
+    cat "$TMP/gate.log"
+    exit 1
+fi
+GPID=""
+
+# Resurrect the corpse on its old state dir and talk to it DIRECTLY,
+# stamping the promoted epoch: the stale primary must reject the
+# mutation with the typed fenced code instead of forking history.
+"$TMP/livesimd" -unix "$PRIMSOCK" -state-dir "$PRIMSTATE" -wal-fsync-every 0 \
+    -metrics=false >"$TMP/corpse.log" 2>&1 &
+CORPSEPID=$!
+if [ "$PRIMSOCK" = "$B1SOCK" ]; then B1PID=$CORPSEPID; else B2PID=$CORPSEPID; fi
+wait_sock "$PRIMSOCK" resurrected-primary
+
+i=0
+while :; do
+    "$TMP/livesim" -connect "unix:$PRIMSOCK" -session s1 -epoch "$EPOCH" \
+        >"$TMP/client4.log" 2>&1 <<'EOF' || true
+run tb0 p0 5
+exit
+EOF
+    if grep -q "(fenced)" "$TMP/client4.log"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "failover-smoke: FAIL (resurrected stale primary accepted a mutation)"
+        cat "$TMP/client4.log" "$TMP/corpse.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# The survivor must be untouched by the corpse's attempt (direct now —
+# the gateway is gone).
+if [ "$PRIMSOCK" = "$B1SOCK" ]; then SURVSOCK=$B2SOCK; else SURVSOCK=$B1SOCK; fi
+"$TMP/livesim" -connect "unix:$SURVSOCK" -session s1 >"$TMP/client5.log" <<'EOF'
+cycle p0
+exit
+EOF
+if ! grep -q "75 (version v0)" "$TMP/client5.log"; then
+    echo "failover-smoke: FAIL (survivor state moved after fenced attempt)"
+    cat "$TMP/client5.log"
+    exit 1
+fi
+
+# Clean shutdown of the surviving promoted backend.
+if [ "$PRIMSOCK" = "$B1SOCK" ]; then SURVPID=$B2PID; else SURVPID=$B1PID; fi
+kill -TERM "$SURVPID"
+if ! wait "$SURVPID"; then
+    echo "failover-smoke: FAIL (promoted backend exited nonzero on SIGTERM)"
+    cat "$TMP"/b*.log
+    exit 1
+fi
+kill -KILL "$CORPSEPID" 2>/dev/null || true
+B1PID=""
+B2PID=""
+
+echo "failover-smoke: OK (replicated, promoted on SIGKILL with zero acked loss, corpse fenced)"

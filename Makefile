@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke
+.PHONY: check vet build test race bench fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke trace-smoke
 
-check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke
+check: vet build race fuzz-smoke serve-smoke crash-recovery-smoke admin-smoke profile-smoke overload-smoke fleet-smoke failover-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -76,3 +76,10 @@ fleet-smoke:
 # mutations lost and that the resurrected corpse is fenced.
 failover-smoke:
 	GO="$(GO)" sh scripts/failover_smoke.sh
+
+# Tracing smoke: replicated mutation through the fleet, assert
+# `trace <id>` assembles one tree spanning gateway, primary and standby;
+# SIGKILL a backend, assert it left a parseable blackbox-*.jsonl and the
+# assembly degrades to a marked-incomplete partial tree.
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh

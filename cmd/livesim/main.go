@@ -44,6 +44,7 @@ var (
 	flagConnect = flag.String("connect", "", "connect to a livesimd at this address (unix:/path or tcp:host:port) instead of hosting a session in-process")
 	flagSession = flag.String("session", "s0", "session name used in -connect mode")
 	flagEpoch   = flag.Uint64("epoch", 0, "stamp this replication fencing epoch on every -connect request (0 = unstamped); a backend whose session holds an older epoch fences itself")
+	flagTraceID = flag.String("trace", "", "stamp this trace id on every -connect request (16 hex chars; empty = server-minted per request) — query the tree with `trace <id>` on a gateway")
 )
 
 func main() {
@@ -216,7 +217,8 @@ func remoteExec(c *client.Client, line string) error {
 	if verb == "top" {
 		return remoteTop(c, rest)
 	}
-	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest, Epoch: *flagEpoch}
+	req := &server.Request{Session: *flagSession, Verb: verb, Args: rest, Epoch: *flagEpoch,
+		TraceID: *flagTraceID}
 
 	switch verb {
 	case "create":

@@ -52,10 +52,19 @@ var (
 	flagTrace   = flag.String("trace-out", "", "write server request-span JSONL to this file")
 
 	// Observability plane (see README "Operations").
-	flagAdmin    = flag.String("admin-addr", "", "HTTP admin endpoint serving /metrics, /healthz, /eventsz and /debug/pprof (e.g. 127.0.0.1:9311)")
+	flagAdmin    = flag.String("admin-addr", "", "HTTP admin endpoint serving /metrics, /healthz, /eventsz, /tracez, /flightz and /debug/pprof (e.g. 127.0.0.1:9311)")
 	flagSlowReq  = flag.Duration("slow-request", time.Second, "log + ring-record requests slower than this, with their trace id (0 = off)")
 	flagLogLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	flagEvents   = flag.Int("event-ring", 256, "operational event ring capacity (events verb, /eventsz)")
+
+	// Distributed tracing & flight recorder (see README "Distributed
+	// tracing & flight recorder").
+	flagProcName   = flag.String("proc-name", "", "process label in assembled fleet traces and blackbox dumps (default livesimd:<pid>)")
+	flagTraceStore = flag.Int("trace-store", 0, "in-memory span store capacity in traces, for `spans`/`trace <id>`/tracez (0 = default 256, negative = off)")
+	flagTraceSlow  = flag.Duration("trace-slow", 0, "tail-sampling threshold: retain completed traces at least this slow, or errored (0 = default: -slow-request, else 250ms)")
+	flagFlight     = flag.Int("flight", 0, "flight-recorder ring capacity in span/event lines, for /flightz and blackbox dumps (0 = default 512, negative = off)")
+	flagBlackbox   = flag.String("blackbox-dir", "", "directory for blackbox-<ts>.jsonl dumps on abnormal exits (default: -state-dir)")
+	flagBBFlush    = flag.Duration("blackbox-flush", 0, "periodic blackbox flush cadence — the record surviving SIGKILL (0 = default 2s, negative = off)")
 
 	// Durability & robustness (see README "Durability & recovery").
 	flagState     = flag.String("state-dir", "", "state directory for per-session change journals + watermark checkpoints; enables crash-restart recovery")
@@ -127,6 +136,13 @@ func run() int {
 		Log:             logger,
 		SlowRequest:     *flagSlowReq,
 		EventRingCap:    *flagEvents,
+
+		ProcName:           *flagProcName,
+		SpanStoreCap:       *flagTraceStore,
+		TraceSlow:          *flagTraceSlow,
+		FlightRecorderCap:  *flagFlight,
+		BlackboxDir:        *flagBlackbox,
+		BlackboxFlushEvery: *flagBBFlush,
 
 		StateDir:               *flagState,
 		RunBudget:              *flagRunBudget,

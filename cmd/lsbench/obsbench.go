@@ -17,32 +17,48 @@ import (
 )
 
 // obsBench quantifies what the observability plane costs the hot path:
-// hot-reload (apply) wire latency against an in-process livesimd with
-// the admin plane off, then on — admin HTTP listener serving /metrics
-// plus a background scraper hitting it every second (an aggressive
-// Prometheus scrape interval; the default is 15s), slow-request
-// tracking and the event ring enabled. The acceptance bar is <2%
-// added latency; the plane is meant to be free enough to leave on.
+// hot-reload (apply) wire latency against an in-process livesimd in
+// three arms — "off" (span store and flight recorder explicitly
+// disabled, no admin plane), "trace" (span store + flight recorder on,
+// the always-on tracing default), and "admin" (tracing plus the admin
+// HTTP listener with a background /metrics scraper hitting it every
+// second — an aggressive Prometheus scrape interval; the default is
+// 15s — plus slow-request tracking and the event ring). The acceptance
+// bar is <2% added latency per step; the plane is meant to be free
+// enough to leave on.
 func obsBench() {
-	fmt.Println("== Observability overhead: hot-reload latency, admin plane off vs on ==")
+	fmt.Println("== Observability overhead: hot-reload latency by obs-plane arm ==")
 	fmt.Printf("   workload: alternating apply (1-node PGAS, %s) over a unix socket,\n", pgas.Changes[0].Name)
-	fmt.Printf("   %v per arm; \"on\" adds /metrics scrapes every 1s\n", *flagBudget)
+	fmt.Printf("   %v per arm; \"trace\" adds the span store + flight recorder,\n", *flagBudget)
+	fmt.Println("   \"admin\" adds /metrics scrapes every 1s on top")
 
-	// ABBA order with pooled samples, so machine drift (thermal, cache
-	// warmth) cancels instead of biasing whichever arm ran second.
-	base := measureObsArm(false)
-	admin := measureObsArm(true)
-	admin = admin.pool(measureObsArm(true))
-	base = base.pool(measureObsArm(false))
+	// ABCCBA order with pooled samples, so machine drift (thermal, cache
+	// warmth) cancels instead of biasing whichever arm ran last.
+	base := measureObsArm(armOff)
+	trace := measureObsArm(armTrace)
+	admin := measureObsArm(armAdmin)
+	admin = admin.pool(measureObsArm(armAdmin))
+	trace = trace.pool(measureObsArm(armTrace))
+	base = base.pool(measureObsArm(armOff))
 
-	fmt.Printf("%-10s %8s %12s %12s %12s\n", "admin", "applies", "p50(ms)", "p99(ms)", "overhead")
-	fmt.Printf("%-10s %8d %12.3f %12.3f %12s\n", "off", base.n, base.p50*1e3, base.p99*1e3, "-")
-	over := "n/a"
-	if base.p50 > 0 {
-		over = fmt.Sprintf("%+.2f%%", (admin.p50-base.p50)/base.p50*100)
+	over := func(a obsArm) string {
+		if base.p50 <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.2f%%", (a.p50-base.p50)/base.p50*100)
 	}
-	fmt.Printf("%-10s %8d %12.3f %12.3f %12s\n\n", "on", admin.n, admin.p50*1e3, admin.p99*1e3, over)
+	fmt.Printf("%-10s %8s %12s %12s %12s\n", "arm", "applies", "p50(ms)", "p99(ms)", "overhead")
+	fmt.Printf("%-10s %8d %12.3f %12.3f %12s\n", "off", base.n, base.p50*1e3, base.p99*1e3, "-")
+	fmt.Printf("%-10s %8d %12.3f %12.3f %12s\n", "trace", trace.n, trace.p50*1e3, trace.p99*1e3, over(trace))
+	fmt.Printf("%-10s %8d %12.3f %12.3f %12s\n\n", "admin", admin.n, admin.p50*1e3, admin.p99*1e3, over(admin))
 }
+
+// Arms of the obs benchmark.
+const (
+	armOff   = iota // span store + flight recorder disabled, no admin
+	armTrace        // span store + flight recorder on (the default)
+	armAdmin        // armTrace + admin plane with 1s /metrics scrapes
+)
 
 type obsArm struct {
 	lat      []float64 // sorted seconds
@@ -57,7 +73,7 @@ func (a obsArm) pool(b obsArm) obsArm {
 	return obsArm{lat: lat, n: len(lat), p50: obsPctl(lat, 0.50), p99: obsPctl(lat, 0.99)}
 }
 
-func measureObsArm(admin bool) obsArm {
+func measureObsArm(arm int) obsArm {
 	dir, err := os.MkdirTemp("", "lsb")
 	if err != nil {
 		fatal(err)
@@ -68,7 +84,15 @@ func measureObsArm(admin bool) obsArm {
 	if err != nil {
 		fatal(err)
 	}
+	admin := arm == armAdmin
 	cfg := server.Config{QueueDepth: 8, Metrics: obs.NewRegistry()}
+	if arm == armOff {
+		// The span store and flight recorder default on; the baseline arm
+		// must disable them explicitly (negative caps) to measure them.
+		cfg.SpanStoreCap = -1
+		cfg.FlightRecorderCap = -1
+		cfg.BlackboxFlushEvery = -1
+	}
 	if admin {
 		cfg.SlowRequest = time.Second
 		cfg.EventRingCap = 256

@@ -18,9 +18,10 @@
 // the health checker read the richer /healthz states (recovering,
 // disk_emergency) instead of inferring from wire pings alone. Drive
 // the gateway with `livesim -connect <addr>` — every session verb is
-// forwarded; `backends`, `sessions`, `migrate` and `drain` are the
-// fleet-level additions. The admin plane serves /metrics, /healthz,
-// /backendz and /eventsz.
+// forwarded; `backends`, `sessions`, `migrate`, `drain` and `trace
+// <id>` (fleet-wide span assembly) are the fleet-level additions. The
+// admin plane serves /metrics, /healthz, /backendz, /eventsz, /tracez
+// and /flightz.
 package main
 
 import (
@@ -66,7 +67,7 @@ func (b *backendFlags) Set(v string) error {
 var (
 	flagListen   = flag.String("listen", "", "TCP address to listen on (e.g. :9300)")
 	flagUnix     = flag.String("unix", "", "unix socket path to listen on")
-	flagAdmin    = flag.String("admin-addr", "", "HTTP admin endpoint serving /metrics, /healthz, /backendz, /eventsz")
+	flagAdmin    = flag.String("admin-addr", "", "HTTP admin endpoint serving /metrics, /healthz, /backendz, /eventsz, /tracez, /flightz")
 	flagHealth   = flag.Duration("health-every", 500*time.Millisecond, "backend health probe cadence")
 	flagProbeTO  = flag.Duration("probe-timeout", 2*time.Second, "per-probe and per-discovery timeout")
 	flagFwdTO    = flag.Duration("forward-timeout", 60*time.Second, "per-forwarded-request timeout")
@@ -74,6 +75,15 @@ var (
 	flagLogLevel = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 	flagEvents   = flag.Int("event-ring", 256, "operational event ring capacity")
 	flagMetrics  = flag.Bool("metrics", true, "print the gateway metrics registry on exit")
+
+	// Distributed tracing & flight recorder (see README "Distributed
+	// tracing & flight recorder").
+	flagProcName   = flag.String("proc-name", "", "process label in assembled fleet traces and blackbox dumps (default lsgate:<pid>)")
+	flagTraceStore = flag.Int("trace-store", 0, "in-memory span store capacity in traces, for `trace <id>`/tracez (0 = default 256, negative = off)")
+	flagTraceSlow  = flag.Duration("trace-slow", 0, "tail-sampling threshold: retain completed traces at least this slow, or errored (0 = default 250ms)")
+	flagFlight     = flag.Int("flight", 0, "flight-recorder ring capacity in span/event lines, for /flightz and blackbox dumps (0 = default 512, negative = off)")
+	flagBlackbox   = flag.String("blackbox-dir", "", "directory for blackbox-<ts>.jsonl dumps on abnormal exits (empty = no dumps)")
+	flagBBFlush    = flag.Duration("blackbox-flush", 0, "periodic blackbox flush cadence — the record surviving SIGKILL (0 = default 2s, negative = off)")
 
 	// Replication & failover (see README "Replication & failover").
 	flagReplicate = flag.Bool("replicate", false, "arm session replication: every placed session gets a hot standby on the rendezvous next-best backend, promoted automatically on primary failure")
@@ -116,6 +126,13 @@ func run() int {
 		Metrics:        reg,
 		Log:            logger,
 		EventRingCap:   *flagEvents,
+
+		ProcName:           *flagProcName,
+		SpanStoreCap:       *flagTraceStore,
+		TraceSlow:          *flagTraceSlow,
+		FlightRecorderCap:  *flagFlight,
+		BlackboxDir:        *flagBlackbox,
+		BlackboxFlushEvery: *flagBBFlush,
 	})
 	if err != nil {
 		logger.Error("gateway init failed", obs.Str("err", err.Error()))
@@ -185,7 +202,8 @@ func run() int {
 // adminHandler is lsgate's HTTP surface: /metrics (Prometheus text),
 // /healthz (200 as long as the gateway runs — it is stateless, so
 // liveness is the only meaningful signal; the body carries the pool
-// summary), /backendz (the `backends` verb as JSON) and /eventsz.
+// summary), /backendz (the `backends` verb as JSON), /eventsz, /tracez
+// (fleet-assembled trace for ?id=) and /flightz (the black-box ring).
 func adminHandler(gw *gateway.Gateway, reg *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -208,5 +226,10 @@ func adminHandler(gw *gateway.Gateway, reg *obs.Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(body, '\n'))
 	})
+	// /tracez assembles one trace's spans across the whole fleet (the
+	// HTTP twin of the `trace <id>` verb); /flightz is the gateway's own
+	// black-box ring.
+	mux.HandleFunc("/tracez", gw.HandleTracez)
+	mux.HandleFunc("/flightz", gw.HandleFlightz)
 	return mux
 }

@@ -285,6 +285,14 @@ func (s *Session) SetTraceID(id string) {
 	s.tracer.SetTrace(id)
 }
 
+// SetTraceContext is SetTraceID plus a parent span id: live-loop spans
+// started until the next call parent under parentSID (the server's
+// request span) in the fleet-assembled tree instead of floating as
+// sibling roots.
+func (s *Session) SetTraceContext(id, parentSID string) {
+	s.tracer.SetTraceContext(id, parentSID)
+}
+
 // LoadDesign performs the initial full build (the session's ldLib for the
 // design's shared libraries).
 func (s *Session) LoadDesign(src liveparser.Source) (*livecompiler.Result, error) {

@@ -26,7 +26,7 @@ import (
 // skipping the primary) and tells the primary to seed and stream to it.
 // Degrades gracefully: a session without a standby is exactly as
 // durable as it was before this feature existed.
-func (g *Gateway) armReplication(session string, primary *backend) {
+func (g *Gateway) armReplication(session string, primary *backend, trace, parentSID string) {
 	var standby *backend
 	for _, cand := range rendezvousOrder(session, g.placeableBackends()) {
 		if cand != primary {
@@ -35,14 +35,20 @@ func (g *Gateway) armReplication(session string, primary *backend) {
 		}
 	}
 	if standby == nil {
-		g.events.Add("replication_unarmed", session, "no standby backend available")
+		g.eventT("replication_unarmed", session, trace, "no standby backend available")
 		return
 	}
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	asp := g.tracer.StartRemote(trace, parentSID, "replicate_arm",
+		obs.Str("session", session), obs.Str("standby", standby.addr()))
+	defer asp.End()
 	resp := g.forward(primary, &server.Request{Session: session, Verb: "replicate",
-		Args: []string{standby.addr()}})
+		Args: []string{standby.addr()}, TraceID: trace, ParentSpan: asp.SID()})
 	if !resp.OK {
 		g.reg.Counter("gateway_replication_arm_failures").Inc()
-		g.events.Add("replication_arm_failed", session,
+		g.eventT("replication_arm_failed", session, trace,
 			fmt.Sprintf("%s -> %s: %s (%s)", primary.addr(), standby.addr(), resp.Error, resp.Code))
 		return
 	}
@@ -56,7 +62,7 @@ func (g *Gateway) armReplication(session string, primary *backend) {
 	}
 	g.mu.Unlock()
 	g.reg.Counter("gateway_replications_armed").Inc()
-	g.events.Add("replication_armed", session, primary.addr()+" -> "+standby.addr())
+	g.eventT("replication_armed", session, trace, primary.addr()+" -> "+standby.addr())
 }
 
 // failoverSweep runs on the health loop after each probe pass: any
@@ -102,22 +108,32 @@ func (g *Gateway) failover(name string, r *route, standby *backend) {
 	dead := r.backend
 	r.mu.Unlock()
 
+	// Failovers are health-loop-initiated — there is no client request to
+	// inherit a trace from — so each mints its own, and the promote RPC
+	// carries it: the standby's promote span joins this tree.
+	trace := obs.NewTraceID()
+	fsp := g.tracer.StartRemote(trace, "", "failover",
+		obs.Str("session", name), obs.Str("dead", dead.addr()), obs.Str("standby", standby.addr()))
+	defer fsp.End()
+
 	if epoch > 0 && g.cfg.Faults.PromoteStale() {
 		// Fault-injection seam: promote under the current (stale) epoch
 		// instead of bumping. The standby must reject it typed — this is
 		// the proof a replayed or duplicate promotion cannot fork history.
-		resp := g.forward(standby, &server.Request{Session: name, Verb: "promote", Epoch: epoch})
+		resp := g.forward(standby, &server.Request{Session: name, Verb: "promote", Epoch: epoch,
+			TraceID: trace, ParentSpan: fsp.SID()})
 		if !resp.OK && resp.Code == server.CodeFenced {
 			g.reg.Counter("gateway_stale_promotes_fenced").Inc()
-			g.events.Add("stale_promote_fenced", name,
+			g.eventT("stale_promote_fenced", name, trace,
 				fmt.Sprintf("standby %s rejected promote at stale epoch %d", standby.addr(), epoch))
 		}
 	}
 
-	resp := g.forward(standby, &server.Request{Session: name, Verb: "promote"})
+	resp := g.forward(standby, &server.Request{Session: name, Verb: "promote",
+		TraceID: trace, ParentSpan: fsp.SID()})
 	if !resp.OK {
 		g.reg.Counter("gateway_failover_failures").Inc()
-		g.events.Add("failover_failed", name,
+		g.eventT("failover_failed", name, trace,
 			fmt.Sprintf("promote on %s: %s (%s)", standby.addr(), resp.Error, resp.Code))
 		return
 	}
@@ -134,14 +150,14 @@ func (g *Gateway) failover(name string, r *route, standby *backend) {
 	}
 	r.mu.Unlock()
 	g.reg.Counter("gateway_failovers").Inc()
-	g.events.Add("failover", name,
+	g.eventT("failover", name, trace,
 		fmt.Sprintf("promoted standby %s at epoch %d (acked seq %d); primary %s down past %v",
 			standby.addr(), ack.Epoch, ack.AckedSeq, dead.addr(), g.cfg.FailoverGrace))
 	g.log.Info("failover", obs.Str("session", name), obs.Str("from", dead.addr()),
-		obs.Str("to", standby.addr()), obs.U64("epoch", ack.Epoch))
+		obs.Str("to", standby.addr()), obs.U64("epoch", ack.Epoch), obs.Str("trace", trace))
 	if g.cfg.Replicate {
 		// Close the loop: the promoted primary gets its own standby so a
 		// second failure is survivable too.
-		g.armReplication(name, standby)
+		g.armReplication(name, standby, trace, fsp.SID())
 	}
 }

@@ -25,10 +25,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"livesim/internal/faultinject"
@@ -68,6 +71,31 @@ type Config struct {
 	Metrics      *obs.Registry
 	Log          *obs.Logger
 	EventRingCap int
+	// TraceOut, when set, receives the gateway's span JSONL (request,
+	// forward, migrate and failover spans) in addition to the span store.
+	TraceOut io.Writer
+	// ProcName identifies this process in assembled fleet traces and
+	// blackbox dumps (default "lsgate:<pid>").
+	ProcName string
+	// SpanStoreCap bounds the in-memory span store (live + retained
+	// traces, for the `trace` verb and /tracez). 0 uses the default
+	// (256 traces); negative disables the store.
+	SpanStoreCap int
+	// TraceSlow is the tail-sampling threshold: completed traces at
+	// least this slow (or errored) are retained in the span store, fast
+	// successes only pass through the recent ring (default 250ms).
+	TraceSlow time.Duration
+	// FlightRecorderCap sizes the always-on black-box ring served by
+	// /flightz. 0 uses the default (512 lines); negative disables it.
+	FlightRecorderCap int
+	// BlackboxDir receives blackbox-<ts>.jsonl dumps on panic and on the
+	// periodic flush. Empty disables dumps (the /flightz endpoint still
+	// serves the ring).
+	BlackboxDir string
+	// BlackboxFlushEvery is the cadence of the periodic black-box flush
+	// to BlackboxDir — the record that survives a SIGKILL. 0 uses the
+	// default (2s); negative disables the flusher.
+	BlackboxFlushEvery time.Duration
 	// Faults injects failures at migration stages (tests only).
 	Faults *faultinject.Plan
 	// OnMigrateStage, when set, is called before each migration stage
@@ -84,6 +112,17 @@ type Gateway struct {
 	log    *obs.Logger
 	events *obs.EventRing
 	start  time.Time
+
+	// Fleet tracing + crash forensics: every request and forward is a
+	// span on tracer; the span store indexes completed spans by trace id
+	// for the `trace` verb and /tracez; the flight recorder is the
+	// always-on black box /flightz serves and blackbox() dumps.
+	tracer       *obs.Tracer
+	fan          *obs.Fanout
+	store        *obs.SpanStore
+	flight       *obs.FlightRecorder
+	blackboxTS   atomic.Int64 // last trigger dump, unix nanos (rate limit)
+	bootBlackbox string       // periodic flush target path
 
 	backends []*backend
 
@@ -188,11 +227,34 @@ func New(cfg Config) (*Gateway, error) {
 		log:       cfg.Log,
 		events:    obs.NewEventRing(cfg.EventRingCap),
 		start:     time.Now(),
+		fan:       obs.NewFanout(),
 		routes:    make(map[string]*route),
 		listeners: make(map[net.Listener]bool),
 		conns:     make(map[*gconn]bool),
 		stop:      make(chan struct{}),
 	}
+	if cfg.TraceOut != nil {
+		g.fan.Attach(cfg.TraceOut)
+	}
+	if cfg.ProcName == "" {
+		g.cfg.ProcName = fmt.Sprintf("lsgate:%d", os.Getpid())
+	}
+	if cfg.TraceSlow == 0 {
+		g.cfg.TraceSlow = 250 * time.Millisecond
+	}
+	if cfg.SpanStoreCap >= 0 {
+		g.store = obs.NewSpanStore(obs.SpanStoreConfig{
+			Proc:         g.cfg.ProcName,
+			MaxTraces:    cfg.SpanStoreCap,
+			RetainOverUS: g.cfg.TraceSlow.Microseconds(),
+		})
+		g.fan.Attach(g.store)
+	}
+	if cfg.FlightRecorderCap >= 0 {
+		g.flight = obs.NewFlightRecorder(g.cfg.ProcName, cfg.FlightRecorderCap)
+		g.fan.Attach(g.flight)
+	}
+	g.tracer = obs.NewTracer(g.fan)
 	seen := make(map[string]bool, len(cfg.Backends))
 	for _, spec := range cfg.Backends {
 		if spec.Addr == "" {
@@ -211,6 +273,14 @@ func New(cfg Config) (*Gateway, error) {
 		}
 	}
 	go g.healthLoop()
+	if g.flight != nil && g.cfg.BlackboxDir != "" && cfg.BlackboxFlushEvery >= 0 {
+		if g.cfg.BlackboxFlushEvery == 0 {
+			g.cfg.BlackboxFlushEvery = 2 * time.Second
+		}
+		os.MkdirAll(g.cfg.BlackboxDir, 0o755)
+		g.bootBlackbox = obs.BlackboxPath(g.cfg.BlackboxDir, time.Now())
+		go g.blackboxFlusher()
+	}
 	return g, nil
 }
 
@@ -502,12 +572,23 @@ func (g *Gateway) handle(req *server.Request) (resp *server.Response) {
 	if req.TraceID == "" {
 		req.TraceID = obs.NewTraceID() // one tree across gateway and backend
 	}
+	trace := req.TraceID
+	sp := g.tracer.StartRemote(trace, req.ParentSpan, "request",
+		obs.Str("verb", req.Verb), obs.Str("session", req.Session))
+	req.ParentSpan = sp.SID() // forwards and fleet verbs parent here
 	defer func() {
 		if r := recover(); r != nil {
 			g.reg.Counter("gateway_panics_recovered").Inc()
+			g.blackbox("panic", req.Session, trace, fmt.Sprintf("recovered gateway panic: %v", r))
 			resp = gerr(req, server.CodePanic, fmt.Errorf("gateway panic: %v", r))
 		}
-		g.reg.Histogram("gateway_request_seconds", nil).Observe(time.Since(t0).Seconds())
+		sp.Annotate(obs.Bool("ok", resp != nil && resp.OK))
+		sp.End()
+		dur := time.Since(t0)
+		// The request span just emitted, so the store holds the whole
+		// gateway-side tree — the tail keep/drop decision happens here.
+		g.store.Complete(trace, dur.Microseconds(), resp != nil && resp.OK)
+		g.reg.Histogram("gateway_request_seconds", nil).Observe(dur.Seconds())
 	}()
 
 	g.mu.Lock()
@@ -548,6 +629,14 @@ func (g *Gateway) handle(req *server.Request) (resp *server.Response) {
 		return g.migrateVerb(req)
 	case "drain":
 		return g.drainVerb(req)
+	case "trace":
+		// `trace` is two verbs: the fleet assembly verb (`trace <id>`,
+		// no session needed) and the session-scoped VCD dump (session +
+		// signal args). A lone 16-hex argument, or no session at all,
+		// means the fleet verb; anything else follows the route table.
+		if req.Session == "" || (len(req.Args) == 1 && isTraceID(req.Args[0])) || len(req.Args) == 0 {
+			return g.traceVerb(req)
+		}
 	case "subscribe":
 		return gerr(req, server.CodeBadRequest, fmt.Errorf(
 			"subscribe is not supported through the gateway; connect to the backend directly (see `backends`)"))
@@ -655,14 +744,29 @@ func (g *Gateway) forward(b *backend, req *server.Request) *server.Response {
 		return g.unavailResp(req, b, err)
 	}
 	creq := *req
+	// A traced request gets a per-hop "forward" span: its sid rides in
+	// the wire request so the backend's request span parents under it,
+	// and its duration is the gateway→backend hop the assembled tree
+	// shows. Untraced internal calls (probes, discovery, the `trace`
+	// verb's own span queries) stay spanless by design.
+	var fsp *obs.Span
+	if creq.TraceID != "" {
+		fsp = g.tracer.StartRemote(creq.TraceID, creq.ParentSpan, "forward",
+			obs.Str("backend", b.addr()), obs.Str("verb", creq.Verb))
+		creq.ParentSpan = fsp.SID()
+	}
 	resp, err := doTimeout(cli, &creq, g.cfg.ForwardTimeout)
 	if err != nil {
+		fsp.Annotate(obs.Bool("ok", false))
+		fsp.End()
 		b.dropClient(cli)
 		g.reg.Counter("gateway_forward_errors").Inc()
 		g.setBackendState(b, bsDown, err.Error())
 		return g.unavailResp(req, b, err)
 	}
 	resp.ID = req.ID
+	fsp.Annotate(obs.Bool("ok", resp.OK))
+	fsp.End()
 	return resp
 }
 
@@ -704,9 +808,9 @@ func (g *Gateway) placeCreate(req *server.Request) *server.Response {
 	if resp.OK {
 		g.reg.Counter("gateway_creates_placed").Inc()
 		g.setRoute(req.Session, b, true)
-		g.events.Add("placed", req.Session, "created on "+b.addr())
+		g.eventT("placed", req.Session, req.TraceID, "created on "+b.addr())
 		if g.cfg.Replicate {
-			g.armReplication(req.Session, b)
+			g.armReplication(req.Session, b, req.TraceID, req.ParentSpan)
 		}
 	}
 	return resp
@@ -736,7 +840,7 @@ func (g *Gateway) placeImport(req *server.Request) *server.Response {
 	resp := g.forward(b, req)
 	if resp.OK {
 		g.setRoute(name, b, true)
-		g.events.Add("placed", name, "imported on "+b.addr())
+		g.eventT("placed", name, req.TraceID, "imported on "+b.addr())
 	}
 	return resp
 }
@@ -768,6 +872,7 @@ func (g *Gateway) helpResp(req *server.Request) *server.Response {
 	b.WriteString("  sessions                      sessions aggregated across all backends\n")
 	b.WriteString("  migrate [target-addr]         live-migrate a session (name in \"session\")\n")
 	b.WriteString("  drain <backend-addr>          migrate everything off a backend, then drain it\n")
+	b.WriteString("  trace [trace-id]              assemble one trace's span tree across the fleet\n")
 	b.WriteString("  metricz                       gateway metrics registry\n")
 	b.WriteString("  events                        gateway operational events\n")
 	b.WriteString("  ping                          gateway liveness + pool summary\n")
@@ -835,7 +940,8 @@ func (g *Gateway) aggregateSessions(req *server.Request) *server.Response {
 	ch := make(chan result, len(alive))
 	for _, b := range alive {
 		go func(b *backend) {
-			resp := g.forward(b, &server.Request{Verb: "sessions", TraceID: req.TraceID})
+			resp := g.forward(b, &server.Request{Verb: "sessions",
+				TraceID: req.TraceID, ParentSpan: req.ParentSpan})
 			var infos []server.SessionInfo
 			if resp.OK && resp.Data != nil {
 				json.Unmarshal(resp.Data, &infos)
@@ -886,7 +992,7 @@ func (g *Gateway) migrateVerb(req *server.Request) *server.Response {
 	if len(req.Args) > 0 {
 		target = req.Args[0]
 	}
-	rep, err := g.Migrate(req.Session, target)
+	rep, err := g.MigrateTraced(req.Session, target, req.TraceID, req.ParentSpan)
 	if err != nil {
 		return gerr(req, server.CodeError, err)
 	}
@@ -900,7 +1006,7 @@ func (g *Gateway) drainVerb(req *server.Request) *server.Response {
 	if len(req.Args) == 0 {
 		return gerr(req, server.CodeBadRequest, fmt.Errorf("drain needs a backend address"))
 	}
-	rep, err := g.DrainBackend(req.Args[0])
+	rep, err := g.drainBackendTraced(req.Args[0], req.TraceID, req.ParentSpan)
 	if err != nil {
 		return gerr(req, server.CodeError, err)
 	}

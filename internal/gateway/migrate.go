@@ -66,6 +66,15 @@ func (g *Gateway) stageCheck(session, stage string) error {
 // Migrate moves one session to targetAddr (empty = rendezvous-pick
 // among placeable backends, excluding the current host).
 func (g *Gateway) Migrate(session, targetAddr string) (*MigrationReport, error) {
+	return g.MigrateTraced(session, targetAddr, "", "")
+}
+
+// MigrateTraced is Migrate joined to a wire trace: every stage RPC
+// (export, import, verify ping, commit, tombstone) is stamped with it
+// and wrapped in a stage span, so `trace <id>` shows where a migration
+// spent its blackout. An empty trace mints one — migrations are always
+// traced.
+func (g *Gateway) MigrateTraced(session, targetAddr, trace, parentSID string) (*MigrationReport, error) {
 	g.mu.Lock()
 	r := g.routes[session]
 	g.mu.Unlock()
@@ -104,18 +113,25 @@ func (g *Gateway) Migrate(session, targetAddr string) (*MigrationReport, error) 
 		return nil, fmt.Errorf("session %q is already on %s", session, target.addr())
 	}
 
-	rep, err := g.migrateFrozen(r, session, source, target)
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	msp := g.tracer.StartRemote(trace, parentSID, "migrate",
+		obs.Str("session", session), obs.Str("from", source.addr()), obs.Str("to", target.addr()))
+	rep, err := g.migrateFrozen(r, session, source, target, trace, msp)
+	msp.Annotate(obs.Bool("ok", err == nil))
+	msp.End()
 	if err != nil {
 		g.reg.Counter("gateway_migration_failures").Inc()
-		g.events.Add("migrate_failed", session,
+		g.eventT("migrate_failed", session, trace,
 			fmt.Sprintf("%s -> %s: %v", source.addr(), target.addr(), err))
-		g.log.Warn("migration failed", obs.Str("session", session),
+		g.log.Warn("migration failed", obs.Str("session", session), obs.Str("trace", trace),
 			obs.Str("from", source.addr()), obs.Str("to", target.addr()), obs.Str("err", err.Error()))
 		return nil, err
 	}
 	g.reg.Counter("gateway_migrations").Inc()
 	g.reg.Histogram("gateway_migration_blackout_seconds", nil).Observe(rep.BlackoutMs / 1e3)
-	g.events.Add("migrated", session,
+	g.eventT("migrated", session, trace,
 		fmt.Sprintf("%s -> %s in %.1fms (%dB journal, fast_path=%v)",
 			rep.From, rep.To, rep.BlackoutMs, rep.WALBytes, rep.FastPath))
 	return rep, nil
@@ -168,7 +184,7 @@ func (r *route) freeze(timeout time.Duration) (unfreeze func(commitTo *backend),
 	return unfreeze, nil
 }
 
-func (g *Gateway) migrateFrozen(r *route, session string, source, target *backend) (*MigrationReport, error) {
+func (g *Gateway) migrateFrozen(r *route, session string, source, target *backend, trace string, msp *obs.Span) (*MigrationReport, error) {
 	t0 := time.Now()
 	unfreeze, err := r.freeze(g.cfg.MigrateTimeout)
 	if err != nil {
@@ -180,16 +196,29 @@ func (g *Gateway) migrateFrozen(r *route, session string, source, target *backen
 	// the latch with the source still authoritative.
 	abortToSource := func(targetMayHold bool) {
 		if targetMayHold {
-			g.forward(target, &server.Request{Session: session, Verb: "close"})
+			g.forward(target, &server.Request{Session: session, Verb: "close",
+				TraceID: trace, ParentSpan: msp.SID()})
 		}
 		unfreeze(nil)
+	}
+	// stage wraps one migration stage in a span so the assembled trace
+	// shows where the blackout went.
+	stage := func(name string, b *backend, fn func(psid string) *server.Response) *server.Response {
+		sp := msp.Child(name, obs.Str("backend", b.addr()))
+		resp := fn(sp.SID())
+		sp.Annotate(obs.Bool("ok", resp.OK))
+		sp.End()
+		return resp
 	}
 
 	if err := g.stageCheck(session, "export"); err != nil {
 		abortToSource(false)
 		return nil, err
 	}
-	exResp := g.forward(source, &server.Request{Session: session, Verb: "export"})
+	exResp := stage("migrate_export", source, func(psid string) *server.Response {
+		return g.forward(source, &server.Request{Session: session, Verb: "export",
+			TraceID: trace, ParentSpan: psid})
+	})
 	if !exResp.OK {
 		abortToSource(false)
 		return nil, fmt.Errorf("export on %s: %s (%s)", source.addr(), exResp.Error, exResp.Code)
@@ -204,7 +233,10 @@ func (g *Gateway) migrateFrozen(r *route, session string, source, target *backen
 		abortToSource(true)
 		return nil, err
 	}
-	imResp := g.forward(target, &server.Request{Session: session, Verb: "import", Blob: ed.Blob})
+	imResp := stage("migrate_import", target, func(psid string) *server.Response {
+		return g.forward(target, &server.Request{Session: session, Verb: "import", Blob: ed.Blob,
+			TraceID: trace, ParentSpan: psid})
+	})
 	if !imResp.OK {
 		// Includes the unknown-outcome transport case (CodeUnavailable):
 		// the close below settles it to zero copies on the target either
@@ -224,7 +256,10 @@ func (g *Gateway) migrateFrozen(r *route, session string, source, target *backen
 	// would route to a corpse while the source can still serve. The
 	// target's journal holds the acked copy, so the abort leaves it as
 	// a resurrection for the reconcile sweep, not lost data.
-	if vr := g.forward(target, &server.Request{Verb: "ping", TraceID: "", Session: ""}); !vr.OK {
+	vr := stage("migrate_verify_target", target, func(psid string) *server.Response {
+		return g.forward(target, &server.Request{Verb: "ping", TraceID: trace, ParentSpan: psid})
+	})
+	if !vr.OK {
 		abortToSource(true)
 		return nil, fmt.Errorf("target %s vanished before commit: %s", target.addr(), vr.Error)
 	}
@@ -234,10 +269,12 @@ func (g *Gateway) migrateFrozen(r *route, session string, source, target *backen
 	// Post-commit, best effort: leave a forwarding tombstone on the
 	// source. A dead source just means no redirect until the reconcile
 	// sweep closes its resurrected copy when it returns.
-	tomb := g.forward(source, &server.Request{Session: session, Verb: "close",
-		Args: []string{"moved", target.addr()}})
+	tomb := stage("migrate_tombstone", source, func(psid string) *server.Response {
+		return g.forward(source, &server.Request{Session: session, Verb: "close",
+			Args: []string{"moved", target.addr()}, TraceID: trace, ParentSpan: psid})
+	})
 	if !tomb.OK {
-		g.events.Add("tombstone_failed", session,
+		g.eventT("tombstone_failed", session, trace,
 			fmt.Sprintf("source %s: %s (%s)", source.addr(), tomb.Error, tomb.Code))
 	}
 
@@ -265,6 +302,13 @@ type DrainBackendReport struct {
 // only when none remain, send the wire `drain` that makes the host
 // process run its SIGTERM path.
 func (g *Gateway) DrainBackend(addr string) (*DrainBackendReport, error) {
+	return g.drainBackendTraced(addr, "", "")
+}
+
+// drainBackendTraced runs the drain under one trace: the inventory, every
+// per-session migration, and the final wire drain all parent under a
+// drain_backend span, so `trace <id>` reads as the whole operation.
+func (g *Gateway) drainBackendTraced(addr, trace, parentSID string) (*DrainBackendReport, error) {
 	b := g.backendByAddr(addr)
 	if b == nil {
 		return nil, fmt.Errorf("unknown backend %q", addr)
@@ -272,11 +316,16 @@ func (g *Gateway) DrainBackend(addr string) (*DrainBackendReport, error) {
 	if !b.alive() {
 		return nil, fmt.Errorf("backend %s is down", addr)
 	}
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	dsp := g.tracer.StartRemote(trace, parentSID, "drain_backend", obs.Str("backend", addr))
+	defer dsp.End()
 	b.noPlace.Store(true)
 	rep := &DrainBackendReport{Backend: addr, Failed: map[string]string{}}
 
 	// Inventory from the backend itself — routes can lag reality.
-	invResp := g.forward(b, &server.Request{Verb: "sessions"})
+	invResp := g.forward(b, &server.Request{Verb: "sessions", TraceID: trace, ParentSpan: dsp.SID()})
 	if !invResp.OK {
 		return nil, fmt.Errorf("sessions on %s: %s", addr, invResp.Error)
 	}
@@ -292,7 +341,7 @@ func (g *Gateway) DrainBackend(addr string) (*DrainBackendReport, error) {
 			g.routes[info.Name] = &route{backend: b}
 		}
 		g.mu.Unlock()
-		m, err := g.Migrate(info.Name, "")
+		m, err := g.MigrateTraced(info.Name, "", trace, dsp.SID())
 		if err != nil {
 			rep.Failed[info.Name] = err.Error()
 			continue
@@ -301,10 +350,10 @@ func (g *Gateway) DrainBackend(addr string) (*DrainBackendReport, error) {
 	}
 
 	if len(rep.Failed) == 0 {
-		dr := g.forward(b, &server.Request{Verb: "drain"})
+		dr := g.forward(b, &server.Request{Verb: "drain", TraceID: trace, ParentSpan: dsp.SID()})
 		rep.DrainSent = dr.OK
 		if dr.OK {
-			g.events.Add("backend_drained", "", addr+": all sessions migrated, drain sent")
+			g.eventT("backend_drained", "", trace, addr+": all sessions migrated, drain sent")
 		}
 	}
 	return rep, nil

@@ -17,7 +17,11 @@ type Event struct {
 	TS      time.Time `json:"ts"`
 	Type    string    `json:"type"`
 	Session string    `json:"session,omitempty"`
-	Msg     string    `json:"msg"`
+	// Trace is the wire trace id of the request the event happened
+	// under, when one was in flight — the pivot from a lifecycle event
+	// to its assembled span tree.
+	Trace string `json:"trace,omitempty"`
+	Msg   string `json:"msg"`
 }
 
 // EventRing is a bounded in-memory ring of Events: constant memory, the
@@ -43,13 +47,17 @@ func NewEventRing(capacity int) *EventRing {
 }
 
 // Add records one event, evicting the oldest when full. Nil-safe.
-func (r *EventRing) Add(typ, session, msg string) {
+func (r *EventRing) Add(typ, session, msg string) { r.AddT(typ, session, "", msg) }
+
+// AddT records one event carrying the trace id it happened under.
+// Nil-safe.
+func (r *EventRing) AddT(typ, session, trace, msg string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
 	r.seq++
-	r.buf[r.next] = Event{Seq: r.seq, TS: time.Now(), Type: typ, Session: session, Msg: msg}
+	r.buf[r.next] = Event{Seq: r.seq, TS: time.Now(), Type: typ, Session: session, Trace: trace, Msg: msg}
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {
 		r.n++

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingAndDump(t *testing.T) {
+	f := NewFlightRecorder("livesimd:test", 4)
+	tr := NewTracer(f)
+	for i := 0; i < 6; i++ {
+		tr.Start("work").End()
+	}
+	f.Note("quarantine_trip", "s0", "cafe", "boom")
+
+	var buf bytes.Buffer
+	if err := f.Dump(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 4 ring lines (two oldest spans fell off; note is newest).
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	var hdr struct {
+		Ev     string `json:"ev"`
+		Proc   string `json:"proc"`
+		Reason string `json:"reason"`
+		Lines  int    `json:"lines"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v", err)
+	}
+	if hdr.Ev != "blackbox" || hdr.Proc != "livesimd:test" || hdr.Reason != "test" || hdr.Lines != 4 {
+		t.Fatalf("bad header: %+v", hdr)
+	}
+	if !strings.Contains(lines[len(lines)-1], `"quarantine_trip"`) {
+		t.Fatalf("note missing from newest slot: %s", lines[len(lines)-1])
+	}
+	for _, ln := range lines[1:] {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("ring line not valid JSON: %s", ln)
+		}
+	}
+}
+
+func TestFlightRecorderDumpToFile(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder("p", 8)
+	f.Note("self_fence", "s1", "", "stale epoch")
+	path := filepath.Join(dir, "blackbox-1.jsonl")
+	if err := f.DumpToFile(path, "self_fence"); err != nil {
+		t.Fatal(err)
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	n := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("line %d not JSON: %s", n, sc.Text())
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d lines, want header + 1 note", n)
+	}
+	// No temp litter.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp file left behind: %v", ents)
+	}
+}
+
+func TestFlightRecorderWritesCounter(t *testing.T) {
+	f := NewFlightRecorder("p", 2)
+	if f.Writes() != 0 {
+		t.Fatal("fresh recorder not at zero")
+	}
+	f.Note("a", "", "", "x")
+	f.Note("b", "", "", "y")
+	f.Note("c", "", "", "z") // ring laps; counter keeps counting
+	if f.Writes() != 3 {
+		t.Fatalf("Writes = %d, want 3", f.Writes())
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	if n, err := f.Write([]byte("x\n")); n != 2 || err != nil {
+		t.Fatalf("nil Write = %d, %v", n, err)
+	}
+	f.Note("a", "", "", "x")
+	if f.Writes() != 0 {
+		t.Fatal("nil recorder counted writes")
+	}
+	if err := f.Dump(&bytes.Buffer{}, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DumpToFile(filepath.Join(t.TempDir(), "b.jsonl"), "r"); err != nil {
+		t.Fatal(err)
+	}
+}

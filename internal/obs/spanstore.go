@@ -1,0 +1,469 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SpanRecord is one completed span as the fleet-wide assembler sees it:
+// the spanEvent wire form plus the name of the process that emitted it.
+// JSON tags match spanEvent so a SpanStore can parse the same JSONL
+// stream the Tracer writes, and a SpanDump can round-trip records over
+// the wire untouched.
+type SpanRecord struct {
+	Trace   string         `json:"trace"`
+	SID     string         `json:"sid"`
+	PSID    string         `json:"psid,omitempty"`
+	Name    string         `json:"name"`
+	Proc    string         `json:"proc,omitempty"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	WallUS  int64          `json:"wall_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanStoreConfig bounds a SpanStore. Zero values take the defaults in
+// parentheses.
+type SpanStoreConfig struct {
+	Proc      string // process name stamped on every record
+	MaxTraces int    // live traces before oldest-trace eviction (256)
+	MaxSpans  int    // spans retained per trace (512)
+	Recent    int    // completed fast/ok traces kept queryable (64)
+	// RetainOverUS: a completed trace slower than this (microseconds)
+	// is retained like an errored one instead of rotating through the
+	// recent ring — tail-based sampling (250_000).
+	RetainOverUS int64
+}
+
+// SpanStore is a bounded in-memory index of span records keyed by trace
+// id, fed by attaching it as one more io.Writer on the tracer fanout.
+// Ingest is deliberately lazy: Write only scans the line for its trace
+// and sid fields (a byte scan, no JSON decode) and retains the raw
+// bytes; full parsing happens on first query of that trace. Queries are
+// cold — an operator or the fleet assembler — while Write sits on the
+// span-end path of every traced request, so the store's hot-path cost
+// is one copy and two substring scans per span.
+//
+// Retention is tail-based: while a trace is active its spans accumulate
+// (up to MaxSpans); when the owning request completes, Complete makes
+// the keep/drop decision with the whole trace in hand — slow or errored
+// traces move to the retained set (capped at MaxTraces, FIFO), fast
+// successful ones rotate through a small recent ring so the last few
+// are still queryable, and everything else is dropped. Nil is the off
+// switch: every method no-ops or returns nothing on a nil receiver.
+type SpanStore struct {
+	cfg SpanStoreConfig
+
+	mu       sync.Mutex
+	active   map[string]*traceEntry
+	order    []string // active trace ids, oldest first (eviction order)
+	retained map[string]*traceEntry
+	retOrder []string
+	recent   map[string]*traceEntry
+	recOrder []string
+	dropped  uint64 // spans discarded by per-trace or store caps
+}
+
+type traceEntry struct {
+	raw     [][]byte     // retained span lines not yet parsed
+	spans   []SpanRecord // parsed on first query; raw drains into here
+	durUS   int64
+	ok      bool
+	done    bool
+	dropped int // spans lost to the per-trace cap
+}
+
+// count is the entry's span population for cap accounting — parsed plus
+// still-raw lines.
+func (e *traceEntry) count() int { return len(e.spans) + len(e.raw) }
+
+// parseLocked drains an entry's raw lines into parsed records, stamping
+// proc. Malformed lines (which the tracer never emits) are dropped
+// silently. Caller holds st.mu.
+func (e *traceEntry) parseLocked(proc string) {
+	for _, line := range e.raw {
+		var rec SpanRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Trace == "" || rec.SID == "" {
+			continue
+		}
+		rec.Proc = proc
+		e.spans = append(e.spans, rec)
+	}
+	e.raw = nil
+}
+
+// TraceSummary is one row of the store's index — enough for a human to
+// pick a trace id out of /tracez without pulling every tree.
+type TraceSummary struct {
+	Trace   string `json:"trace"`
+	Root    string `json:"root,omitempty"` // name of the earliest span
+	Spans   int    `json:"spans"`
+	DurUS   int64  `json:"dur_us,omitempty"`
+	OK      bool   `json:"ok"`
+	Done    bool   `json:"done"`
+	Dropped int    `json:"dropped,omitempty"`
+}
+
+// NewSpanStore returns a store with cfg's bounds applied.
+func NewSpanStore(cfg SpanStoreConfig) *SpanStore {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 256
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 512
+	}
+	if cfg.Recent <= 0 {
+		cfg.Recent = 64
+	}
+	if cfg.RetainOverUS <= 0 {
+		cfg.RetainOverUS = 250_000
+	}
+	return &SpanStore{
+		cfg:      cfg,
+		active:   map[string]*traceEntry{},
+		retained: map[string]*traceEntry{},
+		recent:   map[string]*traceEntry{},
+	}
+}
+
+// spanEvMark, spanKeyTrace and spanKeySID are the byte patterns the
+// hot-path scan keys on. They cannot false-match other fields: every
+// pattern starts with the opening quote of the key, and span field
+// values (hex ids, verb names) never contain them.
+var (
+	spanEvMark   = []byte(`"ev":"span"`)
+	spanKeyTrace = []byte(`"trace":"`)
+	spanKeySID   = []byte(`"sid":"`)
+)
+
+// spanField extracts a string field's value from a span JSONL line by
+// byte scan — valid because the tracer emits ids and names that never
+// need JSON escaping. Returns nil when the key is absent.
+func spanField(line, key []byte) []byte {
+	i := bytes.Index(line, key)
+	if i < 0 {
+		return nil
+	}
+	rest := line[i+len(key):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return nil
+	}
+	return rest[:j]
+}
+
+// Write indexes span events out of a JSONL stream (it ignores every
+// other event type) by trace id, retaining the raw line for lazy
+// parsing at query time. It always reports len(p) consumed so a Fanout
+// never detaches it. Nil-safe.
+func (st *SpanStore) Write(p []byte) (int, error) {
+	total := len(p) // p is consumed below; a short return would detach us
+	if st == nil {
+		return total, nil
+	}
+	for len(p) > 0 {
+		var line []byte
+		if nl := bytes.IndexByte(p, '\n'); nl >= 0 {
+			line, p = p[:nl], p[nl+1:]
+		} else {
+			line, p = p, nil
+		}
+		if len(line) == 0 || !bytes.Contains(line, spanEvMark) {
+			continue
+		}
+		trace := spanField(line, spanKeyTrace)
+		if len(trace) == 0 || len(spanField(line, spanKeySID)) == 0 {
+			continue // uncorrelated spans aren't assemblable
+		}
+		st.add(string(trace), append([]byte(nil), line...))
+	}
+	return total, nil
+}
+
+func (st *SpanStore) add(trace string, line []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.active[trace]
+	if e == nil {
+		// A span for an already-completed trace (e.g. a late child) is
+		// appended to its retained entry rather than resurrecting it.
+		if done := st.retained[trace]; done != nil {
+			if done.count() < st.cfg.MaxSpans {
+				done.raw = append(done.raw, line)
+			} else {
+				done.dropped++
+				st.dropped++
+			}
+			return
+		}
+		if prev := st.recent[trace]; prev != nil {
+			// A client reusing one trace id across requests (the CLI's
+			// -trace flag stamps every verb) reopens the completed entry,
+			// so the whole multi-request tree stays queryable as one trace.
+			delete(st.recent, trace)
+			for i, id := range st.recOrder {
+				if id == trace {
+					st.recOrder = append(st.recOrder[:i], st.recOrder[i+1:]...)
+					break
+				}
+			}
+			prev.done = false
+			e = prev
+			st.active[trace] = e
+			st.order = append(st.order, trace)
+		} else {
+			if len(st.active) >= st.cfg.MaxTraces {
+				st.evictOldestActiveLocked()
+			}
+			e = &traceEntry{}
+			st.active[trace] = e
+			st.order = append(st.order, trace)
+		}
+	}
+	if e.count() >= st.cfg.MaxSpans {
+		e.dropped++
+		st.dropped++
+		return
+	}
+	e.raw = append(e.raw, line)
+}
+
+func (st *SpanStore) evictOldestActiveLocked() {
+	for len(st.order) > 0 {
+		id := st.order[0]
+		st.order = st.order[1:]
+		if e, ok := st.active[id]; ok {
+			st.dropped += uint64(e.count())
+			delete(st.active, id)
+			return
+		}
+	}
+}
+
+// Complete records the tail decision for a finished trace: retain it
+// when it was slow or errored, rotate it through the recent ring
+// otherwise. The server calls this from the request-finish path with
+// the whole request's duration and outcome. Nil-safe.
+func (st *SpanStore) Complete(trace string, durUS int64, ok bool) {
+	if st == nil || trace == "" {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.active[trace]
+	if e == nil {
+		// Request produced no stored spans (tracing sink raced, or the
+		// trace's spans were evicted); nothing to classify.
+		return
+	}
+	delete(st.active, trace)
+	e.durUS, e.ok, e.done = durUS, ok, true
+	if !ok || durUS >= st.cfg.RetainOverUS {
+		if st.retained[trace] == nil {
+			st.retOrder = append(st.retOrder, trace)
+		}
+		st.retained[trace] = e
+		for len(st.retOrder) > st.cfg.MaxTraces {
+			victim := st.retOrder[0]
+			st.retOrder = st.retOrder[1:]
+			delete(st.retained, victim)
+		}
+		return
+	}
+	if st.recent[trace] == nil {
+		st.recOrder = append(st.recOrder, trace)
+	}
+	st.recent[trace] = e
+	for len(st.recOrder) > st.cfg.Recent {
+		victim := st.recOrder[0]
+		st.recOrder = st.recOrder[1:]
+		delete(st.recent, victim)
+	}
+}
+
+// Query returns every stored span for a trace — active, retained, or
+// recent — ordered by wall-clock start. Nil store or unknown trace
+// returns nil. The slice is a copy; callers may keep it.
+func (st *SpanStore) Query(trace string) []SpanRecord {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	e := st.active[trace]
+	if e == nil {
+		e = st.retained[trace]
+	}
+	if e == nil {
+		e = st.recent[trace]
+	}
+	var out []SpanRecord
+	if e != nil {
+		e.parseLocked(st.cfg.Proc)
+		out = append([]SpanRecord(nil), e.spans...)
+	}
+	st.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].WallUS < out[j].WallUS })
+	return out
+}
+
+// Traces returns the store's index — retained traces first (newest
+// first), then recent, then active — capped at max rows (max <= 0 =
+// everything). Nil-safe.
+func (st *SpanStore) Traces(max int) []TraceSummary {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]TraceSummary, 0, len(st.retOrder)+len(st.recOrder)+len(st.order))
+	appendFrom := func(ids []string, m map[string]*traceEntry) {
+		for i := len(ids) - 1; i >= 0; i-- {
+			if e, ok := m[ids[i]]; ok {
+				e.parseLocked(st.cfg.Proc)
+				out = append(out, summarize(ids[i], e))
+			}
+		}
+	}
+	appendFrom(st.retOrder, st.retained)
+	appendFrom(st.recOrder, st.recent)
+	appendFrom(st.order, st.active)
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func summarize(id string, e *traceEntry) TraceSummary {
+	s := TraceSummary{Trace: id, Spans: len(e.spans), DurUS: e.durUS, OK: e.ok, Done: e.done, Dropped: e.dropped}
+	best := int64(-1)
+	for i := range e.spans {
+		if best == -1 || e.spans[i].WallUS < best {
+			best = e.spans[i].WallUS
+			s.Root = e.spans[i].Name
+		}
+	}
+	return s
+}
+
+// Dropped returns the number of spans discarded by caps so far (0 on
+// nil) — the honesty counter for "this tree may be incomplete".
+func (st *SpanStore) Dropped() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.dropped
+}
+
+// ------------------------------------------------------------ assembly
+
+// SpanNode is one span plus its resolved children — the assembled form
+// of a trace tree.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+	// Orphan marks a node whose psid names a span nobody returned — the
+	// explicit missing-subtree marker: the parent's process was down,
+	// restarted, or past its retention window.
+	Orphan bool `json:"orphan,omitempty"`
+}
+
+// BuildSpanTree assembles records (from any number of processes) into
+// a forest: true roots first, then orphans — nodes whose parent span
+// was never collected, surfaced as roots flagged Orphan rather than
+// dropped, so a dead backend leaves a visible stump instead of a
+// silently shorter tree. Duplicate sids (a span collected from two
+// stores) collapse to one node. Children sort by wall-clock start.
+func BuildSpanTree(records []SpanRecord) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(records))
+	var order []string
+	for _, r := range records {
+		if r.SID == "" {
+			continue
+		}
+		if _, dup := nodes[r.SID]; dup {
+			continue
+		}
+		nodes[r.SID] = &SpanNode{SpanRecord: r}
+		order = append(order, r.SID)
+	}
+	var roots []*SpanNode
+	for _, sid := range order {
+		n := nodes[sid]
+		if n.PSID == "" {
+			roots = append(roots, n)
+			continue
+		}
+		if p, ok := nodes[n.PSID]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			n.Orphan = true
+			roots = append(roots, n)
+		}
+	}
+	var sortKids func(n *SpanNode)
+	sortKids = func(n *SpanNode) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].WallUS < n.Children[j].WallUS
+		})
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	for _, r := range roots {
+		sortKids(r)
+	}
+	sort.SliceStable(roots, func(i, j int) bool {
+		if roots[i].Orphan != roots[j].Orphan {
+			return !roots[i].Orphan
+		}
+		return roots[i].WallUS < roots[j].WallUS
+	})
+	return roots
+}
+
+// WriteSpanTree renders an assembled forest as an indented text tree
+// with per-span process, duration, and — when a child lives in a
+// different process than its parent — the cross-process hop latency
+// (child wall start minus parent wall start, the time the request spent
+// getting onto the next box's runqueue).
+func WriteSpanTree(w io.Writer, roots []*SpanNode) {
+	for _, r := range roots {
+		writeNode(w, r, nil, 0)
+	}
+}
+
+func writeNode(w io.Writer, n *SpanNode, parent *SpanNode, depth int) {
+	indent := strings.Repeat("  ", depth)
+	mark := ""
+	if n.Orphan {
+		mark = fmt.Sprintf("  [missing subtree: parent span %s not collected]", n.PSID)
+	}
+	hop := ""
+	if parent != nil && parent.Proc != n.Proc && parent.WallUS > 0 && n.WallUS > 0 {
+		hop = fmt.Sprintf("  hop=%dus", n.WallUS-parent.WallUS)
+	}
+	attrs := ""
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%v", k, n.Attrs[k])
+		}
+		attrs = "  {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintf(w, "%s%-6s %s  %dus%s%s%s\n", indent, "["+n.Proc+"]", n.Name, n.DurUS, hop, attrs, mark)
+	for _, c := range n.Children {
+		writeNode(w, c, n, depth+1)
+	}
+}

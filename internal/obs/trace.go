@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,14 +14,16 @@ import (
 // Tracer records nested timed spans — one tree per trip around the live
 // loop — and emits each completed span as one JSON line on its sink:
 //
-//	{"ev":"span","id":4,"parent":1,"trace":"9f86d081884c7d65","name":"codegen",
-//	 "start_us":182,"dur_us":913,"attrs":{"version":"v1","cycle":2000}}
+//	{"ev":"span","id":4,"parent":1,"sid":"a1b2c3d4-4","psid":"a1b2c3d4-1",
+//	 "trace":"9f86d081884c7d65","name":"codegen","start_us":182,"dur_us":913,
+//	 "wall_us":1723111845123456,"attrs":{"version":"v1","cycle":2000}}
 //
 // start_us is microseconds since the tracer was created, so a trace file
-// is self-contained and diffable. A Tracer with a nil sink still times
-// spans (the session derives its ChangeReport breakdown from them); a
-// nil *Tracer hands out nil spans, and every Span method is a no-op on a
-// nil receiver.
+// is self-contained and diffable; wall_us is the span's start as unix
+// microseconds, the clock that lines spans up across processes. A Tracer
+// with a nil sink still times spans (the session derives its
+// ChangeReport breakdown from them); a nil *Tracer hands out nil spans,
+// and every Span method is a no-op on a nil receiver.
 //
 // The trace field correlates spans across tracers: the server stamps
 // each request span with the client's wire TraceID (StartTrace), sets
@@ -29,12 +32,27 @@ import (
 // it — one hot reload reads as a single tree from client call to verify
 // completion even though the request span and the live-loop spans come
 // from different tracers.
+//
+// sid/psid are the distributed span context: sid is the span's globally
+// unique id (a per-tracer random prefix plus the local counter), psid
+// its parent's. A root span's psid can name a span in ANOTHER process —
+// StartRemote accepts the parent sid a wire request carried — which is
+// what lets a SpanStore reassemble one gateway→backend→standby tree
+// from the per-process JSONL streams.
 type Tracer struct {
 	mu     sync.Mutex
 	sink   io.Writer
+	prefix string // random per-tracer sid prefix; makes sids globally unique
 	nextID atomic.Uint64
 	epoch  time.Time
-	trace  atomic.Value // string: implicit trace id for new root spans
+	trace  atomic.Value // traceCtx: implicit context for new root spans
+}
+
+// traceCtx is the implicit (trace id, remote parent sid) pair root spans
+// inherit between SetTraceContext calls.
+type traceCtx struct {
+	trace  string
+	parent string
 }
 
 // NewTraceID returns a random 16-hex-character trace id — what clients
@@ -49,7 +67,9 @@ func NewTraceID() string {
 // NewTracer returns a tracer writing JSONL span events to sink (nil sink
 // = time spans but emit nothing).
 func NewTracer(sink io.Writer) *Tracer {
-	return &Tracer{sink: sink, epoch: time.Now()}
+	var b [4]byte
+	rand.Read(b[:]) // never fails on supported platforms
+	return &Tracer{sink: sink, prefix: hex.EncodeToString(b[:]), epoch: time.Now()}
 }
 
 // Attr is one key/value annotation on a span.
@@ -70,6 +90,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64 // 0 = root
+	remote string // parent sid in another process (roots only), "" = none
 	trace  string // wire trace id, "" = uncorrelated
 	name   string
 	start  time.Time
@@ -78,40 +99,73 @@ type Span struct {
 	ended  bool
 }
 
+// SID returns the span's globally unique id ("" on nil) — what callers
+// put in a wire request's pspan field so the receiver's request span
+// parents here.
+func (s *Span) SID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.sid(s.id)
+}
+
+func (t *Tracer) sid(id uint64) string {
+	return t.prefix + "-" + strconv.FormatUint(id, 16)
+}
+
 // SetTrace sets the implicit wire trace id inherited by root spans
 // started after this call ("" clears it). Callers that serialize work —
 // the session worker runs one request at a time — bracket each request
 // with SetTrace(id) / SetTrace("") so the live loop's spans carry the
 // request's id without the loop knowing about the wire. Nil-safe.
-func (t *Tracer) SetTrace(id string) {
+func (t *Tracer) SetTrace(id string) { t.SetTraceContext(id, "") }
+
+// SetTraceContext sets the implicit (trace id, remote parent sid) pair
+// inherited by root spans started after this call. The session worker
+// brackets each request with SetTraceContext(trace, requestSpanSID) /
+// SetTraceContext("", "") so live-loop spans parent under the request
+// span in the assembled tree instead of floating as orphan roots.
+// Nil-safe.
+func (t *Tracer) SetTraceContext(trace, parentSID string) {
 	if t != nil {
-		t.trace.Store(id)
+		t.trace.Store(traceCtx{trace: trace, parent: parentSID})
 	}
 }
 
-func (t *Tracer) curTrace() string {
+func (t *Tracer) curCtx() traceCtx {
 	if t == nil {
-		return ""
+		return traceCtx{}
 	}
 	if v := t.trace.Load(); v != nil {
-		return v.(string)
+		return v.(traceCtx)
 	}
-	return ""
+	return traceCtx{}
 }
 
 // Start begins a root span (a nil tracer returns a nil span), carrying
-// the tracer's implicit trace id if one is set.
+// the tracer's implicit trace context if one is set.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span {
-	return t.StartTrace(t.curTrace(), name, attrs...)
+	ctx := t.curCtx()
+	return t.StartRemote(ctx.trace, ctx.parent, name, attrs...)
 }
 
 // StartTrace begins a root span explicitly bound to a wire trace id —
 // the server uses it to parent each request span on the id the client
 // stamped.
 func (t *Tracer) StartTrace(trace, name string, attrs ...Attr) *Span {
+	return t.StartRemote(trace, "", name, attrs...)
+}
+
+// StartRemote begins a root span bound to a wire trace id AND parented
+// under a span in another process — parentSID is the pspan the request
+// carried over the wire ("" = a true root). This is the receiving half
+// of distributed span context: the gateway's forward span sid travels in
+// the request, and the backend's request span starts here with it.
+func (t *Tracer) StartRemote(trace, parentSID, name string, attrs ...Attr) *Span {
 	sp := t.start(name, 0, attrs)
 	if sp != nil {
 		sp.trace = trace
+		sp.remote = parentSID
 	}
 	return sp
 }
@@ -178,15 +232,21 @@ func (s *Span) Dur() time.Duration {
 	return s.dur
 }
 
-// spanEvent is the JSONL wire form of one completed span.
+// spanEvent is the JSONL wire form of one completed span. id/parent are
+// the tracer-local numeric ids (kept for single-process trace files);
+// sid/psid are the globally unique forms the fleet-wide assembler keys
+// on. psid for a root span is the remote parent carried on the wire.
 type spanEvent struct {
 	Ev      string         `json:"ev"`
 	ID      uint64         `json:"id"`
 	Parent  uint64         `json:"parent,omitempty"`
+	SID     string         `json:"sid,omitempty"`
+	PSID    string         `json:"psid,omitempty"`
 	Trace   string         `json:"trace,omitempty"`
 	Name    string         `json:"name"`
 	StartUS int64          `json:"start_us"`
 	DurUS   int64          `json:"dur_us"`
+	WallUS  int64          `json:"wall_us,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
@@ -194,14 +254,21 @@ func (t *Tracer) emit(s *Span) {
 	if t.sink == nil {
 		return
 	}
+	psid := s.remote
+	if s.parent != 0 {
+		psid = t.sid(s.parent)
+	}
 	ev := spanEvent{
 		Ev:      "span",
 		ID:      s.id,
 		Parent:  s.parent,
+		SID:     t.sid(s.id),
+		PSID:    psid,
 		Trace:   s.trace,
 		Name:    s.name,
 		StartUS: s.start.Sub(t.epoch).Microseconds(),
 		DurUS:   s.dur.Microseconds(),
+		WallUS:  s.start.UnixMicro(),
 	}
 	if len(s.attrs) > 0 {
 		ev.Attrs = make(map[string]any, len(s.attrs))

@@ -64,6 +64,83 @@ func TestTracerSpanTree(t *testing.T) {
 	}
 }
 
+func TestSpanContextSIDs(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.StartTrace("deadbeefdeadbeef", "request")
+	rootSID := root.SID()
+	if rootSID == "" || !strings.Contains(rootSID, "-") {
+		t.Fatalf("SID = %q, want prefix-hexid", rootSID)
+	}
+	child := root.Child("exec")
+	childSID := child.SID()
+	child.End()
+	root.End()
+
+	evs := decodeSpans(t, buf.Bytes())
+	byName := map[string]spanEvent{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	if byName["request"].SID != rootSID {
+		t.Errorf("emitted root sid %q != SID() %q", byName["request"].SID, rootSID)
+	}
+	if byName["request"].PSID != "" {
+		t.Errorf("true root has psid %q", byName["request"].PSID)
+	}
+	if byName["exec"].SID != childSID || byName["exec"].PSID != rootSID {
+		t.Errorf("child sid/psid = %q/%q, want %q/%q",
+			byName["exec"].SID, byName["exec"].PSID, childSID, rootSID)
+	}
+	if byName["exec"].WallUS == 0 {
+		t.Error("wall_us not stamped")
+	}
+
+	// Two tracers never collide on sids.
+	tr2 := NewTracer(nil)
+	if sp := tr2.Start("x"); strings.HasPrefix(sp.SID(), strings.SplitN(rootSID, "-", 2)[0]+"-") {
+		t.Errorf("distinct tracers share sid prefix: %q vs %q", sp.SID(), rootSID)
+	}
+}
+
+func TestStartRemoteParentsAcrossProcesses(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	sp := tr.StartRemote("deadbeefdeadbeef", "gw-7", "request")
+	sp.End()
+	evs := decodeSpans(t, buf.Bytes())
+	if len(evs) != 1 || evs[0].PSID != "gw-7" || evs[0].Parent != 0 {
+		t.Fatalf("remote-parented root wrong: %+v", evs)
+	}
+}
+
+func TestSetTraceContextInheritance(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetTraceContext("deadbeefdeadbeef", "req-3")
+	sp := tr.Start("eval")
+	sp.End()
+	tr.SetTraceContext("", "")
+	sp2 := tr.Start("idle")
+	sp2.End()
+
+	evs := decodeSpans(t, buf.Bytes())
+	if evs[0].Trace != "deadbeefdeadbeef" || evs[0].PSID != "req-3" {
+		t.Fatalf("inherited context wrong: %+v", evs[0])
+	}
+	if evs[1].Trace != "" || evs[1].PSID != "" {
+		t.Fatalf("cleared context leaked: %+v", evs[1])
+	}
+
+	// SetTrace keeps working as the trace-only form.
+	tr.SetTrace("feedfacefeedface")
+	sp3 := tr.Start("later")
+	if sp3.Trace() != "feedfacefeedface" {
+		t.Fatalf("SetTrace broken: %q", sp3.Trace())
+	}
+	sp3.End()
+}
+
 func TestTracerNilSinkStillTimes(t *testing.T) {
 	tr := NewTracer(nil)
 	sp := tr.Start("work")

@@ -224,12 +224,16 @@ func (s *Shipper) Stop() {
 // package cannot import internal/server — the server imports it — so
 // the handful of fields are declared here with matching JSON tags.
 type wireRequest struct {
-	ID      uint64   `json:"id"`
-	Session string   `json:"session,omitempty"`
-	Verb    string   `json:"verb"`
-	Args    []string `json:"args,omitempty"`
-	Blob    []byte   `json:"blob,omitempty"`
-	Epoch   uint64   `json:"epoch,omitempty"`
+	ID      uint64 `json:"id"`
+	Session string `json:"session,omitempty"`
+	Verb    string `json:"verb"`
+	TraceID string `json:"trace,omitempty"`
+	// ParentSpan carries the primary's replicate_ship span sid so the
+	// standby's replapply request span joins the same fleet trace tree.
+	ParentSpan string   `json:"pspan,omitempty"`
+	Args       []string `json:"args,omitempty"`
+	Blob       []byte   `json:"blob,omitempty"`
+	Epoch      uint64   `json:"epoch,omitempty"`
 }
 
 type wireResponse struct {
@@ -284,7 +288,13 @@ func (s *Shipper) Seed(blob []byte, seq uint64) error {
 // each committed mutation, so a client ack implies standby durability.
 // A broken stream reconnects (rate-limited) and resumes from the acked
 // watermark; ErrFenced is terminal.
-func (s *Shipper) Ship() error {
+func (s *Shipper) Ship() error { return s.ShipTraced("", "") }
+
+// ShipTraced is Ship with distributed trace context: each replapply
+// request carries the mutation's trace id and the primary's ship span
+// sid, so the standby's spans assemble into the same fleet tree as the
+// gateway's and the primary's.
+func (s *Shipper) ShipTraced(trace, parentSID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fenced.Load() {
@@ -332,6 +342,7 @@ func (s *Shipper) Ship() error {
 
 		resp, cerr := s.callLocked(&wireRequest{
 			Session: s.cfg.Session, Verb: "replapply",
+			TraceID: trace, ParentSpan: parentSID,
 			Blob: batch, Epoch: s.cfg.Epoch,
 		})
 		if cerr != nil {

@@ -26,6 +26,10 @@ import (
 //	GET /eventsz      the operational event ring as JSON (?since=seq)
 //	GET /profilez     per-session activity-profiler snapshots as JSON
 //	                  (?session=name to select one, ?pipe=name within it)
+//	GET /tracez       the span store: trace index, or ?id=<trace> for one
+//	                  trace's spans (JSON; &render=text for the tree)
+//	GET /flightz      the flight-recorder ring as NDJSON (the same lines
+//	                  a blackbox-<ts>.jsonl dump would hold)
 //	GET /debug/pprof  the stdlib profiler endpoints
 //
 // The handler holds no state of its own — every request renders the
@@ -40,6 +44,8 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/eventsz", s.handleEventsz)
 	mux.HandleFunc("/profilez", s.handleProfilez)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/flightz", s.handleFlightz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -213,6 +219,48 @@ func (s *Server) handleProfilez(w http.ResponseWriter, r *http.Request) {
 	body, _ := json.Marshal(out)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(body, '\n'))
+}
+
+// handleTracez serves the local span store: /tracez lists the trace
+// index, /tracez?id=<trace> returns that trace's SpanDump (add
+// &render=text for the assembled local tree instead of JSON).
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		http.Error(w, "span store disabled", http.StatusNotFound)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		body, _ := json.Marshal(s.store.Traces(64))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(body, '\n'))
+		return
+	}
+	recs := s.store.Query(id)
+	if r.URL.Query().Get("render") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if len(recs) == 0 {
+			fmt.Fprintf(w, "no spans stored for trace %s\n", id)
+			return
+		}
+		obs.WriteSpanTree(w, obs.BuildSpanTree(recs))
+		return
+	}
+	body, _ := json.Marshal(SpanDump{Proc: s.cfg.ProcName, Spans: recs})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// handleFlightz streams the flight-recorder ring — the in-memory black
+// box — as NDJSON, newest-last, exactly as a blackbox dump would write
+// it.
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.flight.Dump(w, "flightz")
 }
 
 func (s *Server) handleEventsz(w http.ResponseWriter, r *http.Request) {

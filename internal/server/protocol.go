@@ -50,6 +50,11 @@ type Request struct {
 	// reload reads as a single span tree from client call to verify
 	// completion. Empty means "server, mint one".
 	TraceID string `json:"trace,omitempty"`
+	// ParentSpan is the sid of the caller's span this request happened
+	// under (the gateway stamps its forward span's sid here). The
+	// receiver's request span parents on it, which is what joins
+	// per-process span trees into one fleet-wide tree. Empty = root.
+	ParentSpan string `json:"pspan,omitempty"`
 	// Args are the verb's positional arguments, shell-style.
 	Args []string `json:"args,omitempty"`
 	// Files carries design source text: the full design for create (dir
@@ -249,6 +254,14 @@ type SessionInfo struct {
 	ReplicaAddr  string `json:"replica_addr,omitempty"`
 	ReplAckedSeq uint64 `json:"repl_acked_seq,omitempty"`
 	ReplLag      uint64 `json:"repl_lag,omitempty"`
+}
+
+// SpanDump is the `spans <trace-id>` verb's Data payload: one process's
+// stored spans for a trace. The gateway fans this out to every backend
+// and merges the records into the assembled fleet tree.
+type SpanDump struct {
+	Proc  string           `json:"proc"`
+	Spans []obs.SpanRecord `json:"spans"`
 }
 
 // DrainReport is what Shutdown returns: which sessions were checkpointed

@@ -83,7 +83,10 @@ func (b *breaker) clear() {
 func (s *Server) noteFailure(h *hosted, reason string) {
 	if h.brk.fail(reason) {
 		s.reg.Counter("server_sessions_quarantined").Inc()
-		s.event("quarantine_trip", h.name, reason)
+		// A breaker trip means the session repeatedly failed in quick
+		// succession — dump the black box while the evidence (the spans
+		// and events of the failing streak) is still in the ring.
+		s.blackbox("quarantine_trip", h.name, "", reason)
 		s.updateQuarantineGauge()
 	}
 }

@@ -275,7 +275,8 @@ func (s *Server) execRecord(h *hosted, rec *wal.Record) error {
 // checkpoints plus a reanchor record carrying cycle/history/version
 // that both replay gears treat as authoritative, so the unjournaled gap
 // can never silently diverge a recovery.
-func (s *Server) journalMutation(h *hosted, req *Request) {
+func (s *Server) journalMutation(h *hosted, t *task) {
+	req := t.req
 	if h.wal == nil {
 		return
 	}
@@ -327,7 +328,7 @@ func (s *Server) journalMutation(h *hosted, req *Request) {
 	// sees OK, so a primary lost the instant after responding loses no
 	// acked mutation. (The crash matrix's OnWrite hook fires inside
 	// Append, BEFORE this ship — a kill there loses only unacked work.)
-	s.shipTail(h)
+	s.shipTail(h, t)
 }
 
 // tryResumeJournal attempts to end a journal pause. Worker goroutine

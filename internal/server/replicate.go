@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"livesim/internal/checkpoint"
+	"livesim/internal/obs"
 	"livesim/internal/replica"
 	"livesim/internal/transfer"
 	"livesim/internal/wal"
@@ -136,7 +137,9 @@ func (s *Server) fenceSession(h *hosted, why string) {
 	}
 	s.reg.Counter("server_sessions_fenced").Inc()
 	h.reg.Counter("repl_self_fenced").Inc()
-	s.event("session_fenced", h.name, why)
+	// A self-fence is an abnormal exit for this branch of the session's
+	// history — leave the black box explaining what led up to it.
+	s.blackbox("session_fenced", h.name, "", why)
 }
 
 // replicateTask (task.special, verb "replicate") arms replication:
@@ -405,12 +408,18 @@ func (s *Server) promoteTask(h *hosted, t *task) *Response {
 // imply "the standby has it". Stream failures degrade (lag grows, the
 // next mutation retries); a fenced answer is terminal; a reseed request
 // re-exports and re-seeds in place, still on the worker goroutine.
-func (s *Server) shipTail(h *hosted) {
+func (s *Server) shipTail(h *hosted, t *task) {
 	sp := h.shipper.Load()
 	if sp == nil {
 		return
 	}
-	err := sp.Ship()
+	// The ship is part of the client's request latency — give it its own
+	// span under the request's exec span, and hand the shipper the trace
+	// context so the standby's replapply request joins the same tree.
+	shipSpan := s.tracer.StartRemote(t.trace, t.execSID, "replicate_ship",
+		obs.Str("session", h.name), obs.Str("target", sp.Target()))
+	defer shipSpan.End()
+	err := sp.ShipTraced(t.trace, shipSpan.SID())
 	if errors.Is(err, replica.ErrReseed) {
 		err = s.reseedReplica(h, sp)
 	}

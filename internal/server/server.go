@@ -105,6 +105,32 @@ type Config struct {
 	// fallbacks) served by the `events` verb and /eventsz. Default 256.
 	EventRingCap int
 
+	// ProcName identifies this process in assembled fleet traces and
+	// blackbox dumps. Empty defaults to "livesimd:<pid>".
+	ProcName string
+	// SpanStoreCap bounds the in-memory span store (live + retained
+	// traces) behind the `spans` verb and /tracez. 0 uses the default
+	// (256 traces); negative disables the store.
+	SpanStoreCap int
+	// TraceSlow is the tail-sampling threshold: completed traces at
+	// least this slow (or errored) are retained in the span store, fast
+	// successful ones rotate through a small recent ring. 0 defaults to
+	// SlowRequest when set, else 250ms.
+	TraceSlow time.Duration
+	// FlightRecorderCap bounds the always-on black-box ring of recent
+	// spans and lifecycle notes dumped on abnormal exits and served by
+	// /flightz. 0 uses the default (512 lines); negative disables it.
+	FlightRecorderCap int
+	// BlackboxDir receives blackbox-<ts>.jsonl dumps on panic,
+	// self-fence, quarantine trip, watchdog cancel and drain-stuck.
+	// Empty defaults to StateDir; with both empty, dumps are skipped
+	// (the /flightz endpoint still serves the ring).
+	BlackboxDir string
+	// BlackboxFlushEvery is the cadence of the periodic black-box flush
+	// to disk, which is what survives SIGKILL. 0 uses the default (2s);
+	// negative disables periodic flushing (trigger dumps still happen).
+	BlackboxFlushEvery time.Duration
+
 	// AdmitBudget is the process-wide in-flight admission budget in verb
 	// cost units (see command.Command.Cost), layered on top of the
 	// per-session queues. Requests past the budget are rejected with
@@ -144,6 +170,15 @@ type Server struct {
 	log    *obs.Logger
 	events *obs.EventRing
 	start  time.Time
+
+	// Fleet tracing + crash forensics: the span store indexes completed
+	// spans by trace id for the `spans` verb and /tracez; the flight
+	// recorder keeps the last N spans/notes and is dumped to
+	// blackbox-<ts>.jsonl on abnormal exits. Both are nil when disabled.
+	store       *obs.SpanStore
+	flight      *obs.FlightRecorder
+	blackboxTS  atomic.Int64 // last trigger dump, unixnano (rate limit)
+	bootBlackbox string      // periodic flush target path
 
 	winMu    sync.Mutex
 	verbWins map[string]*obs.Window // per-verb rolling request latencies
@@ -245,6 +280,31 @@ func New(cfg Config) *Server {
 	if cfg.TraceOut != nil {
 		s.fan.Attach(cfg.TraceOut)
 	}
+	if cfg.ProcName == "" {
+		s.cfg.ProcName = fmt.Sprintf("livesimd:%d", os.Getpid())
+	}
+	if cfg.TraceSlow == 0 {
+		if cfg.SlowRequest > 0 {
+			s.cfg.TraceSlow = cfg.SlowRequest
+		} else {
+			s.cfg.TraceSlow = 250 * time.Millisecond
+		}
+	}
+	if cfg.SpanStoreCap >= 0 {
+		s.store = obs.NewSpanStore(obs.SpanStoreConfig{
+			Proc:         s.cfg.ProcName,
+			MaxTraces:    cfg.SpanStoreCap,
+			RetainOverUS: s.cfg.TraceSlow.Microseconds(),
+		})
+		s.fan.Attach(s.store)
+	}
+	if cfg.FlightRecorderCap >= 0 {
+		s.flight = obs.NewFlightRecorder(s.cfg.ProcName, cfg.FlightRecorderCap)
+		s.fan.Attach(s.flight)
+	}
+	if s.cfg.BlackboxDir == "" {
+		s.cfg.BlackboxDir = cfg.StateDir
+	}
 	s.tracer = obs.NewTracer(s.fan)
 	s.admit = govern.NewAdmission(cfg.AdmitBudget)
 	s.ckptFactor.Store(1)
@@ -256,6 +316,14 @@ func New(cfg Config) *Server {
 	}
 	if s.disk != nil || cfg.MemBudget > 0 {
 		go s.governor()
+	}
+	if s.flight != nil && s.cfg.BlackboxDir != "" && cfg.BlackboxFlushEvery >= 0 {
+		if s.cfg.BlackboxFlushEvery == 0 {
+			s.cfg.BlackboxFlushEvery = 2 * time.Second
+		}
+		os.MkdirAll(s.cfg.BlackboxDir, 0o755)
+		s.bootBlackbox = obs.BlackboxPath(s.cfg.BlackboxDir, time.Now())
+		go s.blackboxFlusher()
 	}
 	return s
 }
@@ -275,12 +343,18 @@ func (w logfWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// event records one operational incident in the ring and mirrors it to
-// the structured log — the ring is the queryable flight recorder, the
-// log the durable trail.
-func (s *Server) event(typ, session, msg string) {
-	s.events.Add(typ, session, msg)
-	s.log.Info(msg, obs.Str("event", typ), obs.Str("session", session))
+// event records one operational incident in the ring, mirrors it to the
+// structured log, and copies it into the black-box ring — the event ring
+// is the queryable recent history, the log the durable trail, and the
+// flight recorder what survives an abnormal exit.
+func (s *Server) event(typ, session, msg string) { s.eventT(typ, session, "", msg) }
+
+// eventT is event with the trace id the incident happened under, so
+// operators can pivot from an /eventsz row to its assembled span tree.
+func (s *Server) eventT(typ, session, trace, msg string) {
+	s.events.AddT(typ, session, trace, msg)
+	s.log.Info(msg, obs.Str("event", typ), obs.Str("session", session), obs.Str("trace", trace))
+	s.flight.Note(typ, session, trace, msg)
 }
 
 // specialVerbs run on the session's worker goroutine via task.special
@@ -443,6 +517,7 @@ var serverVerbs = map[string]bool{
 	"ping": true, "help": true, "metricz": true, "sessions": true,
 	"create": true, "close": true, "subscribe": true, "unquarantine": true,
 	"events": true, "top": true, "import": true, "drain": true,
+	"spans": true,
 }
 
 // dispatch routes one request: server verbs run inline, session verbs
@@ -456,7 +531,8 @@ func (s *Server) dispatch(c *conn, req *Request) {
 	if trace == "" {
 		trace = obs.NewTraceID() // unstamped client: still one correlatable tree
 	}
-	sp := s.tracer.StartTrace(trace, "request", obs.Str("verb", req.Verb), obs.Str("session", req.Session))
+	sp := s.tracer.StartRemote(trace, req.ParentSpan, "request",
+		obs.Str("verb", req.Verb), obs.Str("session", req.Session))
 	t0 := time.Now()
 	var h *hosted       // set before any finish call; read by the waiter goroutine
 	var admitted int64  // cost units held against the admission budget
@@ -467,6 +543,9 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		sp.Annotate(obs.Bool("ok", resp.OK), obs.Str("code", resp.Code))
 		sp.End()
 		dur := time.Since(t0)
+		// The request span just emitted, so the store has the whole local
+		// tree in hand — the tail keep/drop decision happens here.
+		s.store.Complete(trace, dur.Microseconds(), resp.OK)
 		secs := dur.Seconds()
 		s.reg.Histogram("server_request_seconds", nil).Observe(secs)
 		s.verbWindow(verb).Observe(secs)
@@ -475,7 +554,7 @@ func (s *Server) dispatch(c *conn, req *Request) {
 		}
 		if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
 			s.reg.Counter("server_slow_requests").Inc()
-			s.events.Add("slow_request", req.Session,
+			s.events.AddT("slow_request", req.Session, trace,
 				fmt.Sprintf("%s took %v (trace %s)", verb, dur.Round(time.Microsecond), trace))
 			s.log.Warn("slow request",
 				obs.Str("verb", verb), obs.Str("session", req.Session),
@@ -622,6 +701,7 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 		b.WriteString("  stats [json]                  per-session metrics registry\n")
 		b.WriteString("  metricz                       server-level metrics registry\n")
 		b.WriteString("  events [since-seq]            recent operational events (flight recorder)\n")
+		b.WriteString("  spans [trace-id]              this process's span store: index, or one trace's spans\n")
 		b.WriteString("  top                           live per-session req/s + latency table\n")
 		b.WriteString("  ping                          liveness + uptime\n")
 		return &Response{ID: req.ID, OK: true, Output: b.String()}
@@ -637,6 +717,9 @@ func (s *Server) execServer(c *conn, req *Request, verb string) (resp *Response)
 
 	case "events":
 		return s.listEvents(req)
+
+	case "spans":
+		return s.spansVerb(req)
 
 	case "top":
 		return s.topReport(req)
@@ -770,8 +853,12 @@ func (s *Server) listEvents(req *Request) *Response {
 	evs := s.events.Since(since)
 	var out strings.Builder
 	for _, e := range evs {
-		fmt.Fprintf(&out, "  #%-5d %s  %-16s %-12s %s\n",
+		fmt.Fprintf(&out, "  #%-5d %s  %-16s %-12s %s",
 			e.Seq, e.TS.Format("15:04:05.000"), e.Type, e.Session, e.Msg)
+		if e.Trace != "" {
+			fmt.Fprintf(&out, " [trace %s]", e.Trace)
+		}
+		out.WriteString("\n")
 	}
 	if len(evs) == 0 {
 		out.WriteString("  (no events)\n")
@@ -1205,7 +1292,7 @@ func (s *Server) Shutdown(ctx context.Context) (*DrainReport, error) {
 		if !waitClosed(h.stopped, 2*time.Second) {
 			// The worker is wedged mid-operation; saving now would race
 			// the running simulation, so skip this session.
-			s.event("drain_stuck", h.name, "worker did not stop; skipping save")
+			s.blackbox("drain_stuck", h.name, "", "worker did not stop; skipping save")
 			continue
 		}
 		stopShipper(h)

@@ -106,6 +106,7 @@ type task struct {
 	abandoned atomic.Bool
 	span      *obs.Span
 	trace     string // wire trace id the session's live-loop spans inherit
+	execSID   string // exec span's sid: parent for live-loop + shipping spans
 	// special, when set, replaces command-table dispatch: the worker
 	// runs it instead of looking the verb up. It is how export runs on
 	// the session's own goroutine — serialized against every other
@@ -122,6 +123,15 @@ func (s *Server) newHosted(name string) *hosted {
 		win:     obs.NewWindow(256),
 		queue:   make(chan *task, s.cfg.QueueDepth),
 		stopped: make(chan struct{}),
+	}
+	// The session's live-loop spans flow into the fleet span store and
+	// the flight recorder alongside any `subscribe` clients — both are
+	// nil-tolerant writers, and attach is free when disabled.
+	if s.store != nil {
+		h.fan.Attach(s.store)
+	}
+	if s.flight != nil {
+		h.fan.Attach(s.flight)
 	}
 	h.brk.threshold = s.cfg.QuarantineAfter
 	h.brk.decay = s.cfg.QuarantineDecay
@@ -174,6 +184,7 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("server_panics_recovered").Inc()
+			s.blackbox("panic", h.name, t.trace, fmt.Sprintf("recovered request panic: %v", r))
 			s.noteFailure(h, fmt.Sprintf("panic: %v", r))
 			resp = errResp(t.req, CodePanic, fmt.Errorf("request panic: %v", r))
 		}
@@ -211,15 +222,17 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 
 	sp := t.span.Child("exec")
 	defer sp.End()
+	t.execSID = sp.SID()
 
-	// Hand the session tracer the request's wire trace id for the
+	// Hand the session tracer the request's wire trace context for the
 	// duration of this verb: every live-loop span it starts (swap,
-	// reload, verify, …) joins the request's tree. The worker serializes
-	// the session, so the bracketing cannot interleave with another
-	// request — except verify spans ended by background workers, which
-	// captured the id at Child() time and keep it.
-	h.sess.SetTraceID(t.trace)
-	defer h.sess.SetTraceID("")
+	// reload, verify, …) joins the request's tree, parented under this
+	// exec span. The worker serializes the session, so the bracketing
+	// cannot interleave with another request — except verify spans ended
+	// by background workers, which captured the context at Child() time
+	// and keep it.
+	h.sess.SetTraceContext(t.trace, t.execSID)
+	defer h.sess.SetTraceContext("", "")
 
 	var out bytes.Buffer
 	env := &command.Env{
@@ -239,7 +252,7 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 		case err == nil:
 			h.dirty.Store(true)
 			h.brk.success()
-			s.journalMutation(h, t.req)
+			s.journalMutation(h, t)
 			s.updateMemUsage(h)
 			if h.fenced.Load() {
 				// The ship-on-commit hook just learned the standby was
@@ -253,10 +266,10 @@ func (s *Server) execSession(h *hosted, t *task) (resp *Response) {
 			// The session actively failed — a cancelled runaway run — as
 			// opposed to merely rejecting bad arguments; those streaks are
 			// what quarantine watches.
-			s.events.Add("watchdog_cancel", h.name, err.Error())
+			s.blackbox("watchdog_cancel", h.name, t.trace, err.Error())
 			s.noteFailure(h, err.Error())
 		case errors.Is(err, core.ErrRolledBack):
-			s.events.Add("rollback", h.name, err.Error())
+			s.events.AddT("rollback", h.name, t.trace, err.Error())
 			s.noteFailure(h, err.Error())
 		}
 	}

@@ -1,0 +1,147 @@
+#!/bin/sh
+# trace-smoke: end-to-end check of fleet-wide distributed tracing and
+# the crash flight recorder. Two livesimd backends behind a replicating
+# lsgate; a client stamps one trace id on a replicated mutation, and the
+# gateway's `trace <id>` verb must assemble ONE tree spanning all three
+# processes — gateway request/forward spans, the primary's request and
+# replicate_ship spans, and the standby's replapply span. Then one
+# backend is SIGKILLed: its state dir must hold a parseable
+# blackbox-<ts>.jsonl (the periodic flight-recorder flush), and
+# `trace <id>` must still answer with the surviving subtree plus an
+# explicit incomplete-assembly note. `make check` runs this after
+# failover-smoke.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+B1PID=""
+B2PID=""
+GPID=""
+trap 'for p in "$B1PID" "$B2PID" "$GPID"; do [ -n "$p" ] && kill "$p" 2>/dev/null; done; rm -rf "$TMP"' EXIT
+
+B1SOCK="$TMP/b1.sock"
+B2SOCK="$TMP/b2.sock"
+GSOCK="$TMP/g.sock"
+mkdir -p "$TMP/s1" "$TMP/s2"
+
+$GO build -o "$TMP/livesimd" ./cmd/livesimd
+$GO build -o "$TMP/lsgate" ./cmd/lsgate
+$GO build -o "$TMP/livesim" ./cmd/livesim
+
+# -blackbox-flush 100ms: the periodic flight-recorder flush is what a
+# SIGKILL leaves behind, so flush fast enough for the test to see it.
+"$TMP/livesimd" -unix "$B1SOCK" -state-dir "$TMP/s1" -wal-fsync-every 0 \
+    -blackbox-flush 100ms -metrics=false >"$TMP/b1.log" 2>&1 &
+B1PID=$!
+"$TMP/livesimd" -unix "$B2SOCK" -state-dir "$TMP/s2" -wal-fsync-every 0 \
+    -blackbox-flush 100ms -metrics=false >"$TMP/b2.log" 2>&1 &
+B2PID=$!
+
+wait_sock() {
+    i=0
+    while [ ! -S "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "trace-smoke: FAIL ($2 never listened)"
+            cat "$TMP"/*.log
+            exit 1
+        fi
+        sleep 0.05
+    done
+}
+wait_sock "$B1SOCK" backend-1
+wait_sock "$B2SOCK" backend-2
+
+"$TMP/lsgate" -unix "$GSOCK" -backend "unix:$B1SOCK" -backend "unix:$B2SOCK" \
+    -replicate -health-every 50ms -metrics=false >"$TMP/gate.log" 2>&1 &
+GPID=$!
+wait_sock "$GSOCK" gateway
+
+# One client-stamped trace id across a replicated mutation: the create
+# arms a standby, the run journals and ships, so the id's spans land in
+# three different processes' span stores.
+TID=deadbeefcafef00d
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 -trace "$TID" \
+    >"$TMP/client1.log" <<'EOF'
+create pgas 1
+instpipe p0
+run tb0 p0 50
+cycle p0
+exit
+EOF
+if ! grep -q "50 (version v0)" "$TMP/client1.log"; then
+    echo "trace-smoke: FAIL (session transcript missing cycle 50)"
+    cat "$TMP/client1.log" "$TMP/gate.log"
+    exit 1
+fi
+
+# Assemble the tree through the gateway. It must span all three
+# processes and contain the cross-process spans by name: the gateway's
+# forward hop, the primary's replicate_ship, the standby's replapply.
+"$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/trace1.log" <<EOF
+trace $TID
+exit
+EOF
+for want in "across 3 processes" "request" "forward" "replicate_ship" "replapply"; do
+    if ! grep -q "$want" "$TMP/trace1.log"; then
+        echo "trace-smoke: FAIL (assembled tree missing \"$want\")"
+        cat "$TMP/trace1.log" "$TMP/gate.log"
+        exit 1
+    fi
+done
+if grep -q "incomplete" "$TMP/trace1.log"; then
+    echo "trace-smoke: FAIL (healthy fleet reported an incomplete assembly)"
+    cat "$TMP/trace1.log"
+    exit 1
+fi
+
+# SIGKILL backend 1. Its span store dies with it, but the state dir
+# must hold the periodically-flushed black box, and the assembly must
+# degrade to the surviving subtree with an explicit incompleteness note
+# instead of erroring.
+kill -KILL "$B1PID"
+B1PID=""
+
+BB=$(ls "$TMP"/s1/blackbox-*.jsonl 2>/dev/null | head -1 || true)
+if [ -z "$BB" ]; then
+    echo "trace-smoke: FAIL (no blackbox-*.jsonl left behind after SIGKILL)"
+    ls -la "$TMP/s1"
+    exit 1
+fi
+if ! grep -q '"ev":"blackbox"' "$BB"; then
+    echo "trace-smoke: FAIL (blackbox file has no header line)"
+    cat "$BB"
+    exit 1
+fi
+
+i=0
+while :; do
+    "$TMP/livesim" -connect "unix:$GSOCK" -session s1 >"$TMP/trace2.log" 2>&1 <<EOF || true
+trace $TID
+exit
+EOF
+    if grep -q "incomplete" "$TMP/trace2.log" && grep -q "request" "$TMP/trace2.log"; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "trace-smoke: FAIL (no partial assembly after backend SIGKILL)"
+        cat "$TMP/trace2.log" "$TMP/gate.log"
+        exit 1
+    fi
+    sleep 0.1
+done
+
+# Clean shutdown of the survivors.
+kill -TERM "$GPID"
+wait "$GPID" || true
+GPID=""
+kill -TERM "$B2PID"
+if ! wait "$B2PID"; then
+    echo "trace-smoke: FAIL (surviving backend exited nonzero on SIGTERM)"
+    cat "$TMP/b2.log"
+    exit 1
+fi
+B2PID=""
+
+echo "trace-smoke: OK (one tree across 3 processes; SIGKILL left a parseable black box; partial assembly marked incomplete)"

@@ -55,14 +55,21 @@ type TraceAssembly struct {
 // is reading), merged with the gateway's own store.
 func (g *Gateway) assembleTrace(id string) *TraceAssembly {
 	asm := &TraceAssembly{Trace: id}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	// Partition first: the down-backend notes are appended before any
+	// goroutine is spawned, so every append to asm after this point
+	// happens under mu.
+	var alive []*backend
 	for _, b := range g.backends {
-		if !b.alive() {
+		if b.alive() {
+			alive = append(alive, b)
+		} else {
 			asm.Missing = append(asm.Missing,
 				fmt.Sprintf("backend %s is down; any spans it held are not shown", b.addr()))
-			continue
 		}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range alive {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()

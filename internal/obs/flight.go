@@ -22,7 +22,11 @@ import (
 // quarantine trip, watchdog cancel, and drain-stuck, so the last N
 // things the process did survive the process. Nil is the off switch.
 type FlightRecorder struct {
-	proc   string
+	proc string
+
+	wmu  sync.Mutex // serializes Write; never held with mu below
+	frag []byte     // unterminated tail of the last Write, awaiting its newline
+
 	mu     sync.Mutex
 	buf    [][]byte
 	next   int
@@ -39,20 +43,32 @@ func NewFlightRecorder(proc string, capacity int) *FlightRecorder {
 	return &FlightRecorder{proc: proc, buf: make([][]byte, capacity)}
 }
 
-// Write records each newline-terminated JSONL line in p. It always
-// reports len(p) consumed so a Fanout never detaches it. Nil-safe.
+// Write records each newline-terminated JSONL line in p. A trailing
+// chunk without its newline is buffered until a later Write delivers
+// the rest of the line, so a chunked upstream writer never gets a
+// truncated line into the ring. It always reports len(p) consumed so
+// a Fanout never detaches it. Nil-safe.
 func (f *FlightRecorder) Write(p []byte) (int, error) {
 	total := len(p) // p is consumed below; a short return would detach us
 	if f == nil {
 		return total, nil
 	}
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	if len(f.frag) > 0 {
+		p = append(f.frag, p...)
+		f.frag = nil
+	}
 	for len(p) > 0 {
-		var line []byte
-		if nl := bytes.IndexByte(p, '\n'); nl >= 0 {
-			line, p = p[:nl], p[nl+1:]
-		} else {
-			line, p = p, nil
+		nl := bytes.IndexByte(p, '\n')
+		if nl < 0 {
+			if len(p) <= maxLineFrag {
+				f.frag = append([]byte(nil), p...)
+			}
+			break
 		}
+		var line []byte
+		line, p = p[:nl], p[nl+1:]
 		if len(line) == 0 {
 			continue
 		}

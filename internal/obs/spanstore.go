@@ -59,6 +59,9 @@ type SpanStoreConfig struct {
 type SpanStore struct {
 	cfg SpanStoreConfig
 
+	wmu  sync.Mutex // serializes Write; never held with mu below
+	frag []byte     // unterminated tail of the last Write, awaiting its newline
+
 	mu       sync.Mutex
 	active   map[string]*traceEntry
 	order    []string // active trace ids, oldest first (eviction order)
@@ -157,22 +160,39 @@ func spanField(line, key []byte) []byte {
 	return rest[:j]
 }
 
+// maxLineFrag bounds how much of an unterminated trailing line Write
+// buffers while waiting for the next chunk's newline — a backstop
+// against a misbehaving writer that never terminates a line.
+const maxLineFrag = 1 << 20
+
 // Write indexes span events out of a JSONL stream (it ignores every
 // other event type) by trace id, retaining the raw line for lazy
-// parsing at query time. It always reports len(p) consumed so a Fanout
-// never detaches it. Nil-safe.
+// parsing at query time. A trailing chunk without its newline is
+// buffered until a later Write delivers the rest of the line, so a
+// chunked upstream writer never gets a truncated span stored. It
+// always reports len(p) consumed so a Fanout never detaches it.
+// Nil-safe.
 func (st *SpanStore) Write(p []byte) (int, error) {
 	total := len(p) // p is consumed below; a short return would detach us
 	if st == nil {
 		return total, nil
 	}
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	if len(st.frag) > 0 {
+		p = append(st.frag, p...)
+		st.frag = nil
+	}
 	for len(p) > 0 {
-		var line []byte
-		if nl := bytes.IndexByte(p, '\n'); nl >= 0 {
-			line, p = p[:nl], p[nl+1:]
-		} else {
-			line, p = p, nil
+		nl := bytes.IndexByte(p, '\n')
+		if nl < 0 {
+			if len(p) <= maxLineFrag {
+				st.frag = append([]byte(nil), p...)
+			}
+			break
 		}
+		var line []byte
+		line, p = p[:nl], p[nl+1:]
 		if len(line) == 0 || !bytes.Contains(line, spanEvMark) {
 			continue
 		}
@@ -233,6 +253,19 @@ func (st *SpanStore) add(trace string, line []byte) {
 	e.raw = append(e.raw, line)
 }
 
+// removeOrderLocked deletes trace from the active eviction order.
+// Linear, but st.order holds only live active ids (Complete and
+// eviction both remove), so it is bounded by MaxTraces. Caller holds
+// st.mu.
+func (st *SpanStore) removeOrderLocked(trace string) {
+	for i, id := range st.order {
+		if id == trace {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			return
+		}
+	}
+}
+
 func (st *SpanStore) evictOldestActiveLocked() {
 	for len(st.order) > 0 {
 		id := st.order[0]
@@ -262,6 +295,7 @@ func (st *SpanStore) Complete(trace string, durUS int64, ok bool) {
 		return
 	}
 	delete(st.active, trace)
+	st.removeOrderLocked(trace)
 	e.durUS, e.ok, e.done = durUS, ok, true
 	if !ok || durUS >= st.cfg.RetainOverUS {
 		if st.retained[trace] == nil {

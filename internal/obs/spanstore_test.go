@@ -219,6 +219,64 @@ func TestSpanStoreReopenRecent(t *testing.T) {
 	}
 }
 
+// TestSpanStoreOrderBounded: Complete must remove the trace id from
+// the active eviction order — before the fix, st.order grew by one
+// string per completed request forever (an unbounded leak in every
+// long-running daemon) and held stale ids that corrupted eviction
+// order for reopened traces.
+func TestSpanStoreOrderBounded(t *testing.T) {
+	st := NewSpanStore(SpanStoreConfig{Proc: "p", MaxTraces: 8})
+	for i := 0; i < 100; i++ {
+		id := string(rune('a'+i%26)) + "aaaaaaaaaaaaaa" + string(rune('0'+i%10))
+		feedSpans(t, st, id)
+		st.Complete(id, 10, true)
+	}
+	st.mu.Lock()
+	nOrder, nActive := len(st.order), len(st.active)
+	st.mu.Unlock()
+	if nOrder != nActive {
+		t.Fatalf("st.order leaked: %d entries for %d active traces", nOrder, nActive)
+	}
+	if nOrder != 0 {
+		t.Fatalf("all traces completed but %d ids still in order", nOrder)
+	}
+}
+
+// TestSpanStoreChunkedWrite: a buffered upstream writer may split one
+// JSONL line across Write calls. The store must hold the unterminated
+// tail until its newline arrives instead of storing a truncated span.
+func TestSpanStoreChunkedWrite(t *testing.T) {
+	full := `{"ev":"span","sid":"a-1","trace":"eeeeeeeeeeeeeee1","name":"request","wall_us":1,"dur_us":42}` + "\n"
+	for i := 1; i < len(full)-1; i += 7 { // several split points, incl. mid-key
+		st := NewSpanStore(SpanStoreConfig{Proc: "p"})
+		st.Write([]byte(full[:i]))
+		st.Write([]byte(full[i:]))
+		recs := st.Query("eeeeeeeeeeeeeee1")
+		if len(recs) != 1 {
+			t.Fatalf("split at %d: got %d spans, want 1", i, len(recs))
+		}
+		if recs[0].Name != "request" || recs[0].DurUS != 42 {
+			t.Fatalf("split at %d stored truncated span: %+v", i, recs[0])
+		}
+	}
+}
+
+// TestFlightRecorderChunkedWrite: same contract for the ring — a line
+// split across Write calls lands as one intact line, not two fragments.
+func TestFlightRecorderChunkedWrite(t *testing.T) {
+	fl := NewFlightRecorder("p", 8)
+	fl.Write([]byte(`{"ev":"note","msg":"hal`))
+	fl.Write([]byte(`f"}` + "\n"))
+	if fl.Writes() != 1 {
+		t.Fatalf("split line recorded as %d lines, want 1", fl.Writes())
+	}
+	var buf bytes.Buffer
+	fl.Dump(&buf, "test")
+	if !strings.Contains(buf.String(), `{"ev":"note","msg":"half"}`) {
+		t.Fatalf("reassembled line missing or truncated:\n%s", buf.String())
+	}
+}
+
 // TestSpanStoreThroughFanout: the store is attached to the tracer's
 // Fanout, which detaches any sink reporting a short write — so Write
 // must report the full input length even though it consumes its

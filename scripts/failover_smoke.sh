@@ -15,7 +15,10 @@ TMP=$(mktemp -d)
 B1PID=""
 B2PID=""
 GPID=""
-trap 'for p in "$B1PID" "$B2PID" "$GPID"; do [ -n "$p" ] && kill "$p" 2>/dev/null; done; rm -rf "$TMP"' EXIT
+# SIGKILL survivors and reap them before rm -rf: a TERMed daemon can
+# still be writing (blackbox flusher) while the tree is being removed,
+# which makes rm fail with "Directory not empty".
+trap 'for p in "$B1PID" "$B2PID" "$GPID"; do [ -n "$p" ] && kill -KILL "$p" 2>/dev/null; done; wait 2>/dev/null || true; rm -rf "$TMP"' EXIT
 
 B1SOCK="$TMP/b1.sock"
 B2SOCK="$TMP/b2.sock"
@@ -78,8 +81,12 @@ if ! grep -q " repl=" "$TMP/client1.log" || ! grep -q " FOLLOWER" "$TMP/client1.
     exit 1
 fi
 
-# The primary is the row carrying the repl= stream (field 2 is @addr).
-PRIMADDR=$(grep ' repl=' "$TMP/client1.log" | awk '{print $2}' | sed 's/^@unix://')
+# The primary is the row carrying the repl= stream. Pick the @unix:
+# token out of the row rather than a fixed field: the shell prompt is
+# printed before the response's first line, so when the primary row
+# happens to sort first its fields are shifted by one.
+PRIMADDR=$(grep ' repl=' "$TMP/client1.log" | head -1 | tr ' ' '\n' \
+    | grep '^@unix:' | head -1 | sed 's/^@unix://')
 case "$PRIMADDR" in
 "$B1SOCK") PRIMPID=$B1PID PRIMSOCK=$B1SOCK PRIMSTATE="$TMP/s1" ;;
 "$B2SOCK") PRIMPID=$B2PID PRIMSOCK=$B2SOCK PRIMSTATE="$TMP/s2" ;;
